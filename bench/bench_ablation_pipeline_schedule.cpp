@@ -1,0 +1,50 @@
+// Ablation: pipeline schedule vs reconfiguration pressure. 1F1B (the
+// paper's traced schedule) interleaves PP and DP phases; GPipe runs all
+// forwards then all backwards, which concentrates the phases and changes
+// the inter-parallelism window structure Opus exploits.
+#include <cstdio>
+
+#include "common/table.h"
+#include "core/experiment.h"
+#include "trace/windows.h"
+
+int main() {
+  using namespace opus;
+
+  std::printf("== Ablation: pipeline schedule (1F1B vs GPipe) ==\n");
+  std::printf("(Llama3-8B, TP=4 FSDP=2 PP=4; photonic rails, 25 ms OCS)\n\n");
+
+  TextTable table({"Schedule", "Iter time", "Reconfigs/iter",
+                   "Windows/iter (rail 0)", "Median window"});
+  for (auto schedule : {workload::PipelineSchedule::k1F1B,
+                        workload::PipelineSchedule::kGpipe}) {
+    core::ExperimentConfig cfg = core::perlmutter_llama3_8b_config();
+    cfg.parallelism.pp = 4;  // deeper pipeline: the schedules diverge
+    cfg.rail_kind = net::RailKind::kPhotonic;
+    cfg.ocs_reconfig_delay = msecs(25);
+    cfg.iteration.pipeline_schedule = schedule;
+    cfg.iterations = 3;
+    cfg.record_compute_trace = false;
+    const auto r = core::run_experiment(cfg);
+    const auto windows =
+        trace::extract_windows(r.recorder->rail_comms(1, RailId{0}));
+    Cdf cdf;
+    for (const auto& w : windows) cdf.add(to_ms(w.size));
+    table.add_row(
+        {schedule == workload::PipelineSchedule::k1F1B ? "1F1B" : "GPipe",
+         format_time(r.steady_iteration_time),
+         fmt_double(static_cast<double>(r.ocs_reconfigurations) /
+                        static_cast<double>(r.iteration_times.size()),
+                    1),
+         fmt_count(static_cast<std::int64_t>(windows.size())),
+         windows.empty() ? "-" : fmt_double(cdf.median(), 2) + "ms"});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf(
+      "With a deeper pipeline the schedules diverge: GPipe concentrates\n"
+      "the Send/Recv traffic into bulk-synchronous phases while 1F1B\n"
+      "spreads it through the steady state — the schedule/reconfiguration\n"
+      "co-design opportunity of §5. (At PP=2 the two schedules have\n"
+      "identical critical paths and window structure.)\n");
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Ablation: demand-driven (Opus) versus traffic-oblivious (RotorNet-style)
+// reconfiguration for ML collectives — the §3 "Key Insight" argument that
+// prior microsecond-scale oblivious designs are "poorly suited to the
+// repetitive and high-volume collective communication patterns of ML
+// workloads", quantified on identical hardware assumptions.
+#include <cstdio>
+
+#include <memory>
+
+#include "collective/executor.h"
+#include "collective/planner.h"
+#include "common/table.h"
+#include "core/opus_transport.h"
+#include "core/rotor.h"
+
+namespace {
+
+using namespace opus;
+using namespace opus::collective;
+
+net::ClusterConfig cluster_cfg(int nodes, TimeNs ocs_delay) {
+  net::ClusterConfig cfg;
+  cfg.n_nodes = nodes;
+  cfg.gpus_per_node = 2;
+  cfg.nic_ports = 2;
+  cfg.rail_kind = net::RailKind::kPhotonic;
+  cfg.ocs_reconfig_delay = ocs_delay;
+  return cfg;
+}
+
+TimeNs run_collective(bool rotor, int nodes, TimeNs ocs_delay,
+                      TimeNs slot_time, CollectiveType type, Bytes payload) {
+  sim::Simulator sim;
+  net::Cluster cluster(sim, cluster_cfg(nodes, ocs_delay));
+  std::unique_ptr<Transport> transport;
+  if (rotor) {
+    core::RotorTransport::Options opts;
+    opts.slot_time = slot_time;
+    transport = std::make_unique<core::RotorTransport>(sim, cluster, opts);
+  } else {
+    transport = std::make_unique<core::OpusTransport>(sim, cluster);
+  }
+  CollectiveExecutor exec(sim, *transport);
+  CommGroup g;
+  g.id = GroupId{1};
+  g.dim = ParallelismDim::kDP;
+  for (int n = 0; n < nodes; ++n) g.ranks.push_back(cluster.gpu_at(NodeId{n}, 0));
+  const auto algo = choose_algorithm(type, nodes, payload, 2);
+  const auto sched = plan_collective(type, algo, nodes, payload);
+  TimeNs duration = -1;
+  exec.run(g, sched, [&](const CollectiveExecutor::Result& r) {
+    duration = r.duration();
+  });
+  sim.run();
+  return duration;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "== Ablation: demand-driven (Opus) vs traffic-oblivious (rotor) ==\n");
+  std::printf(
+      "(8-node rail group, 10us OCS for both; rotor slot = 10x OCS delay)\n\n");
+
+  TextTable table({"Collective", "Payload", "Opus", "Rotor", "Rotor/Opus"});
+  const TimeNs ocs = usecs(10);
+  const TimeNs slot = usecs(100);
+  struct Case {
+    CollectiveType type;
+    Bytes payload;
+    const char* name;
+  };
+  const Case cases[] = {
+      {CollectiveType::kAllReduce, mib(1), "AllReduce"},
+      {CollectiveType::kAllReduce, mib(64), "AllReduce"},
+      {CollectiveType::kAllGather, mib(64), "AllGather"},
+      {CollectiveType::kReduceScatter, mib(64), "ReduceScatter"},
+      {CollectiveType::kAllToAll, mib(64), "AllToAll"},
+  };
+  for (const Case& c : cases) {
+    const TimeNs opus = run_collective(false, 8, ocs, slot, c.type, c.payload);
+    const TimeNs rotor = run_collective(true, 8, ocs, slot, c.type, c.payload);
+    table.add_row({c.name, format_bytes(c.payload), format_time(opus),
+                   format_time(rotor),
+                   fmt_double(static_cast<double>(rotor) /
+                                  static_cast<double>(opus),
+                              1) +
+                       "x"});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf(
+      "The rotor's matchings connect each ring edge only 1/(n-1) of the\n"
+      "time, so pipelined collective steps idle between slots; Opus holds\n"
+      "exactly the circuits the collective needs for its whole duration.\n"
+      "AllToAll narrows the gap (the rotor's native traffic pattern), as\n"
+      "RotorNet's designers intended — but ML traffic is rings, not\n"
+      "uniform random, which is the paper's point.\n");
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Regenerates Fig. 3: the rail-0 communication pattern for the Llama3-8B
+// workload under (a) PP=2/FSDP=2 and (b) PP=3/FSDP=2, rendered as an ASCII
+// Gantt with the circuit configurations (parallelism phases) listed below
+// each chart.
+#include <cstdio>
+
+#include "core/experiment.h"
+#include "trace/gantt.h"
+
+namespace {
+
+void run_case(const char* title, int pp, int dp) {
+  using namespace opus;
+  core::ExperimentConfig cfg = core::perlmutter_llama3_8b_config();
+  cfg.parallelism.pp = pp;
+  cfg.parallelism.dp = dp;
+  cfg.rail_kind = net::RailKind::kElectrical;  // trace the traffic pattern
+  cfg.iterations = 2;
+  cfg.record_compute_trace = false;
+
+  const auto result = core::run_experiment(cfg);
+  const auto& spans = result.recorder->iterations();
+  const auto comms = result.recorder->rail_comms(1, RailId{0});
+
+  std::printf("-- Fig. 3%s --\n", title);
+  std::vector<GpuId> rail_gpus;
+  for (int node = 0; node < pp * dp; ++node) {
+    rail_gpus.push_back(GpuId{node * cfg.gpus_per_node});
+  }
+  std::printf("%s\n",
+              trace::render_rail_gantt(comms, rail_gpus, spans[1].t_start,
+                                       spans[1].t_end)
+                  .c_str());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Fig. 3: communication pattern for PP and FSDP ==\n");
+  std::printf("(rail 0 of the Llama3-8B TorchTitan workload; TP hidden)\n\n");
+  run_case("(a): PP=2, FSDP=2", 2, 2);
+  run_case("(b): PP=3, FSDP=2", 3, 2);
+  return 0;
+}

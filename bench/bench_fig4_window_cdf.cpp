@@ -1,0 +1,82 @@
+// Regenerates Fig. 4: (a) the CDF of inter-parallelism window sizes over 10
+// iterations for each rail, and (b) the rail-0 window breakdown by the
+// traffic volume that follows each window.
+#include <cstdio>
+
+#include <vector>
+
+#include "common/stats.h"
+#include "common/table.h"
+#include "core/experiment.h"
+#include "trace/windows.h"
+
+int main() {
+  using namespace opus;
+
+  core::ExperimentConfig cfg = core::perlmutter_llama3_8b_config();
+  cfg.rail_kind = net::RailKind::kElectrical;  // measure application windows
+  cfg.iterations = 11;                          // 10 measured + warmup
+  cfg.record_compute_trace = false;
+  const auto result = core::run_experiment(cfg);
+
+  std::printf("== Fig. 4(a): CDF of window sizes (10 iterations) ==\n\n");
+  const std::vector<double> probes_ms = {0.01, 0.1, 0.5, 1, 2, 5,
+                                         10,   50,  100, 200, 500, 1000};
+  TextTable cdf_table({"Window size (ms)", "rail1", "rail2", "rail3",
+                       "rail4"});
+  std::vector<Cdf> cdfs(4);
+  for (int rail = 0; rail < 4; ++rail) {
+    for (int iter = 1; iter <= 10; ++iter) {
+      for (const auto& w :
+           trace::extract_windows(result.recorder->rail_comms(iter, RailId{rail}))) {
+        cdfs[static_cast<std::size_t>(rail)].add(to_ms(w.size));
+      }
+    }
+  }
+  for (double p : probes_ms) {
+    std::vector<std::string> row{fmt_double(p, 2)};
+    for (auto& cdf : cdfs) {
+      row.push_back(fmt_double(cdf.fraction_at_or_below(p), 2));
+    }
+    cdf_table.add_row(row);
+  }
+  std::printf("%s\n", cdf_table.render().c_str());
+  double over_1ms = 0.0;
+  for (auto& cdf : cdfs) over_1ms += 1.0 - cdf.fraction_at_or_below(1.0);
+  std::printf("fraction of windows over 1 ms: %.0f%% (paper: >75%%)\n\n",
+              25.0 * over_1ms);
+
+  std::printf("== Fig. 4(b): rail 0 window breakdown by traffic volume ==\n\n");
+  std::vector<trace::Window> rail0;
+  for (int iter = 1; iter <= 10; ++iter) {
+    const auto w =
+        trace::extract_windows(result.recorder->rail_comms(iter, RailId{0}));
+    rail0.insert(rail0.end(), w.begin(), w.end());
+  }
+  TextTable breakdown({"Traffic after window", "Count / iter",
+                       "Avg window (ms)", "Category"});
+  for (const auto& cat : trace::categorize_windows(rail0, 10)) {
+    std::string label;
+    const double mib_v = static_cast<double>(cat.traffic_after) / kMiB;
+    if (mib_v < 1) {
+      label = "sync AllReduce (<1MB)";
+    } else if (mib_v < 300) {
+      label = "PP Send/Recv";
+    } else if (mib_v < 1500) {
+      label = "DP AllGather";
+    } else if (mib_v < 3000) {
+      label = "PP steady phase";
+    } else {
+      label = "DP ReduceScatter";
+    }
+    breakdown.add_row({format_bytes(cat.traffic_after),
+                       fmt_double(cat.count_per_iteration, 1),
+                       fmt_double(cat.avg_window_ms, 2), label});
+  }
+  std::printf("%s\n", breakdown.render().c_str());
+  std::printf(
+      "(paper categories: <1MB sync AR, 64MB PP Send/Recv, 957MB DP\n"
+      " AllGather, 3829MB DP ReduceScatter; the ReduceScatter phase is\n"
+      " preceded by the largest window)\n");
+  return 0;
+}

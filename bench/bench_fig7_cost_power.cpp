@@ -1,0 +1,58 @@
+// Regenerates Fig. 7: GPU-backend network cost and power for fat-tree,
+// rail-optimized, and Opus fabrics at 1024..8192 DGX H200 GPUs (400G optics
+// and switches; NICs, fiber, and cabling excluded, as in the paper).
+#include <cstdio>
+
+#include "common/table.h"
+#include "costmodel/fabric_cost.h"
+
+int main() {
+  using namespace opus;
+  using namespace opus::costmodel;
+
+  std::printf("== Fig. 7: GPU-backend network cost and power ==\n\n");
+  TextTable cost({"# GPUs", "Fat-tree ($)", "Rail-optimized ($)", "Opus ($)",
+                  "Opus saving vs rail", "vs fat-tree"});
+  TextTable power({"# GPUs", "Fat-tree (W)", "Rail-optimized (W)", "Opus (W)",
+                   "Opus saving vs rail", "vs fat-tree"});
+  for (int n : {1024, 2048, 4096, 8192}) {
+    const FabricCost ft = fat_tree_fabric(n);
+    const FabricCost rail = rail_optimized_fabric(n);
+    const FabricCost opus = opus_fabric(n);
+    cost.add_row({fmt_count(n), fmt_dollars(ft.total_cost()),
+                  fmt_dollars(rail.total_cost()),
+                  fmt_dollars(opus.total_cost()),
+                  fmt_double(100 * cost_saving(opus, rail), 1) + "%",
+                  fmt_double(100 * cost_saving(opus, ft), 1) + "%"});
+    power.add_row(
+        {fmt_count(n),
+         fmt_count(static_cast<std::int64_t>(ft.total_power_w())),
+         fmt_count(static_cast<std::int64_t>(rail.total_power_w())),
+         fmt_count(static_cast<std::int64_t>(opus.total_power_w())),
+         fmt_double(100 * power_saving(opus, rail), 2) + "%",
+         fmt_double(100 * power_saving(opus, ft), 2) + "%"});
+  }
+  std::printf("Cost:\n%s\n", cost.render().c_str());
+  std::printf("Power:\n%s\n", power.render().c_str());
+
+  const FabricCost opus8k = opus_fabric(8192);
+  const FabricCost rail8k = rail_optimized_fabric(8192);
+  const FabricCost ft8k = fat_tree_fabric(8192);
+  std::printf("Component breakdown at 8192 GPUs:\n");
+  TextTable parts({"Fabric", "Switches", "OCS", "Transceivers",
+                   "Switch $", "OCS $", "Optics $"});
+  for (const FabricCost* fc : {&ft8k, &rail8k, &opus8k}) {
+    parts.add_row({fc->fabric, fmt_count(fc->n_switches), fmt_count(fc->n_ocs),
+                   fmt_count(fc->n_transceivers), fmt_dollars(fc->switch_cost),
+                   fmt_dollars(fc->ocs_cost),
+                   fmt_dollars(fc->transceiver_cost)});
+  }
+  std::printf("%s\n", parts.render().c_str());
+  std::printf(
+      "Paper headline: up to 70.5%% cost and 95.84%% power savings.\n"
+      "Reproduced: %.1f%% cost / %.2f%% power vs fat-tree, %.1f%% / %.2f%%\n"
+      "vs rail-optimized, at 8192 GPUs.\n",
+      100 * cost_saving(opus8k, ft8k), 100 * power_saving(opus8k, ft8k),
+      100 * cost_saving(opus8k, rail8k), 100 * power_saving(opus8k, rail8k));
+  return 0;
+}

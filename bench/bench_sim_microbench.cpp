@@ -1,0 +1,89 @@
+// Google-benchmark microbenchmarks of the simulation substrates: event
+// engine throughput, fluid max-min re-solve cost, OCS reconfiguration, and
+// collective planning/verification.
+#include <benchmark/benchmark.h>
+
+#include "collective/planner.h"
+#include "collective/verifier.h"
+#include "net/cluster.h"
+#include "net/fluid.h"
+#include "sim/simulator.h"
+
+namespace {
+
+using namespace opus;
+
+void BM_EventEngineScheduleFire(benchmark::State& state) {
+  const auto n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulator sim;
+    for (int i = 0; i < n; ++i) {
+      sim.schedule_at(i % 1000, [] {});
+    }
+    benchmark::DoNotOptimize(sim.run());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EventEngineScheduleFire)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_FluidMaxMinResolve(benchmark::State& state) {
+  const auto flows = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulator sim;
+    net::FluidNetwork net(sim);
+    std::vector<LinkId> links;
+    for (int i = 0; i < 64; ++i) links.push_back(net.add_link(Bandwidth::gbps(400)));
+    for (int f = 0; f < flows; ++f) {
+      // Each start_flow re-solves max-min over all active flows.
+      net.start_flow({links[static_cast<std::size_t>(f % 64)],
+                      links[static_cast<std::size_t>((f + 7) % 64)]},
+                     mib(1), 0, nullptr);
+    }
+    sim.run();
+    benchmark::DoNotOptimize(net.completed_flow_count());
+  }
+  state.SetItemsProcessed(state.iterations() * flows);
+}
+BENCHMARK(BM_FluidMaxMinResolve)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_OcsReconfigure(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    net::FluidNetwork net(sim);
+    net::OpticalCircuitSwitch sw(sim, net, 576, Bandwidth::gbps(200),
+                                 usecs(2), msecs(25), "bench");
+    std::vector<net::CircuitRequest> circuits;
+    for (int p = 0; p + 1 < 576; p += 2) {
+      circuits.push_back({PortId{p}, PortId{p + 1}});
+    }
+    sw.reconfigure(circuits, nullptr);
+    sim.run();
+    benchmark::DoNotOptimize(sw.stats().circuits_established);
+  }
+}
+BENCHMARK(BM_OcsReconfigure);
+
+void BM_PlanRingAllReduce(benchmark::State& state) {
+  const auto n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(collective::plan_collective(
+        collective::CollectiveType::kAllReduce, collective::Algorithm::kRing,
+        n, gib(1)));
+  }
+}
+BENCHMARK(BM_PlanRingAllReduce)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_VerifyRingAllReduce(benchmark::State& state) {
+  const auto n = static_cast<int>(state.range(0));
+  const auto sched = collective::plan_collective(
+      collective::CollectiveType::kAllReduce, collective::Algorithm::kRing, n,
+      gib(1));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(collective::verify_schedule(sched));
+  }
+}
+BENCHMARK(BM_VerifyRingAllReduce)->Arg(8)->Arg(32)->Arg(64);
+
+}  // namespace
+
+BENCHMARK_MAIN();

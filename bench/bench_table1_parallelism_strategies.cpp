@@ -1,0 +1,43 @@
+// Regenerates Table 1: rule-of-thumb LLM parallelism strategies by model
+// size and GPU count, plus the advisor's answer for a few concrete models.
+#include <cstdio>
+
+#include "common/table.h"
+#include "workload/model_config.h"
+#include "workload/parallelism.h"
+
+int main() {
+  using namespace opus;
+  using namespace opus::workload;
+
+  std::printf("== Table 1: rule-of-thumb LLM parallelism strategies ==\n\n");
+  TextTable table({"Model size", "Compute (N GPUs)", "Practices"});
+  for (const ParallelismAdvice& row : parallelism_rule_table()) {
+    table.add_row({row.model_size, row.compute, row.practices});
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  std::printf("Advisor spot checks:\n");
+  TextTable spot({"Model", "Params", "GPUs", "Advice"});
+  struct Probe {
+    ModelConfig model;
+    int gpus;
+  };
+  const Probe probes[] = {
+      {ModelConfig::llama3_8b(), 8},
+      {ModelConfig::llama3_8b(), 16},
+      {ModelConfig::mixtral_8x7b(), 256},
+      {ModelConfig::gpt3_175b(), 1024},
+      {ModelConfig::llama31_405b(), 8192},
+  };
+  for (const Probe& p : probes) {
+    const auto advice = advise_parallelism(p.model.total_params(), p.gpus);
+    spot.add_row({p.model.name,
+                  fmt_double(static_cast<double>(p.model.total_params()) / 1e9,
+                             1) +
+                      "B",
+                  fmt_count(p.gpus), advice.practices});
+  }
+  std::printf("%s", spot.render().c_str());
+  return 0;
+}

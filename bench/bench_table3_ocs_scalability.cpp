@@ -1,0 +1,33 @@
+// Regenerates Table 3: the Opus scalability-latency tradeoff across OCS
+// technologies. #GPUs = scale-up size x radix / 2 (2-port NIC configuration
+// with bidirectional transceivers).
+#include <cstdio>
+
+#include "common/table.h"
+#include "costmodel/ocs_catalog.h"
+
+int main() {
+  using namespace opus;
+  using namespace opus::costmodel;
+
+  std::printf("== Table 3: Opus scalability-latency tradeoff ==\n\n");
+  TextTable table({"OCS Tech", "Vendor", "Reconfig. time (ms)",
+                   "Radix (ports)", "# GPUs (GB200)", "# GPUs (H200)"});
+  for (const OcsSpec& ocs : ocs_catalog()) {
+    table.add_row({
+        ocs.technology,
+        ocs.vendor,
+        ocs.reconfig_ms < 0.001 ? fmt_double(ocs.reconfig_ms, 5)
+                                : fmt_double(ocs.reconfig_ms, 3),
+        fmt_count(ocs.radix),
+        fmt_count(opus_max_gpus(ocs, kGb200ScaleUp)),
+        fmt_count(opus_max_gpus(ocs, kH200ScaleUp)),
+    });
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf(
+      "The paper picks Piezo (Polatis) or 3D MEMS (Calient) as the sweet\n"
+      "spot: >10k GPUs with GB200 scale-ups at 15-25 ms reconfiguration,\n"
+      "which in-job provisioning can hide inside inter-parallelism windows.\n");
+  return 0;
+}

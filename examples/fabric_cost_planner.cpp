@@ -1,0 +1,63 @@
+// Domain example: size and price a GPU-backend network. Compares fat-tree,
+// rail-optimized, and Opus photonic rails for a target cluster and prints
+// the full bill of materials with power draw (the Fig. 7 methodology as an
+// interactive tool).
+//
+//   ./build/examples/fabric_cost_planner [n_gpus] [gpus_per_node]
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/table.h"
+#include "costmodel/fabric_cost.h"
+
+int main(int argc, char** argv) {
+  using namespace opus;
+  using namespace opus::costmodel;
+
+  const int n_gpus = argc > 1 ? std::atoi(argv[1]) : 4096;
+  CostParams params;
+  params.gpus_per_node = argc > 2 ? std::atoi(argv[2]) : 8;
+
+  std::printf("== Fabric planner: %d GPUs, %d per scale-up domain ==\n\n",
+              n_gpus, params.gpus_per_node);
+
+  const FabricCost fabrics[] = {
+      fat_tree_fabric(n_gpus, params),
+      rail_optimized_fabric(n_gpus, params),
+      opus_fabric(n_gpus, params),
+  };
+
+  TextTable table({"Fabric", "Switches", "OCS", "Optics", "Capex",
+                   "Power", "$/GPU", "W/GPU"});
+  for (const FabricCost& f : fabrics) {
+    table.add_row({f.fabric, fmt_count(f.n_switches), fmt_count(f.n_ocs),
+                   fmt_count(f.n_transceivers), fmt_dollars(f.total_cost()),
+                   fmt_count(static_cast<std::int64_t>(f.total_power_w())) +
+                       " W",
+                   fmt_dollars(f.total_cost() / n_gpus),
+                   fmt_double(f.total_power_w() / n_gpus, 1)});
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  const double cost_save = cost_saving(fabrics[2], fabrics[1]);
+  const double power_save = power_saving(fabrics[2], fabrics[1]);
+  std::printf(
+      "Opus saves %.1f%% capex and %.1f%% power versus the rail-optimized\n"
+      "fabric at this scale. Yearly energy at $0.10/kWh: fat-tree %s,\n"
+      "rail-optimized %s, Opus %s.\n",
+      100 * cost_save, 100 * power_save,
+      fmt_dollars(fabrics[0].total_power_w() / 1000 * 24 * 365 * 0.10).c_str(),
+      fmt_dollars(fabrics[1].total_power_w() / 1000 * 24 * 365 * 0.10).c_str(),
+      fmt_dollars(fabrics[2].total_power_w() / 1000 * 24 * 365 * 0.10).c_str());
+
+  // Check the scale limit of the chosen OCS (Table 3).
+  const std::int64_t max_gpus = opus_max_gpus(params.ocs, params.gpus_per_node);
+  if (n_gpus > max_gpus) {
+    std::printf(
+        "\nWARNING: %d GPUs exceeds one %s OCS per rail (max %lld GPUs);\n"
+        "the model provisions %d OCS chassis per rail instead.\n",
+        n_gpus, params.ocs.technology.c_str(),
+        static_cast<long long>(max_gpus), fabrics[2].n_ocs / params.gpus_per_node);
+  }
+  return 0;
+}

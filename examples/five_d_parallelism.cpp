@@ -1,0 +1,97 @@
+// The paper's provocative question made runnable: "can we reconfigure the
+// OCSes during a job to enable 5D parallelisms?" (§3, Key Insight).
+//
+// This example trains a Mixtral-style MoE with TP + CP inside the scale-up
+// domain and FSDP + PP + EP across the photonic rails — five parallelism
+// dimensions whose scale-out groups time-multiplex two NIC ports per GPU
+// through Opus reconfiguration. A static port partition could not even hold
+// the three scale-out dimensions' rings at once (C2/C3).
+//
+//   ./build/examples/five_d_parallelism
+#include <cstdio>
+
+#include "common/table.h"
+#include "core/experiment.h"
+#include "trace/windows.h"
+
+int main() {
+  using namespace opus;
+
+  core::ExperimentConfig cfg;
+  cfg.model = workload::ModelConfig::mixtral_8x7b();
+  cfg.model.n_layers = 8;  // keep the example quick
+  cfg.parallelism.tp = 2;
+  cfg.parallelism.cp = 2;
+  cfg.parallelism.dp = 4;
+  cfg.parallelism.ep = 2;  // EP nests inside DP
+  cfg.parallelism.pp = 2;
+  cfg.parallelism.n_microbatches = 4;
+  cfg.parallelism.microbatch_size = 1;
+  cfg.gpus_per_node = 4;  // TP x CP fills the scale-up domain
+  cfg.mfu = 0.25;
+  cfg.iterations = 3;
+  cfg.record_compute_trace = false;
+  cfg.rail_kind = net::RailKind::kPhotonic;
+  cfg.ocs_reconfig_delay = msecs(15);
+
+  std::printf("== 5D parallelism on photonic rails ==\n");
+  std::printf("model: %s (%.1fB params, %d experts)\n", cfg.model.name.c_str(),
+              static_cast<double>(cfg.model.total_params()) / 1e9,
+              cfg.model.n_experts);
+  std::printf("parallelism: %s on %d GPUs (%d nodes x %d)\n\n",
+              cfg.parallelism.to_string().c_str(),
+              cfg.parallelism.world_size(),
+              cfg.parallelism.world_size() / cfg.gpus_per_node,
+              cfg.gpus_per_node);
+
+  const auto mems = core::run_experiment(cfg);
+  cfg.ocs_reconfig_delay = msecs(0.01);  // RotorNet-class fast OCS
+  const auto fast = core::run_experiment(cfg);
+  cfg.rail_kind = net::RailKind::kElectrical;
+  const auto electrical = core::run_experiment(cfg);
+
+  TextTable table({"Metric", "Electrical", "Opus, 15ms MEMS",
+                   "Opus, 10us OCS"});
+  table.add_row({"iteration time",
+                 format_time(electrical.steady_iteration_time),
+                 format_time(mems.steady_iteration_time),
+                 format_time(fast.steady_iteration_time)});
+  table.add_row(
+      {"OCS reconfigs/iter", "0",
+       fmt_double(static_cast<double>(mems.ocs_reconfigurations) /
+                      static_cast<double>(cfg.iterations),
+                  1),
+       fmt_double(static_cast<double>(fast.ocs_reconfigurations) /
+                      static_cast<double>(cfg.iterations),
+                  1)});
+  table.add_row({"circuit-cache hits", "-",
+                 fmt_count(mems.controller.satisfied_immediately),
+                 fmt_count(fast.controller.satisfied_immediately)});
+  table.add_row({"rail traffic/iter",
+                 format_bytes(electrical.rail_bytes / cfg.iterations),
+                 format_bytes(mems.rail_bytes / cfg.iterations),
+                 format_bytes(fast.rail_bytes / cfg.iterations)});
+  std::printf("%s\n", table.render().c_str());
+
+  std::printf(
+      "5D hybrid parallelism runs on two NIC ports per GPU: three scale-out\n"
+      "dimensions (FSDP rings, PP pairs, EP AllToAll) time-multiplex the\n"
+      "rail circuits at parallelism shifts — a static partition would need\n"
+      "six ports for the rings alone (C2/C3). The cost is reconfiguration\n"
+      "frequency: per-layer EP switching makes slow MEMS expensive\n"
+      "(+%.0f%%), while a microsecond-class OCS brings the overhead down to\n"
+      "+%.0f%% (the paper's §5 \"frequent switching\" caveat, quantified).\n\n",
+      100.0 * (static_cast<double>(mems.steady_iteration_time) /
+                   static_cast<double>(electrical.steady_iteration_time) -
+               1.0),
+      100.0 * (static_cast<double>(fast.steady_iteration_time) /
+                   static_cast<double>(electrical.steady_iteration_time) -
+               1.0));
+
+  // Eq. 1 for this 5D configuration (CP and EP both present).
+  std::printf("Eq. 1 windows/iteration for this job: %lld\n",
+              static_cast<long long>(trace::window_count_estimate(
+                  cfg.parallelism.pp, cfg.model.n_layers,
+                  cfg.parallelism.n_microbatches, true, true)));
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Domain example: a Mixtral-style MoE job with expert parallelism — the
+// hardest case for photonic rails (§5 "Supporting any communication
+// patterns"): EP AllToAll has no efficient ring implementation, so on
+// circuits it runs as pairwise permutation steps with one reconfiguration
+// per step, or gets offloaded to the host packet network when small.
+//
+//   ./build/examples/moe_expert_parallel
+#include <cstdio>
+
+#include "common/table.h"
+#include "core/experiment.h"
+
+int main() {
+  using namespace opus;
+
+  core::ExperimentConfig base;
+  base.model = workload::ModelConfig::mixtral_8x7b();
+  base.model.n_layers = 8;  // keep the example quick
+  base.parallelism.tp = 4;
+  base.parallelism.dp = 4;
+  base.parallelism.ep = 4;
+  base.parallelism.pp = 1;
+  base.parallelism.n_microbatches = 2;
+  base.parallelism.microbatch_size = 1;
+  base.gpus_per_node = 4;
+  base.mfu = 0.25;
+  base.iterations = 3;
+  base.record_compute_trace = false;
+  base.iteration.simulate_ep_comm = true;
+
+  std::printf("== MoE expert parallelism on photonic rails ==\n");
+  std::printf("workload: %s, %s (16 GPUs, EP AllToAll per layer)\n\n",
+              base.model.name.c_str(), base.parallelism.to_string().c_str());
+
+  TextTable table({"Fabric", "Iter time", "Reconfigs/iter", "Rail bytes/iter",
+                   "Mgmt bytes/iter"});
+
+  auto row = [&](const char* name, const core::ExperimentResult& r,
+                 int iters) {
+    table.add_row({name, format_time(r.steady_iteration_time),
+                   fmt_double(static_cast<double>(r.ocs_reconfigurations) /
+                                  iters, 1),
+                   format_bytes(r.rail_bytes / iters),
+                   format_bytes(r.mgmt_bytes / iters)});
+  };
+
+  {
+    core::ExperimentConfig cfg = base;
+    cfg.rail_kind = net::RailKind::kElectrical;
+    row("Electrical rails", core::run_experiment(cfg), cfg.iterations);
+  }
+  {
+    core::ExperimentConfig cfg = base;
+    cfg.rail_kind = net::RailKind::kPhotonic;
+    cfg.ocs_reconfig_delay = msecs(0.01);  // RotorNet-class fast OCS
+    row("Photonic, 10us OCS", core::run_experiment(cfg), cfg.iterations);
+  }
+  {
+    core::ExperimentConfig cfg = base;
+    cfg.rail_kind = net::RailKind::kPhotonic;
+    cfg.ocs_reconfig_delay = msecs(15);  // 3D MEMS
+    row("Photonic, 15ms OCS", core::run_experiment(cfg), cfg.iterations);
+  }
+  {
+    // §5's escape hatch: offload the small, high-incast AllToAll slices to
+    // the host packet-switched network.
+    core::ExperimentConfig cfg = base;
+    cfg.rail_kind = net::RailKind::kPhotonic;
+    cfg.ocs_reconfig_delay = msecs(15);
+    cfg.mgmt_bw = Bandwidth::gbps(100);
+    cfg.mgmt_offload_threshold = mib(512);  // take the whole AllToAll
+    row("Photonic + host offload", core::run_experiment(cfg), cfg.iterations);
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf(
+      "Pairwise AllToAll reconfigures per permutation step, so slow OCSes\n"
+      "hurt badly (C1); a fast OCS or host-network offload for small\n"
+      "AllToAll payloads recovers most of the gap — the hybrid escape the\n"
+      "paper sketches in §5.\n");
+  return 0;
+}

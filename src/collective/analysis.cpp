@@ -1,0 +1,48 @@
+#include "collective/analysis.h"
+
+#include <algorithm>
+#include <set>
+
+namespace opus::collective {
+
+TimeNs predicted_time(const CollectiveSchedule& sched, AlphaBeta cost) {
+  TimeNs total = 0;
+  for (const auto& step : sched.transfers_by_step()) {
+    if (step.empty()) continue;
+    Bytes largest = 0;
+    for (int ti : step) {
+      largest = std::max(largest,
+                         sched.transfers[static_cast<std::size_t>(ti)].bytes);
+    }
+    total += cost.alpha + transfer_time(largest, cost.bw);
+  }
+  return total;
+}
+
+int peer_changing_steps(const CollectiveSchedule& sched) {
+  int changes = 0;
+  std::set<std::pair<int, int>> prev;
+  for (const auto& step : sched.transfers_by_step()) {
+    if (step.empty()) continue;
+    std::set<std::pair<int, int>> cur;
+    for (int ti : step) {
+      const Transfer& t = sched.transfers[static_cast<std::size_t>(ti)];
+      // Circuits are bidirectional: (a,b) and (b,a) share one circuit.
+      cur.emplace(std::min(t.src, t.dst), std::max(t.src, t.dst));
+    }
+    // A step needs reconfiguration if it uses any circuit not already up.
+    if (!std::includes(prev.begin(), prev.end(), cur.begin(), cur.end())) {
+      ++changes;
+      prev = cur;
+    }
+  }
+  return changes;
+}
+
+TimeNs predicted_time_with_reconfig(const CollectiveSchedule& sched,
+                                    AlphaBeta cost, TimeNs reconfig) {
+  return predicted_time(sched, cost) +
+         reconfig * static_cast<TimeNs>(peer_changing_steps(sched));
+}
+
+}  // namespace opus::collective

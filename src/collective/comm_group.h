@@ -1,0 +1,59 @@
+// Communication groups: the logical constructs managed by collective
+// communication libraries (NCCL communicators). Each GPU belongs to several
+// groups, one per parallelism axis (§3 of the paper).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "common/ids.h"
+
+namespace opus::collective {
+
+/// Parallelism axis a communication group belongs to (Table 2).
+enum class ParallelismDim {
+  kTP,     ///< tensor parallelism (with sequence parallelism)
+  kDP,     ///< data parallelism / FSDP
+  kPP,     ///< pipeline parallelism
+  kCP,     ///< context parallelism
+  kEP,     ///< expert parallelism
+  kOther,  ///< ad-hoc (e.g. global sync groups)
+};
+
+const char* to_string(ParallelismDim dim);
+
+/// An ordered set of GPU ranks that communicate together. The order defines
+/// ring neighbourhoods for ring-based collectives.
+struct CommGroup {
+  GroupId id;
+  ParallelismDim dim = ParallelismDim::kOther;
+  std::vector<GpuId> ranks;
+  std::string name;
+
+  int size() const { return static_cast<int>(ranks.size()); }
+
+  bool contains(GpuId g) const {
+    for (GpuId r : ranks)
+      if (r == g) return true;
+    return false;
+  }
+
+  /// Position of `g` within the group. Requires membership.
+  int index_of(GpuId g) const {
+    for (std::size_t i = 0; i < ranks.size(); ++i)
+      if (ranks[i] == g) return static_cast<int>(i);
+    ensure(false, "CommGroup::index_of: rank not in group");
+    return -1;
+  }
+
+  GpuId next(GpuId g) const {
+    return ranks[static_cast<std::size_t>((index_of(g) + 1) % size())];
+  }
+  GpuId prev(GpuId g) const {
+    return ranks[static_cast<std::size_t>((index_of(g) + size() - 1) %
+                                          size())];
+  }
+};
+
+}  // namespace opus::collective

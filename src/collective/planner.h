@@ -1,0 +1,48 @@
+// Collective schedule planners: one function per (type, algorithm) pair, plus
+// an NCCL-style automatic algorithm chooser that honours the physical degree
+// constraint of circuit-switched fabrics (constraint C1).
+#pragma once
+
+#include "collective/schedule.h"
+#include "common/units.h"
+
+namespace opus::collective {
+
+/// Plans a collective of `type` over `n_ranks` using `algo`.
+///
+/// Payload semantics (`payload_bytes`):
+///  - AllReduce:      per-rank buffer size (each rank contributes and
+///                    receives `payload_bytes`).
+///  - AllGather:      total gathered size; each rank contributes
+///                    payload/n and ends with the full payload.
+///  - ReduceScatter:  per-rank input size; each rank ends with payload/n.
+///  - AllToAll:       per-rank send total; each rank sends payload/n to
+///                    every other rank.
+///  - Broadcast/Reduce: buffer size (root rank 0).
+///  - SendRecv:       bytes moved from rank 0 to rank 1 of the group view.
+///  - Barrier:        ignored (zero-byte token passing).
+///
+/// Throws InvariantError for invalid combinations (e.g. recursive doubling
+/// on a non-power-of-two group).
+CollectiveSchedule plan_collective(CollectiveType type, Algorithm algo,
+                                   int n_ranks, Bytes payload_bytes);
+
+/// True iff `algo` can implement `type` on `n_ranks` at all.
+bool algorithm_supports(CollectiveType type, Algorithm algo, int n_ranks);
+
+/// Chooses an algorithm like NCCL's tuner, but constrained to fabrics where
+/// each rank can hold at most `max_degree` simultaneous circuits:
+///  - if the latency-optimized choice (tree / recursive doubling) needs more
+///    distinct peers than `max_degree`, falls back to ring (C1);
+///  - small payloads prefer latency-optimized algorithms when allowed;
+///  - AllToAll uses pairwise on circuit fabrics, direct otherwise.
+/// `max_degree <= 0` means unconstrained (electrical rail).
+Algorithm choose_algorithm(CollectiveType type, int n_ranks,
+                           Bytes payload_bytes, int max_degree);
+
+/// The smallest number of NIC ports a rank needs so the whole schedule can be
+/// wired as static circuits (no per-step reconfiguration): the number of
+/// distinct peers of the busiest rank.
+int static_circuit_ports_needed(const CollectiveSchedule& sched);
+
+}  // namespace opus::collective

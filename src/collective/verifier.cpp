@@ -1,0 +1,246 @@
+#include "collective/verifier.h"
+
+#include <cstdint>
+#include <set>
+#include <sstream>
+#include <vector>
+
+#include "common/error.h"
+
+namespace opus::collective {
+namespace {
+
+/// Per-rank, per-chunk contribution counts: state[r][c][k] = how many times
+/// rank k's input for chunk c is included in rank r's buffer for chunk c.
+class ContributionModel {
+ public:
+  ContributionModel(int n_ranks, int n_chunks)
+      : n_(n_ranks),
+        chunks_(n_chunks),
+        state_(static_cast<std::size_t>(n_ranks) *
+                   static_cast<std::size_t>(n_chunks) *
+                   static_cast<std::size_t>(n_ranks),
+               0) {}
+
+  std::uint16_t& at(std::vector<std::uint16_t>& s, int r, int c, int k) const {
+    return s[(static_cast<std::size_t>(r) * static_cast<std::size_t>(chunks_) +
+              static_cast<std::size_t>(c)) *
+                 static_cast<std::size_t>(n_) +
+             static_cast<std::size_t>(k)];
+  }
+  std::uint16_t get(const std::vector<std::uint16_t>& s, int r, int c,
+                    int k) const {
+    return s[(static_cast<std::size_t>(r) * static_cast<std::size_t>(chunks_) +
+              static_cast<std::size_t>(c)) *
+                 static_cast<std::size_t>(n_) +
+             static_cast<std::size_t>(k)];
+  }
+
+  void seed_own_input_all_chunks() {
+    for (int r = 0; r < n_; ++r)
+      for (int c = 0; c < chunks_; ++c) at(state_, r, c, r) = 1;
+  }
+  void seed_own_chunk_only() {
+    for (int r = 0; r < n_ && r < chunks_; ++r) at(state_, r, r, r) = 1;
+  }
+  void seed_root_only() { at(state_, 0, 0, 0) = 1; }
+
+  /// Applies one step's transfers with snapshot (pre-step read) semantics.
+  void apply_step(const CollectiveSchedule& sched,
+                  const std::vector<int>& indices) {
+    const std::vector<std::uint16_t> before = state_;
+    for (int ti : indices) {
+      const Transfer& t = sched.transfers[static_cast<std::size_t>(ti)];
+      if (t.chunk_lo < 0) continue;  // untracked transfer
+      for (int raw = t.chunk_lo; raw < t.chunk_hi; ++raw) {
+        const int c = ((raw % chunks_) + chunks_) % chunks_;
+        for (int k = 0; k < n_; ++k) {
+          const std::uint16_t incoming = get(before, t.src, c, k);
+          if (t.reduce_op) {
+            at(state_, t.dst, c, k) =
+                static_cast<std::uint16_t>(at(state_, t.dst, c, k) + incoming);
+          } else {
+            at(state_, t.dst, c, k) = incoming;
+          }
+        }
+      }
+    }
+  }
+
+  bool chunk_complete(int r, int c) const {
+    for (int k = 0; k < n_; ++k)
+      if (get(state_, r, c, k) != 1) return false;
+    return true;
+  }
+  bool chunk_is_exactly(int r, int c, int origin) const {
+    for (int k = 0; k < n_; ++k)
+      if (get(state_, r, c, k) != (k == origin ? 1 : 0)) return false;
+    return true;
+  }
+
+ private:
+  int n_;
+  int chunks_;
+  std::vector<std::uint16_t> state_;
+};
+
+VerifyReport fail(const std::string& msg) { return VerifyReport{false, msg}; }
+
+VerifyReport verify_chunked(const CollectiveSchedule& sched) {
+  const int n = sched.n_ranks;
+  const int chunks = sched.n_chunks;
+  ContributionModel model(n, chunks);
+
+  switch (sched.type) {
+    case CollectiveType::kAllReduce:
+    case CollectiveType::kReduceScatter:
+    case CollectiveType::kReduce:
+      model.seed_own_input_all_chunks();
+      break;
+    case CollectiveType::kAllGather:
+      model.seed_own_chunk_only();
+      break;
+    case CollectiveType::kBroadcast:
+    case CollectiveType::kSendRecv:
+      model.seed_root_only();
+      break;
+    default:
+      return fail("verify_chunked: unsupported type");
+  }
+
+  for (const auto& step : sched.transfers_by_step()) {
+    model.apply_step(sched, step);
+  }
+
+  std::ostringstream err;
+  switch (sched.type) {
+    case CollectiveType::kAllReduce:
+      for (int r = 0; r < n; ++r)
+        for (int c = 0; c < chunks; ++c)
+          if (!model.chunk_complete(r, c)) {
+            err << "AllReduce: rank " << r << " chunk " << c
+                << " is not a complete exactly-once reduction";
+            return fail(err.str());
+          }
+      return {};
+    case CollectiveType::kReduceScatter: {
+      // Every chunk must be completely reduced somewhere, and every rank
+      // must own at least one completely reduced chunk.
+      for (int c = 0; c < chunks; ++c) {
+        bool found = false;
+        for (int r = 0; r < n && !found; ++r) found = model.chunk_complete(r, c);
+        if (!found) {
+          err << "ReduceScatter: chunk " << c << " never fully reduced";
+          return fail(err.str());
+        }
+      }
+      for (int r = 0; r < n; ++r) {
+        bool found = false;
+        for (int c = 0; c < chunks && !found; ++c)
+          found = model.chunk_complete(r, c);
+        if (!found) {
+          err << "ReduceScatter: rank " << r << " owns no reduced chunk";
+          return fail(err.str());
+        }
+      }
+      return {};
+    }
+    case CollectiveType::kAllGather:
+      for (int r = 0; r < n; ++r)
+        for (int c = 0; c < chunks; ++c)
+          if (!model.chunk_is_exactly(r, c, c)) {
+            err << "AllGather: rank " << r << " chunk " << c
+                << " does not hold rank " << c << "'s input";
+            return fail(err.str());
+          }
+      return {};
+    case CollectiveType::kReduce:
+      for (int c = 0; c < chunks; ++c)
+        if (!model.chunk_complete(0, c)) {
+          err << "Reduce: root chunk " << c << " incomplete";
+          return fail(err.str());
+        }
+      return {};
+    case CollectiveType::kBroadcast:
+      for (int r = 0; r < n; ++r)
+        if (!model.chunk_is_exactly(r, 0, 0)) {
+          err << "Broadcast: rank " << r << " missing root data";
+          return fail(err.str());
+        }
+      return {};
+    case CollectiveType::kSendRecv:
+      if (!model.chunk_is_exactly(1, 0, 0)) {
+        return fail("SendRecv: receiver missing sender data");
+      }
+      return {};
+    default:
+      return fail("verify_chunked: unsupported type");
+  }
+}
+
+VerifyReport verify_all_to_all(const CollectiveSchedule& sched) {
+  const int n = sched.n_ranks;
+  // counts[dst][src] = how many slices dst received from src.
+  std::vector<std::vector<int>> counts(static_cast<std::size_t>(n),
+                                       std::vector<int>(n, 0));
+  for (const Transfer& t : sched.transfers) {
+    ++counts[static_cast<std::size_t>(t.dst)][static_cast<std::size_t>(t.src)];
+  }
+  std::ostringstream err;
+  for (int d = 0; d < n; ++d) {
+    for (int s = 0; s < n; ++s) {
+      const int expected = (s == d) ? 0 : 1;
+      if (counts[static_cast<std::size_t>(d)][static_cast<std::size_t>(s)] !=
+          expected) {
+        err << "AllToAll: rank " << d << " received "
+            << counts[static_cast<std::size_t>(d)][static_cast<std::size_t>(s)]
+            << " slices from rank " << s << " (expected " << expected << ")";
+        return fail(err.str());
+      }
+    }
+  }
+  return {};
+}
+
+VerifyReport verify_barrier(const CollectiveSchedule& sched) {
+  const int n = sched.n_ranks;
+  // know[r] = set of ranks whose arrival r has causally observed.
+  std::vector<std::set<int>> know(static_cast<std::size_t>(n));
+  for (int r = 0; r < n; ++r) know[static_cast<std::size_t>(r)].insert(r);
+  for (const auto& step : sched.transfers_by_step()) {
+    const auto before = know;
+    for (int ti : step) {
+      const Transfer& t = sched.transfers[static_cast<std::size_t>(ti)];
+      const auto& src_know = before[static_cast<std::size_t>(t.src)];
+      know[static_cast<std::size_t>(t.dst)].insert(src_know.begin(),
+                                                   src_know.end());
+    }
+  }
+  for (int r = 0; r < n; ++r) {
+    if (static_cast<int>(know[static_cast<std::size_t>(r)].size()) != n) {
+      std::ostringstream err;
+      err << "Barrier: rank " << r << " has not observed all ranks";
+      return fail(err.str());
+    }
+  }
+  return {};
+}
+
+}  // namespace
+
+VerifyReport verify_schedule(const CollectiveSchedule& sched) {
+  ensure(sched.n_ranks >= 1, "verify_schedule: empty group");
+  ensure(sched.n_ranks <= 256,
+         "verify_schedule: model limited to 256 ranks (O(n^3) memory)");
+  if (sched.n_ranks == 1) return {};
+  switch (sched.type) {
+    case CollectiveType::kAllToAll:
+      return verify_all_to_all(sched);
+    case CollectiveType::kBarrier:
+      return verify_barrier(sched);
+    default:
+      return verify_chunked(sched);
+  }
+}
+
+}  // namespace opus::collective

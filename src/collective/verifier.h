@@ -1,0 +1,28 @@
+// Symbolic schedule verifier.
+//
+// Executes a CollectiveSchedule's transfers over an abstract data model —
+// per-rank, per-chunk contribution counts — and checks the collective's
+// postcondition: every rank ends with exactly the data the collective
+// promises, with every contribution counted exactly once (catching both
+// missing data and double-counted partial sums). Timing-independent: the
+// model applies steps atomically with snapshot semantics, so simultaneous
+// pairwise exchanges are handled correctly.
+#pragma once
+
+#include <string>
+
+#include "collective/schedule.h"
+
+namespace opus::collective {
+
+struct VerifyReport {
+  bool ok = true;
+  std::string error;  ///< empty when ok
+};
+
+/// Verifies that `sched` implements its collective's semantics.
+/// Supported for every schedule the planner produces. Group sizes above 256
+/// are rejected (the model is O(n^3) memory).
+VerifyReport verify_schedule(const CollectiveSchedule& sched);
+
+}  // namespace opus::collective

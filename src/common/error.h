@@ -1,0 +1,21 @@
+// Invariant checking. `ensure` throws on violation so tests can assert on
+// misuse; it is used for API-contract checks, not for recoverable errors.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace opus {
+
+/// Error thrown when a library invariant or API precondition is violated.
+class InvariantError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// Throws InvariantError with `message` when `condition` is false.
+inline void ensure(bool condition, const std::string& message) {
+  if (!condition) throw InvariantError(message);
+}
+
+}  // namespace opus

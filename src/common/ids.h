@@ -1,0 +1,55 @@
+// Strong ID types. Each entity kind gets its own incompatible integer wrapper
+// so a rail index can never be passed where a GPU rank is expected.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+
+namespace opus {
+
+/// Strongly-typed integer identifier; `Tag` makes distinct instantiations
+/// incompatible. Value -1 means "invalid / unset".
+template <class Tag>
+struct Id {
+  std::int32_t v = -1;
+
+  constexpr Id() = default;
+  constexpr explicit Id(std::int32_t value) : v(value) {}
+
+  constexpr bool valid() const { return v >= 0; }
+  constexpr std::int32_t value() const { return v; }
+
+  friend constexpr bool operator==(Id, Id) = default;
+  friend constexpr auto operator<=>(Id, Id) = default;
+};
+
+/// Global GPU rank across the whole cluster (0 .. N-1).
+using GpuId = Id<struct GpuTag>;
+/// A scale-up (NVLink) domain, i.e. one DGX/HGX node.
+using NodeId = Id<struct NodeTag>;
+/// A rail index == the local rank of the GPUs it connects (0 .. k-1).
+using RailId = Id<struct RailTag>;
+/// A physical port on an OCS or electrical switch.
+using PortId = Id<struct PortTag>;
+/// A unidirectional fluid link in the network model.
+using LinkId = Id<struct LinkTag>;
+/// An active flow in the fluid network.
+using FlowId = Id<struct FlowTag>;
+/// A communication group (one parallelism dimension's ranks).
+using GroupId = Id<struct GroupTag>;
+/// A node in a training-iteration DAG.
+using OpId = Id<struct OpTag>;
+/// A cancellable event in the simulator.
+using EventId = Id<struct EventTag>;
+
+}  // namespace opus
+
+namespace std {
+template <class Tag>
+struct hash<opus::Id<Tag>> {
+  size_t operator()(opus::Id<Tag> id) const noexcept {
+    return std::hash<std::int32_t>{}(id.v);
+  }
+};
+}  // namespace std

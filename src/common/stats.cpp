@@ -1,0 +1,95 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace opus {
+
+void SummaryStats::add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  sum_sq_ += x * x;
+}
+
+double SummaryStats::mean() const {
+  ensure(count_ > 0, "SummaryStats::mean on empty stats");
+  return sum_ / static_cast<double>(count_);
+}
+
+double SummaryStats::min() const {
+  ensure(count_ > 0, "SummaryStats::min on empty stats");
+  return min_;
+}
+
+double SummaryStats::max() const {
+  ensure(count_ > 0, "SummaryStats::max on empty stats");
+  return max_;
+}
+
+double SummaryStats::stddev() const {
+  if (count_ < 2) return 0.0;
+  const double n = static_cast<double>(count_);
+  const double var = (sum_sq_ - sum_ * sum_ / n) / (n - 1.0);
+  return var > 0.0 ? std::sqrt(var) : 0.0;
+}
+
+void Cdf::add(double x) {
+  samples_.push_back(x);
+  sorted_ = false;
+}
+
+void Cdf::add_all(const std::vector<double>& xs) {
+  samples_.insert(samples_.end(), xs.begin(), xs.end());
+  sorted_ = false;
+}
+
+void Cdf::sort_if_needed() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double Cdf::fraction_at_or_below(double x) const {
+  if (samples_.empty()) return 0.0;
+  sort_if_needed();
+  const auto it = std::upper_bound(samples_.begin(), samples_.end(), x);
+  return static_cast<double>(it - samples_.begin()) /
+         static_cast<double>(samples_.size());
+}
+
+double Cdf::quantile(double q) const {
+  ensure(!samples_.empty(), "Cdf::quantile on empty CDF");
+  ensure(q >= 0.0 && q <= 1.0, "Cdf::quantile requires q in [0,1]");
+  sort_if_needed();
+  if (q <= 0.0) return samples_.front();
+  // Nearest-rank definition: smallest value with F(x) >= q.
+  const auto n = samples_.size();
+  auto rank = static_cast<std::size_t>(std::ceil(q * static_cast<double>(n)));
+  if (rank == 0) rank = 1;
+  if (rank > n) rank = n;
+  return samples_[rank - 1];
+}
+
+std::vector<std::pair<double, double>> Cdf::evaluate(
+    const std::vector<double>& points) const {
+  std::vector<std::pair<double, double>> out;
+  out.reserve(points.size());
+  for (double p : points) out.emplace_back(p, fraction_at_or_below(p));
+  return out;
+}
+
+const std::vector<double>& Cdf::sorted_samples() const {
+  sort_if_needed();
+  return samples_;
+}
+
+}  // namespace opus

@@ -1,0 +1,60 @@
+// Summary statistics and empirical CDFs for window-size analysis (Fig. 4) and
+// iteration-time reporting.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace opus {
+
+/// Streaming summary statistics (count / mean / min / max / stddev).
+class SummaryStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return count_; }
+  double mean() const;
+  double min() const;
+  double max() const;
+  /// Sample standard deviation (n-1 denominator); 0 for fewer than 2 samples.
+  double stddev() const;
+  double sum() const { return sum_; }
+
+ private:
+  std::size_t count_ = 0;
+  double sum_ = 0.0;
+  double sum_sq_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Empirical CDF over a sample set.
+class Cdf {
+ public:
+  void add(double x);
+  void add_all(const std::vector<double>& xs);
+
+  std::size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+
+  /// Fraction of samples <= x.
+  double fraction_at_or_below(double x) const;
+  /// Value at quantile q in [0, 1] (nearest-rank). Requires non-empty.
+  double quantile(double q) const;
+  double median() const { return quantile(0.5); }
+
+  /// Evaluates the CDF at each of `points`, returning (x, F(x)) pairs —
+  /// the series plotted in Fig. 4(a).
+  std::vector<std::pair<double, double>> evaluate(
+      const std::vector<double>& points) const;
+
+  /// All samples in ascending order.
+  const std::vector<double>& sorted_samples() const;
+
+ private:
+  void sort_if_needed() const;
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+};
+
+}  // namespace opus

@@ -1,0 +1,38 @@
+// Plain-text table rendering and CSV export, used by the bench binaries to
+// print paper-style tables and figure series.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace opus {
+
+/// A simple column-aligned text table.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Adds a row; must have the same arity as the headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders the table with aligned columns and a header separator.
+  std::string render() const;
+
+  /// Renders as CSV (no alignment padding).
+  std::string to_csv() const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `precision` fractional digits.
+std::string fmt_double(double v, int precision = 2);
+/// Formats a large count with thousands separators, e.g. 20736 -> "20,736".
+std::string fmt_count(std::int64_t v);
+/// Formats a dollar amount, e.g. 1.25e7 -> "$12,500,000".
+std::string fmt_dollars(double v);
+
+}  // namespace opus

@@ -1,0 +1,41 @@
+#include "common/units.h"
+
+#include <iomanip>
+#include <sstream>
+
+namespace opus {
+
+std::string format_time(TimeNs t) {
+  std::ostringstream os;
+  os << std::fixed;
+  const double abs_t = t < 0 ? -static_cast<double>(t) : static_cast<double>(t);
+  if (abs_t >= kNsPerSec) {
+    os << std::setprecision(3) << to_sec(t) << "s";
+  } else if (abs_t >= kNsPerMs) {
+    os << std::setprecision(3) << to_ms(t) << "ms";
+  } else if (abs_t >= kNsPerUs) {
+    os << std::setprecision(3) << static_cast<double>(t) / kNsPerUs << "us";
+  } else {
+    os << t << "ns";
+  }
+  return os.str();
+}
+
+std::string format_bytes(Bytes b) {
+  std::ostringstream os;
+  os << std::fixed;
+  const double v = static_cast<double>(b);
+  // Decimal units to match the paper's MB figures (e.g. 957MB, 3829MB).
+  if (v >= 1e9) {
+    os << std::setprecision(2) << v / 1e9 << "GB";
+  } else if (v >= 1e6) {
+    os << std::setprecision(1) << v / 1e6 << "MB";
+  } else if (v >= 1e3) {
+    os << std::setprecision(1) << v / 1e3 << "KB";
+  } else {
+    os << b << "B";
+  }
+  return os.str();
+}
+
+}  // namespace opus

@@ -1,0 +1,150 @@
+#include "core/circuit_planner.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/error.h"
+
+namespace opus::core {
+
+std::vector<PortId> CircuitPlanner::ports_of(const RailCircuits& rc) {
+  std::set<PortId> ports;
+  for (const net::CircuitRequest& c : rc.circuits) {
+    ports.insert(c.a);
+    ports.insert(c.b);
+  }
+  return {ports.begin(), ports.end()};
+}
+
+std::vector<CircuitPlanner::RailEdge> CircuitPlanner::lower_edges(
+    const collective::CommGroup& group,
+    const std::vector<std::pair<int, int>>& peer_pairs) const {
+  std::set<std::tuple<int, int, int>> edges;  // (rail, node_lo, node_hi)
+  for (const auto& [si, di] : peer_pairs) {
+    const GpuId src = group.ranks[static_cast<std::size_t>(si)];
+    const GpuId dst = group.ranks[static_cast<std::size_t>(di)];
+    if (cluster_.same_node(src, dst)) continue;  // scale-up, no circuit
+    const int src_local = cluster_.local_rank(src);
+    const int dst_local = cluster_.local_rank(dst);
+    const int node_src = cluster_.node_of(src).value();
+    const int node_dst = cluster_.node_of(dst).value();
+    if (src_local == dst_local) {
+      edges.emplace(src_local, std::min(node_src, node_dst),
+                    std::max(node_src, node_dst));
+    } else {
+      // PXN: NVLink to the bridge GPU on src's node that shares dst's rail,
+      // then a circuit bridge-node -> dst-node on dst's rail.
+      edges.emplace(dst_local, std::min(node_src, node_dst),
+                    std::max(node_src, node_dst));
+    }
+  }
+  std::vector<RailEdge> out;
+  out.reserve(edges.size());
+  for (const auto& [rail, a, b] : edges) out.push_back(RailEdge{rail, a, b});
+  return out;
+}
+
+void CircuitPlanner::set_dim_stripe_limit(collective::ParallelismDim dim,
+                                          int limit) {
+  ensure(limit >= 1, "stripe limit must be >= 1");
+  dim_stripe_limit_[dim] = limit;
+}
+
+int CircuitPlanner::stripe_limit_for(collective::ParallelismDim dim) const {
+  const auto it = dim_stripe_limit_.find(dim);
+  return it == dim_stripe_limit_.end() ? cluster_.config().nic_ports
+                                       : it->second;
+}
+
+std::optional<std::vector<RailCircuits>> CircuitPlanner::assign_ports(
+    const std::vector<RailEdge>& edges, int stripe_limit) const {
+  const int n_ports = cluster_.config().nic_ports;
+
+  // Group edges per rail and compute node degrees.
+  std::map<int, std::vector<RailEdge>> by_rail;
+  for (const RailEdge& e : edges) by_rail[e.rail].push_back(e);
+
+  std::vector<RailCircuits> out;
+  for (auto& [rail, rail_edges] : by_rail) {
+    const auto& sw = cluster_.ocs(RailId{rail});
+    // Per-node port budget, skipping failed ports (LUMION-style recovery:
+    // circuits re-plan onto the surviving ports).
+    auto healthy_ports = [&](int node) {
+      const GpuId g = cluster_.gpu_at(NodeId{node}, rail);
+      int healthy = 0;
+      for (int p = 0; p < n_ports; ++p) {
+        if (!sw.failed(cluster_.ocs_port(g, p))) ++healthy;
+      }
+      return healthy;
+    };
+
+    std::map<int, int> degree;
+    for (const RailEdge& e : rail_edges) {
+      ++degree[e.node_a];
+      ++degree[e.node_b];
+    }
+    int min_budget = n_ports;
+    int max_degree = 0;
+    for (const auto& [node, d] : degree) {
+      max_degree = std::max(max_degree, d);
+      if (d > healthy_ports(node)) return std::nullopt;  // C1/C3 violation
+      min_budget = std::min(min_budget, healthy_ports(node));
+    }
+
+    // Striping: replicate every edge while all endpoints have ports left,
+    // capped by the dimension's stripe limit.
+    const int stripes =
+        std::min(stripe_limit,
+                 std::max(1, min_budget / std::max(max_degree, 1)));
+
+    RailCircuits rc;
+    rc.rail = RailId{rail};
+    std::map<int, int> next_port;  // node -> next candidate NIC port
+    auto alloc_port = [&](int node) {
+      const GpuId g = cluster_.gpu_at(NodeId{node}, rail);
+      int& cursor = next_port[node];
+      while (cursor < n_ports &&
+             sw.failed(cluster_.ocs_port(g, cursor))) {
+        ++cursor;
+      }
+      ensure(cursor < n_ports,
+             "circuit planner: port budget exceeded during striping");
+      return cluster_.ocs_port(g, cursor++);
+    };
+    for (const RailEdge& e : rail_edges) {
+      for (int s = 0; s < stripes; ++s) {
+        rc.circuits.push_back(
+            net::CircuitRequest{alloc_port(e.node_a), alloc_port(e.node_b)});
+      }
+    }
+    out.push_back(std::move(rc));
+  }
+  return out;
+}
+
+std::optional<std::vector<RailCircuits>> CircuitPlanner::plan_static(
+    const collective::CommGroup& group,
+    const collective::CollectiveSchedule& sched) const {
+  ensure(cluster_.photonic(), "circuit planner requires photonic rails");
+  return assign_ports(lower_edges(group, sched.peer_pairs()),
+                      stripe_limit_for(group.dim));
+}
+
+std::vector<RailCircuits> CircuitPlanner::plan_step(
+    const collective::CommGroup& group,
+    const collective::CollectiveSchedule& sched, int step) const {
+  ensure(cluster_.photonic(), "circuit planner requires photonic rails");
+  std::set<std::pair<int, int>> pairs;
+  for (const collective::Transfer& t : sched.transfers) {
+    if (t.step == step) pairs.emplace(t.src, t.dst);
+  }
+  auto plan = assign_ports(lower_edges(group, {pairs.begin(), pairs.end()}),
+                           stripe_limit_for(group.dim));
+  ensure(plan.has_value(),
+         "circuit planner: a single step exceeds the NIC port budget; the "
+         "algorithm chooser must fall back to a lower-degree algorithm (C1)");
+  return *plan;
+}
+
+}  // namespace opus::core

@@ -1,0 +1,104 @@
+// Opus controller (Fig. 6 of the paper).
+//
+// Receives reconfiguration requests (communication group -> circuit layout),
+// maintains the communication-group table and per-rail port ownership, and
+// programs the rail OCSes. Scheduling policy per §4:
+//
+//  - FC-FS: requests are served in arrival order within any overlapping
+//    port domain; requests touching disjoint ports proceed concurrently
+//    (fine-grained per-group reconfiguration, §5);
+//  - conflict avoidance: a reconfiguration only executes once the groups
+//    currently owning the requested ports have no collective in flight —
+//    i.e. after the completion of the previous communication kernel;
+//  - idempotence: a request whose circuits are already live acks
+//    immediately without touching the switch (the circuit lookup table).
+//
+// The controller also models a small control-plane round trip (shim ->
+// controller -> OCS -> ack) added to every non-cached request.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/units.h"
+#include "core/circuit_planner.h"
+#include "net/cluster.h"
+#include "sim/simulator.h"
+
+namespace opus::core {
+
+class OpusController {
+ public:
+  struct Config {
+    /// Control-plane round trip (request + ack over the host network).
+    TimeNs control_rtt = usecs(30);
+    /// Fine-grained per-group reconfiguration; when false the whole rail is
+    /// one lock (the coarse-grained ablation of §5).
+    bool fine_grained = true;
+  };
+
+  struct Stats {
+    int requests = 0;
+    /// Requests whose circuits were already live (lookup-table hits).
+    int satisfied_immediately = 0;
+    /// Requests that caused at least one OCS reconfiguration.
+    int reconfigurations = 0;
+    /// Requests that had to queue behind a busy port owner.
+    int queued = 0;
+    /// Sum of (ack time - request time) over all requests.
+    TimeNs total_wait = 0;
+    /// Max over requests of (ack time - request time).
+    TimeNs max_wait = 0;
+  };
+
+  OpusController(sim::Simulator& sim, net::Cluster& cluster, Config cfg);
+  OpusController(sim::Simulator& sim, net::Cluster& cluster)
+      : OpusController(sim, cluster, Config{}) {}
+
+  /// Requests the circuits in `layout` on behalf of `group`; `on_ack` fires
+  /// once every circuit is live. Requests from the port-owning group itself
+  /// bypass the in-flight check (step-synchronous schedules reconfigure
+  /// between their own steps).
+  void request(GroupId group, const std::vector<RailCircuits>& layout,
+               std::function<void()> on_ack);
+
+  /// Collective activity notifications from the shim: the controller defers
+  /// preempting a group's ports while it has kernels in flight.
+  void group_activity(GroupId group, int delta);
+
+  const Stats& stats() const { return stats_; }
+  /// Current owner of a rail port (invalid GroupId when free).
+  GroupId port_owner(RailId rail, PortId port) const;
+
+ private:
+  struct Job {
+    GroupId group;
+    std::vector<RailCircuits> layout;
+    std::function<void()> on_ack;
+    TimeNs requested_at = 0;
+    bool counted_queued = false;
+  };
+
+  /// True if the job can execute now (no conflicting owner busy, no touched
+  /// port mid-reconfiguration).
+  bool executable(const Job& job) const;
+  void execute(Job job);
+  void pump();
+  void finish(TimeNs requested_at, const std::function<void()>& on_ack);
+
+  sim::Simulator& sim_;
+  net::Cluster& cluster_;
+  Config cfg_;
+  Stats stats_;
+  // owner_[rail][port] = owning group (invalid = free).
+  std::vector<std::vector<GroupId>> owner_;
+  std::map<GroupId, int> active_;  ///< in-flight collectives per group
+  std::deque<Job> queue_;
+  bool pumping_ = false;
+};
+
+}  // namespace opus::core

@@ -1,0 +1,109 @@
+#include "core/experiment.h"
+
+#include <numeric>
+
+#include "common/error.h"
+#include "core/static_ring.h"
+
+namespace opus::core {
+
+ExperimentConfig perlmutter_llama3_8b_config() {
+  ExperimentConfig cfg;
+  cfg.model = workload::ModelConfig::llama3_8b();
+  cfg.parallelism.tp = 4;
+  cfg.parallelism.dp = 2;
+  cfg.parallelism.pp = 2;
+  cfg.parallelism.fsdp = true;
+  cfg.parallelism.n_microbatches = 8;
+  cfg.parallelism.microbatch_size = 2;
+  cfg.gpus_per_node = 4;
+  cfg.gpu = workload::GpuSpec::a100();
+  // Calibrated against §3.1: ~10 s iterations, ~1 s cool-down backward per
+  // stage (the window preceding the ReduceScatter phase in Fig. 4).
+  cfg.mfu = 0.20;
+  cfg.activation_recompute = true;
+  return cfg;
+}
+
+ExperimentResult run_experiment(const ExperimentConfig& config) {
+  config.parallelism.validate();
+  const int world = config.parallelism.world_size();
+  ensure(world % config.gpus_per_node == 0,
+         "experiment: world size must fill whole nodes");
+
+  sim::Simulator sim;
+
+  net::ClusterConfig ncfg;
+  ncfg.n_nodes = world / config.gpus_per_node;
+  ncfg.gpus_per_node = config.gpus_per_node;
+  ncfg.nic_ports = config.nic_ports;
+  ncfg.nic_total_bw = config.nic_total_bw;
+  ncfg.nvlink_bw = config.nvlink_bw;
+  ncfg.rail_kind = config.rail_kind;
+  ncfg.ocs_reconfig_delay = config.ocs_reconfig_delay;
+  ncfg.mgmt_bw = config.mgmt_bw;
+  ncfg.allow_rail_multihop = config.static_ring_topology;
+  net::Cluster cluster(sim, ncfg);
+
+  workload::RankMapper mapper(config.parallelism, config.gpus_per_node);
+  workload::ComputeModel compute(config.gpu, config.mfu,
+                                 config.activation_recompute);
+  workload::IterationOptions iter_opts = config.iteration;
+  iter_opts.nvlink_bw = config.nvlink_bw;
+  const workload::IterationDag dag = workload::build_training_iteration(
+      config.model, config.parallelism, mapper, compute, iter_opts);
+
+  auto recorder =
+      std::make_shared<trace::TraceRecorder>(config.record_compute_trace);
+
+  std::unique_ptr<collective::Transport> transport;
+  OpusTransport* opus = nullptr;
+  if (config.rail_kind == net::RailKind::kPhotonic &&
+      config.static_ring_topology) {
+    transport = std::make_unique<StaticRingTransport>(cluster);
+  } else if (config.rail_kind == net::RailKind::kPhotonic) {
+    OpusTransport::Options opts;
+    opts.provisioning = config.provisioning;
+    opts.mgmt_offload_threshold = config.mgmt_offload_threshold;
+    opts.pipeline_stages = config.parallelism.pp;
+    auto t = std::make_unique<OpusTransport>(sim, cluster, opts);
+    opus = t.get();
+    transport = std::move(t);
+  } else {
+    transport = std::make_unique<collective::DirectTransport>(cluster);
+  }
+
+  workload::IterationEngine engine(sim, cluster, *transport, recorder.get(),
+                                   config.engine);
+  ExperimentResult result;
+  result.iteration_times =
+      engine.run_to_completion(dag, config.iterations);
+  result.recorder = std::move(recorder);
+
+  if (result.iteration_times.size() > 1) {
+    const auto begin = result.iteration_times.begin() + 1;
+    const TimeNs sum = std::accumulate(begin, result.iteration_times.end(),
+                                       static_cast<TimeNs>(0));
+    result.steady_iteration_time =
+        sum / static_cast<TimeNs>(result.iteration_times.size() - 1);
+  } else {
+    result.steady_iteration_time = result.iteration_times.front();
+  }
+
+  if (opus != nullptr) {
+    result.ocs_reconfigurations = opus->total_ocs_reconfigurations();
+    result.ocs_dark_time = opus->total_dark_time();
+    result.controller = opus->controller().stats();
+    result.shim_speculative_requests = opus->shim().speculative_requests();
+    result.shim_mispredictions = opus->shim().mispredictions();
+  }
+  result.rail_bytes = cluster.bytes_on_route(net::Cluster::Route::kRail);
+  result.scale_up_bytes = cluster.bytes_on_route(net::Cluster::Route::kScaleUp);
+  result.pxn_bytes = cluster.bytes_on_route(net::Cluster::Route::kPxn);
+  result.mgmt_bytes = cluster.bytes_on_route(net::Cluster::Route::kMgmt);
+  result.multihop_bytes =
+      cluster.bytes_on_route(net::Cluster::Route::kRailMultiHop);
+  return result;
+}
+
+}  // namespace opus::core

@@ -1,0 +1,77 @@
+// End-to-end experiment harness: build a cluster + workload, run N training
+// iterations, collect iteration times, traces, and reconfiguration
+// statistics. Shared by the tests, the examples, and every figure bench.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "collective/transport.h"
+#include "core/opus_transport.h"
+#include "net/cluster.h"
+#include "sim/simulator.h"
+#include "trace/recorder.h"
+#include "workload/compute_model.h"
+#include "workload/engine.h"
+#include "workload/iteration.h"
+#include "workload/model_config.h"
+#include "workload/parallelism.h"
+
+namespace opus::core {
+
+struct ExperimentConfig {
+  workload::ModelConfig model = workload::ModelConfig::llama3_8b();
+  workload::ParallelismConfig parallelism;
+  /// Scale-up domain size; world_size must be a whole number of nodes.
+  int gpus_per_node = 4;
+
+  net::RailKind rail_kind = net::RailKind::kPhotonic;
+  /// Photonic only: wire a fixed pre-job ring per rail and never
+  /// reconfigure (TPUv4-style baseline); non-neighbour traffic multi-hops.
+  bool static_ring_topology = false;
+  int nic_ports = 2;
+  Bandwidth nic_total_bw = Bandwidth::gbps(400);
+  Bandwidth nvlink_bw = Bandwidth::gbps(2400);
+  TimeNs ocs_reconfig_delay = msecs(15);
+  Bandwidth mgmt_bw = Bandwidth::gbps(0);
+
+  workload::GpuSpec gpu = workload::GpuSpec::a100();
+  double mfu = 0.35;
+  bool activation_recompute = true;
+
+  workload::IterationOptions iteration;
+  workload::IterationEngine::Options engine;
+  bool provisioning = true;
+  Bytes mgmt_offload_threshold = 0;
+  int iterations = 3;
+  /// Drop per-compute-span records (saves memory on large runs).
+  bool record_compute_trace = true;
+};
+
+struct ExperimentResult {
+  std::vector<TimeNs> iteration_times;
+  /// Mean iteration time excluding iteration 0 (Opus profiles there).
+  TimeNs steady_iteration_time = 0;
+  int ocs_reconfigurations = 0;
+  TimeNs ocs_dark_time = 0;
+  OpusController::Stats controller;
+  int shim_speculative_requests = 0;
+  int shim_mispredictions = 0;
+  std::shared_ptr<trace::TraceRecorder> recorder;
+  /// Bytes moved per route class (scale-up / rail / PXN / mgmt).
+  Bytes rail_bytes = 0;
+  Bytes scale_up_bytes = 0;
+  Bytes pxn_bytes = 0;
+  Bytes mgmt_bytes = 0;
+  /// Logical bytes that needed multi-hop forwarding (static topologies).
+  Bytes multihop_bytes = 0;
+};
+
+/// Builds and runs the experiment to completion.
+ExperimentResult run_experiment(const ExperimentConfig& config);
+
+/// The paper's §3.1 trace workload: Llama3-8B, TP=4 (intra-node), FSDP=2,
+/// PP=2, 1F1B, microbatch size 2, on 4 nodes x 4 A100.
+ExperimentConfig perlmutter_llama3_8b_config();
+
+}  // namespace opus::core

@@ -1,0 +1,163 @@
+#include "core/rotor.h"
+
+#include "common/error.h"
+
+namespace opus::core {
+
+RotorTransport::RotorTransport(sim::Simulator& sim, net::Cluster& cluster,
+                               Options options)
+    : sim_(sim), cluster_(cluster), options_(options) {
+  ensure(cluster_.photonic(), "RotorTransport requires photonic rails");
+  ensure(cluster_.n_nodes() >= 2, "rotor needs at least two nodes");
+  ensure(options_.slot_time > 0, "rotor slot time must be positive");
+  const int m =
+      cluster_.n_nodes() % 2 == 0 ? cluster_.n_nodes() : cluster_.n_nodes() + 1;
+  n_rounds_ = m - 1;
+  rails_.resize(static_cast<std::size_t>(cluster_.n_rails()));
+  for (int rail = 0; rail < cluster_.n_rails(); ++rail) {
+    cluster_.ocs(RailId{rail}).force_circuits(matching_circuits(rail, 0));
+    start_round(rail);
+  }
+}
+
+std::vector<std::pair<int, int>> RotorTransport::matching(int n,
+                                                          int round) const {
+  // Circle method round-robin tournament. For odd n a virtual node (id n)
+  // gives its partner a bye.
+  const int m = n % 2 == 0 ? n : n + 1;
+  std::vector<std::pair<int, int>> pairs;
+  auto emit = [&](int a, int b) {
+    if (a < n && b < n) pairs.emplace_back(a, b);
+  };
+  // Fix player m-1; rotate the rest.
+  emit((round % (m - 1)), m - 1);
+  for (int i = 1; i < m / 2; ++i) {
+    const int a = (round + i) % (m - 1);
+    const int b = (round - i + (m - 1)) % (m - 1);
+    emit(a, b);
+  }
+  return pairs;
+}
+
+std::vector<net::CircuitRequest> RotorTransport::matching_circuits(
+    int rail, int round) const {
+  std::vector<net::CircuitRequest> circuits;
+  for (const auto& [a, b] : matching(cluster_.n_nodes(), round)) {
+    const GpuId ga = cluster_.gpu_at(NodeId{a}, rail);
+    const GpuId gb = cluster_.gpu_at(NodeId{b}, rail);
+    // One peer per matching: stripe across every NIC port.
+    for (int p = 0; p < cluster_.config().nic_ports; ++p) {
+      circuits.push_back(
+          {cluster_.ocs_port(ga, p), cluster_.ocs_port(gb, p)});
+    }
+  }
+  return circuits;
+}
+
+int RotorTransport::current_round(RailId rail) const {
+  ensure(rail.valid() && rail.value() < cluster_.n_rails(), "invalid rail");
+  return rails_[static_cast<std::size_t>(rail.value())].round;
+}
+
+void RotorTransport::start_round(int rail) {
+  RailState& state = rails_[static_cast<std::size_t>(rail)];
+  if (state.in_flight == 0 && state.waiting.empty()) {
+    state.timer_armed = false;  // idle: freeze until the next send
+    return;
+  }
+  state.timer_armed = true;
+  sim_.schedule_after(options_.slot_time, [this, rail] { on_slot_end(rail); });
+}
+
+void RotorTransport::on_slot_end(int rail) {
+  RailState& state = rails_[static_cast<std::size_t>(rail)];
+  state.timer_armed = false;
+  if (state.in_flight > 0) {
+    state.drain_pending = true;  // guard band: rotate once flows drain
+    return;
+  }
+  if (state.waiting.empty()) return;  // idle: freeze on this matching
+  rotate(rail);
+}
+
+void RotorTransport::rotate(int rail) {
+  RailState& state = rails_[static_cast<std::size_t>(rail)];
+  state.drain_pending = false;
+  state.rotating = true;
+  const int next = (state.round + 1) % n_rounds_;
+  ++rotations_;
+  cluster_.ocs(RailId{rail}).reconfigure(
+      matching_circuits(rail, next), [this, rail, next] {
+        RailState& st = rails_[static_cast<std::size_t>(rail)];
+        st.rotating = false;
+        st.round = next;
+        flush_waiting(rail);
+        start_round(rail);
+      });
+}
+
+bool RotorTransport::pair_connected_now(int rail, GpuId src,
+                                        GpuId dst) const {
+  (void)rail;
+  // Cross-rank sends ride the destination's rail from the PXN bridge GPU.
+  const GpuId from =
+      cluster_.local_rank(src) == cluster_.local_rank(dst)
+          ? src
+          : cluster_.gpu_at(cluster_.node_of(src), cluster_.local_rank(dst));
+  return cluster_.rail_path_available(from, dst);
+}
+
+void RotorTransport::launch(int rail, PendingSend send) {
+  RailState& state = rails_[static_cast<std::size_t>(rail)];
+  ++state.in_flight;
+  cluster_.transfer(
+      send.src, send.dst, send.bytes,
+      [this, rail, done = std::move(send.done)] {
+        RailState& st = rails_[static_cast<std::size_t>(rail)];
+        --st.in_flight;
+        if (done) done();
+        if (st.drain_pending && st.in_flight == 0) rotate(rail);
+      });
+}
+
+void RotorTransport::flush_waiting(int rail) {
+  RailState& state = rails_[static_cast<std::size_t>(rail)];
+  std::deque<PendingSend> still_waiting;
+  while (!state.waiting.empty()) {
+    PendingSend send = std::move(state.waiting.front());
+    state.waiting.pop_front();
+    if (pair_connected_now(rail, send.src, send.dst)) {
+      launch(rail, std::move(send));
+    } else {
+      still_waiting.push_back(std::move(send));
+    }
+  }
+  state.waiting = std::move(still_waiting);
+}
+
+void RotorTransport::send(const collective::CommGroup& group, GpuId src,
+                          GpuId dst, Bytes bytes,
+                          std::function<void()> done) {
+  (void)group;
+  if (src == dst || cluster_.same_node(src, dst)) {
+    cluster_.transfer(src, dst, bytes, std::move(done));
+    return;
+  }
+  // The rail that will carry the traffic (the destination's rail for PXN).
+  const int rail = cluster_.local_rank(dst);
+  RailState& state = rails_[static_cast<std::size_t>(rail)];
+  PendingSend pending{src, dst, bytes, std::move(done)};
+  if (!state.rotating && !state.drain_pending &&
+      pair_connected_now(rail, src, dst)) {
+    launch(rail, std::move(pending));
+    if (!state.timer_armed) start_round(rail);  // wake the slot clock
+    return;
+  }
+  ++deferred_;
+  state.waiting.push_back(std::move(pending));
+  if (!state.timer_armed && !state.rotating && !state.drain_pending) {
+    start_round(rail);  // wake the rotor so the matching eventually arrives
+  }
+}
+
+}  // namespace opus::core

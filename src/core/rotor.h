@@ -1,0 +1,103 @@
+// RotorNet-style traffic-oblivious rotor transport — the §3 contrast case.
+//
+// Prior reconfigurable datacenter fabrics (RotorNet [38], Shale [2], Sirius
+// [3]) rotate each switch through a fixed cycle of matchings regardless of
+// demand; traffic waits for the matching that connects its endpoints. The
+// paper argues this is "poorly suited to the repetitive and high-volume
+// collective communication patterns of ML workloads" — this transport makes
+// that claim testable: the same collectives run over a rotor fabric and over
+// Opus's demand-driven reconfiguration (bench_ablation_rotor).
+//
+// Model: every rail cycles through the n-1 round-robin (circle method)
+// perfect matchings of its n nodes. Each matching stays up for `slot_time`,
+// then the rail reconfigures (paying the OCS delay) to the next one.
+// Rotation defers until in-flight transfers drain (guard bands). A send
+// waits until the live matching connects its pair.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "collective/transport.h"
+#include "net/cluster.h"
+#include "sim/simulator.h"
+
+namespace opus::core {
+
+class RotorTransport final : public collective::Transport {
+ public:
+  struct Options {
+    /// How long each matching carries traffic before rotating.
+    TimeNs slot_time = msecs(1);
+  };
+
+  RotorTransport(sim::Simulator& sim, net::Cluster& cluster, Options options);
+  RotorTransport(sim::Simulator& sim, net::Cluster& cluster)
+      : RotorTransport(sim, cluster, Options{}) {}
+
+  // ---- collective::Transport -----------------------------------------------
+  void prepare_collective(const collective::CommGroup&,
+                          const collective::CollectiveSchedule&,
+                          std::function<void()> ready) override {
+    ready();  // the rotor ignores demand
+  }
+  bool needs_per_step_preparation(
+      const collective::CommGroup&,
+      const collective::CollectiveSchedule&) const override {
+    return false;
+  }
+  void prepare_step(const collective::CommGroup&,
+                    const collective::CollectiveSchedule&, int,
+                    std::function<void()> ready) override {
+    ready();
+  }
+  void send(const collective::CommGroup& group, GpuId src, GpuId dst,
+            Bytes bytes, std::function<void()> done) override;
+
+  /// Rounds completed across all rails (diagnostics).
+  int rotations() const { return rotations_; }
+  /// Sends that had to wait for their matching.
+  int deferred_sends() const { return deferred_; }
+  int current_round(RailId rail) const;
+
+ private:
+  struct PendingSend {
+    GpuId src;
+    GpuId dst;
+    Bytes bytes;
+    std::function<void()> done;
+  };
+  struct RailState {
+    int round = 0;
+    bool rotating = false;   ///< OCS mid-reconfiguration
+    int in_flight = 0;       ///< transfers on the live matching
+    bool drain_pending = false;  ///< rotation waiting for in_flight == 0
+    /// Slot timer active. The rotor freezes on its current matching when a
+    /// rail is completely idle (no transfers, nothing waiting) so a finite
+    /// workload leaves a finite event queue; the clock re-arms on demand.
+    bool timer_armed = false;
+    std::deque<PendingSend> waiting;
+  };
+
+  /// Circle-method matching `round` for `n` nodes: node pairs.
+  std::vector<std::pair<int, int>> matching(int n, int round) const;
+  std::vector<net::CircuitRequest> matching_circuits(int rail,
+                                                     int round) const;
+  void start_round(int rail);
+  void on_slot_end(int rail);
+  void rotate(int rail);
+  void flush_waiting(int rail);
+  bool pair_connected_now(int rail, GpuId src, GpuId dst) const;
+  void launch(int rail, PendingSend send);
+
+  sim::Simulator& sim_;
+  net::Cluster& cluster_;
+  Options options_;
+  std::vector<RailState> rails_;
+  int n_rounds_ = 0;
+  int rotations_ = 0;
+  int deferred_ = 0;
+};
+
+}  // namespace opus::core

@@ -1,0 +1,97 @@
+#include "core/shim.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace opus::core {
+
+GroupId speculative_group_id(collective::ParallelismDim dim) {
+  return GroupId{1'000'000 + static_cast<std::int32_t>(dim)};
+}
+
+void OpusShim::iteration_started(int index) {
+  iteration_ = index;
+  phase_pos_ = 0;
+  phase_completed_ = 0;
+}
+
+void OpusShim::merge_layout(std::vector<RailCircuits>& into,
+                            const std::vector<RailCircuits>& add) const {
+  for (const RailCircuits& rc : add) {
+    auto it = std::find_if(into.begin(), into.end(), [&](const RailCircuits& x) {
+      return x.rail == rc.rail;
+    });
+    if (it == into.end()) {
+      into.push_back(rc);
+      continue;
+    }
+    for (const net::CircuitRequest& c : rc.circuits) {
+      // Keep the merged phase layout conflict-free: drop circuits whose
+      // ports are already committed (first intent wins). Groups whose
+      // circuits were dropped simply reconfigure on demand when their
+      // collective arrives.
+      const bool port_taken = std::any_of(
+          it->circuits.begin(), it->circuits.end(),
+          [&](const net::CircuitRequest& x) {
+            return x.a == c.a || x.b == c.b || x.a == c.b || x.b == c.a;
+          });
+      if (!port_taken) it->circuits.push_back(c);
+    }
+  }
+}
+
+void OpusShim::on_intent(collective::ParallelismDim dim,
+                         const std::vector<RailCircuits>& layout) {
+  if (profiling()) {
+    if (profile_.empty() || profile_.back().dim != dim) {
+      ProfiledPhase p;
+      p.dim = dim;
+      p.layout = layout;
+      p.n_collectives = 1;
+      profile_.push_back(std::move(p));
+    } else {
+      merge_layout(profile_.back().layout, layout);
+      ++profile_.back().n_collectives;
+    }
+    return;
+  }
+  // Replay: track the predicted phase pointer. Deterministic training loops
+  // repeat the same sequence; on mismatch search forward — and wrap around,
+  // since reconfiguration delays can slightly reorder intents relative to
+  // the profiled iteration — before declaring a misprediction (correctness
+  // is unaffected either way: the controller always installs the circuits
+  // the intent actually needs).
+  if (phase_pos_ < profile_.size() && profile_[phase_pos_].dim == dim) {
+    return;
+  }
+  for (std::size_t step = 1; step <= profile_.size(); ++step) {
+    const std::size_t candidate = (phase_pos_ + step) % profile_.size();
+    if (profile_[candidate].dim == dim) {
+      phase_pos_ = candidate;
+      phase_completed_ = 0;
+      return;
+    }
+  }
+  ++mispredictions_;
+}
+
+void OpusShim::on_finished(collective::ParallelismDim dim) {
+  if (profiling() || profile_.empty()) return;
+  if (phase_pos_ >= profile_.size()) return;
+  if (profile_[phase_pos_].dim != dim) return;
+  ++phase_completed_;
+  maybe_speculate();
+}
+
+void OpusShim::maybe_speculate() {
+  if (!provisioning_ || !speculate_) return;
+  const ProfiledPhase& cur = profile_[phase_pos_];
+  if (phase_completed_ < cur.n_collectives) return;
+  const std::size_t next = phase_pos_ + 1;
+  if (next >= profile_.size()) return;
+  ++speculative_requests_;
+  speculate_(speculative_group_id(profile_[next].dim), profile_[next].layout);
+}
+
+}  // namespace opus::core

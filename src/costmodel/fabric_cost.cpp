@@ -1,0 +1,108 @@
+#include "costmodel/fabric_cost.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace opus::costmodel {
+namespace {
+
+int ceil_div(std::int64_t a, std::int64_t b) {
+  return static_cast<int>((a + b - 1) / b);
+}
+
+void add_switches(FabricCost& fc, int n, const CostParams& p) {
+  fc.n_switches += n;
+  fc.switch_cost += n * p.switch_cost;
+  fc.switch_power_w += n * p.switch_power_w;
+}
+
+void add_transceivers_400g(FabricCost& fc, std::int64_t n,
+                           const CostParams& p) {
+  fc.n_transceivers += static_cast<int>(n);
+  fc.transceiver_cost += static_cast<double>(n) * p.transceiver_400g_cost;
+  fc.transceiver_power_w +=
+      static_cast<double>(n) * p.transceiver_400g_power_w;
+}
+
+}  // namespace
+
+FabricCost fat_tree_fabric(int n_gpus, const CostParams& p) {
+  ensure(n_gpus >= 1, "fat_tree_fabric: need GPUs");
+  FabricCost fc;
+  fc.fabric = "Fat-tree";
+  fc.n_gpus = n_gpus;
+  const int half = p.switch_radix / 2;
+  // 3-tier folded Clos at full bisection.
+  const int tier1 = ceil_div(n_gpus, half);           // leaves
+  const std::int64_t t1_up = static_cast<std::int64_t>(tier1) * half;
+  const int tier2 = ceil_div(t1_up, half);            // aggregation
+  const std::int64_t t2_up = static_cast<std::int64_t>(tier2) * half;
+  const int tier3 = ceil_div(t2_up, p.switch_radix);  // core (all ports down)
+  add_switches(fc, tier1 + tier2 + tier3, p);
+  // Links: host->leaf, leaf->agg, agg->core; two optics per link.
+  const std::int64_t links = n_gpus + t1_up + t2_up;
+  add_transceivers_400g(fc, 2 * links, p);
+  return fc;
+}
+
+FabricCost rail_optimized_fabric(int n_gpus, const CostParams& p) {
+  ensure(n_gpus >= p.gpus_per_node, "rail_optimized_fabric: need >= 1 node");
+  FabricCost fc;
+  fc.fabric = "Rail-optimized";
+  fc.n_gpus = n_gpus;
+  const int rails = p.gpus_per_node;
+  const int per_rail = n_gpus / rails;
+  const int half = p.switch_radix / 2;
+  // Leaf tier per rail (half ports down to GPUs, half up to the spine).
+  const int leaves_per_rail = ceil_div(per_rail, half);
+  const std::int64_t uplinks =
+      static_cast<std::int64_t>(rails) * leaves_per_rail * half;
+  // Spine interconnecting the rails (Fig. 1), all ports down.
+  const int spines = ceil_div(uplinks, p.switch_radix);
+  add_switches(fc, rails * leaves_per_rail + spines, p);
+  // Links: host->rail-leaf (N), leaf->spine (uplinks).
+  add_transceivers_400g(fc, 2 * (n_gpus + uplinks), p);
+  return fc;
+}
+
+FabricCost opus_fabric(int n_gpus, const CostParams& p) {
+  ensure(n_gpus >= p.gpus_per_node, "opus_fabric: need >= 1 node");
+  FabricCost fc;
+  fc.fabric = "Opus";
+  fc.n_gpus = n_gpus;
+  const int rails = p.gpus_per_node;
+  const int nodes = n_gpus / rails;
+  // Each node exposes nic_ports OCS ports per rail.
+  const std::int64_t ports_per_rail =
+      static_cast<std::int64_t>(nodes) * p.nic_ports;
+  const int ocs_per_rail = ceil_div(ports_per_rail, p.ocs.radix);
+  fc.n_ocs = rails * ocs_per_rail;
+  // Priced per used port (right-sized OCS SKUs, TopoOpt methodology);
+  // power scales with connected ports likewise.
+  const double used_ports = static_cast<double>(ports_per_rail) * rails;
+  fc.ocs_cost = used_ports * p.ocs_cost_per_port;
+  fc.ocs_power_w =
+      used_ports * p.ocs_power_w_per_switch / p.ocs.radix;
+  // NIC-side optics only: the OCS is passive (no OEO). One 200G bidi
+  // transceiver per NIC port.
+  const std::int64_t optics =
+      static_cast<std::int64_t>(n_gpus) * p.nic_ports;
+  fc.n_transceivers = static_cast<int>(optics);
+  fc.transceiver_cost = static_cast<double>(optics) * p.transceiver_200g_cost;
+  fc.transceiver_power_w =
+      static_cast<double>(optics) * p.transceiver_200g_power_w;
+  return fc;
+}
+
+double cost_saving(const FabricCost& ours, const FabricCost& baseline) {
+  ensure(baseline.total_cost() > 0, "cost_saving: empty baseline");
+  return 1.0 - ours.total_cost() / baseline.total_cost();
+}
+
+double power_saving(const FabricCost& ours, const FabricCost& baseline) {
+  ensure(baseline.total_power_w() > 0, "power_saving: empty baseline");
+  return 1.0 - ours.total_power_w() / baseline.total_power_w();
+}
+
+}  // namespace opus::costmodel

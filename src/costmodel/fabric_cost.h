@@ -1,0 +1,74 @@
+// GPU-backend network cost and power model (Fig. 7 of the paper).
+//
+// Methodology follows Rail-only [71] / TopoOpt [72]: count switches,
+// transceivers, and OCS ports for each fabric at full bisection bandwidth,
+// price them with public list figures, and exclude NICs (identical in all
+// designs), fiber, and cabling (as the paper does).
+//
+// Fabrics compared for N GPUs of 400 Gb/s each (DGX H200: 8 GPUs/node):
+//  - Fat-tree: 3-tier folded Clos over all N endpoints.
+//  - Rail-optimized: 8 rails, each a leaf tier over N/8 endpoints, plus a
+//    spine tier interconnecting the rails (Fig. 1 of the paper).
+//  - Opus: 8 flat photonic rails; each GPU splits its NIC into two 200G
+//    ports attached to the rail OCS. No switch ASICs, no OEO conversions —
+//    the only powered elements are the NIC-side transceivers and the OCS.
+#pragma once
+
+#include <string>
+
+#include "costmodel/ocs_catalog.h"
+
+namespace opus::costmodel {
+
+/// Component prices and power. Defaults use public list-price figures for
+/// 400G-generation hardware (FS.com QSFP-DD optics and Tomahawk-4-class
+/// 64x400G switches; Polatis-class piezo OCS).
+struct CostParams {
+  double transceiver_400g_cost = 400.0;
+  double transceiver_400g_power_w = 12.0;
+  double transceiver_200g_cost = 150.0;
+  double transceiver_200g_power_w = 5.0;
+
+  int switch_radix = 64;  ///< 64 x 400GbE
+  double switch_cost = 16'000.0;
+  double switch_power_w = 1'750.0;
+
+  OcsSpec ocs = ocs_by_technology("Piezo");  ///< Polatis 576-port
+  double ocs_cost_per_port = 265.0;
+  double ocs_power_w_per_switch = 50.0;
+
+  int gpus_per_node = 8;  ///< DGX H200; also the number of rails
+  int nic_ports = 2;      ///< Opus 2-port NIC configuration
+};
+
+struct FabricCost {
+  std::string fabric;
+  int n_gpus = 0;
+  int n_switches = 0;      ///< electrical packet switches
+  int n_ocs = 0;           ///< optical circuit switches
+  int n_transceivers = 0;  ///< pluggable optics (all link ends)
+
+  double switch_cost = 0.0;
+  double ocs_cost = 0.0;
+  double transceiver_cost = 0.0;
+  double switch_power_w = 0.0;
+  double ocs_power_w = 0.0;
+  double transceiver_power_w = 0.0;
+
+  double total_cost() const {
+    return switch_cost + ocs_cost + transceiver_cost;
+  }
+  double total_power_w() const {
+    return switch_power_w + ocs_power_w + transceiver_power_w;
+  }
+};
+
+FabricCost fat_tree_fabric(int n_gpus, const CostParams& params = {});
+FabricCost rail_optimized_fabric(int n_gpus, const CostParams& params = {});
+FabricCost opus_fabric(int n_gpus, const CostParams& params = {});
+
+/// Fractional saving of `ours` versus `baseline` (0.705 = 70.5% cheaper).
+double cost_saving(const FabricCost& ours, const FabricCost& baseline);
+double power_saving(const FabricCost& ours, const FabricCost& baseline);
+
+}  // namespace opus::costmodel

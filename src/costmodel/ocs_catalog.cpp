@@ -1,0 +1,33 @@
+#include "costmodel/ocs_catalog.h"
+
+#include "common/error.h"
+
+namespace opus::costmodel {
+
+const std::vector<OcsSpec>& ocs_catalog() {
+  static const std::vector<OcsSpec> catalog = {
+      {"PLZT", "EpiPhotonics", 0.00001, 16},
+      {"SiP", "Lightmatter", 0.007, 32},
+      {"RotorNet", "InFocus", 0.01, 128},
+      {"3D MEMS", "Calient", 15.0, 320},
+      {"Piezo", "Polatis", 25.0, 576},
+      {"Liquid crystal", "Coherent", 100.0, 512},
+      {"Robotic", "Telescent", 120000.0, 1008},
+  };
+  return catalog;
+}
+
+const OcsSpec& ocs_by_technology(const std::string& technology) {
+  for (const OcsSpec& spec : ocs_catalog()) {
+    if (spec.technology == technology) return spec;
+  }
+  ensure(false, "unknown OCS technology: " + technology);
+  return ocs_catalog().front();  // unreachable
+}
+
+std::int64_t opus_max_gpus(const OcsSpec& ocs, int gpus_per_scale_up) {
+  ensure(gpus_per_scale_up >= 1, "scale-up size must be positive");
+  return static_cast<std::int64_t>(gpus_per_scale_up) * ocs.radix / 2;
+}
+
+}  // namespace opus::costmodel

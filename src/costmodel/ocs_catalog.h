@@ -1,0 +1,39 @@
+// OCS technology catalog (Table 3 of the paper) and the Opus scale limit.
+//
+// #GPUs = (GPUs per scale-up domain) x radix / 2: with the 2-port NIC
+// configuration and bidirectional transceivers, every node consumes two OCS
+// ports on each rail, so one OCS serves radix/2 nodes and the fabric serves
+// (radix/2) * scale-up-size GPUs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+
+namespace opus::costmodel {
+
+struct OcsSpec {
+  std::string technology;
+  std::string vendor;
+  double reconfig_ms = 0.0;
+  int radix = 0;  ///< ports
+
+  TimeNs reconfig_time() const { return msecs(reconfig_ms); }
+};
+
+/// All Table 3 rows, in the paper's order.
+const std::vector<OcsSpec>& ocs_catalog();
+
+/// Looks up a catalog entry by technology name (e.g. "3D MEMS").
+const OcsSpec& ocs_by_technology(const std::string& technology);
+
+/// Maximum GPUs an Opus fabric built from this OCS supports for a given
+/// scale-up domain size (Table 3 columns 4/5; GB200 NVL72 = 72, H200 = 8).
+std::int64_t opus_max_gpus(const OcsSpec& ocs, int gpus_per_scale_up);
+
+/// Scale-up domain sizes used in Table 3.
+inline constexpr int kGb200ScaleUp = 72;
+inline constexpr int kH200ScaleUp = 8;
+
+}  // namespace opus::costmodel

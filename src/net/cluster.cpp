@@ -1,0 +1,294 @@
+#include "net/cluster.h"
+
+#include <string>
+
+#include "common/error.h"
+
+namespace opus::net {
+
+Cluster::Cluster(sim::Simulator& sim, ClusterConfig cfg)
+    : sim_(sim), cfg_(cfg), net_(sim), route_bytes_(6, 0) {
+  ensure(cfg_.n_nodes > 0, "cluster requires nodes");
+  ensure(cfg_.gpus_per_node > 0, "cluster requires GPUs per node");
+  ensure(cfg_.nic_ports == 1 || cfg_.nic_ports == 2 || cfg_.nic_ports == 4,
+         "NIC supports 1, 2, or 4 logical ports (ConnectX-7 configurations)");
+  ensure(cfg_.nic_total_bw.positive(), "NIC bandwidth must be positive");
+  ensure(cfg_.nvlink_bw.positive(), "NVLink bandwidth must be positive");
+
+  const int n = n_gpus();
+  nvl_in_.reserve(static_cast<std::size_t>(n));
+  nvl_out_.reserve(static_cast<std::size_t>(n));
+  for (int g = 0; g < n; ++g) {
+    nvl_in_.push_back(
+        net_.add_link(cfg_.nvlink_bw, "nvl_in:" + std::to_string(g)));
+    nvl_out_.push_back(
+        net_.add_link(cfg_.nvlink_bw, "nvl_out:" + std::to_string(g)));
+  }
+
+  const int rails = n_rails();
+  if (cfg_.rail_kind == RailKind::kPhotonic) {
+    rail_ocs_.reserve(static_cast<std::size_t>(rails));
+    for (int r = 0; r < rails; ++r) {
+      rail_ocs_.push_back(std::make_unique<OpticalCircuitSwitch>(
+          sim_, net_, cfg_.n_nodes * cfg_.nic_ports, cfg_.port_bw(),
+          cfg_.rail_latency, cfg_.ocs_reconfig_delay,
+          "rail" + std::to_string(r)));
+    }
+  } else {
+    rail_electrical_.reserve(static_cast<std::size_t>(rails));
+    for (int r = 0; r < rails; ++r) {
+      rail_electrical_.push_back(std::make_unique<ElectricalSwitch>(
+          net_, cfg_.n_nodes, cfg_.nic_total_bw,
+          cfg_.electrical_hop_latency, "rail" + std::to_string(r)));
+    }
+  }
+
+  if (cfg_.mgmt_bw.positive()) {
+    mgmt_ = std::make_unique<ElectricalSwitch>(net_, n, cfg_.mgmt_bw,
+                                               cfg_.mgmt_latency, "mgmt");
+  }
+}
+
+NodeId Cluster::node_of(GpuId g) const {
+  ensure(g.valid() && g.value() < n_gpus(), "invalid GPU id");
+  return NodeId{g.value() / cfg_.gpus_per_node};
+}
+
+int Cluster::local_rank(GpuId g) const {
+  ensure(g.valid() && g.value() < n_gpus(), "invalid GPU id");
+  return g.value() % cfg_.gpus_per_node;
+}
+
+GpuId Cluster::gpu_at(NodeId n, int local) const {
+  ensure(n.valid() && n.value() < cfg_.n_nodes, "invalid node id");
+  ensure(local >= 0 && local < cfg_.gpus_per_node, "invalid local rank");
+  return GpuId{n.value() * cfg_.gpus_per_node + local};
+}
+
+PortId Cluster::ocs_port(GpuId g, int nic_port) const {
+  ensure(nic_port >= 0 && nic_port < cfg_.nic_ports, "invalid NIC port");
+  return PortId{node_of(g).value() * cfg_.nic_ports + nic_port};
+}
+
+GpuId Cluster::gpu_of_ocs_port(RailId rail, PortId port) const {
+  ensure(rail.valid() && rail.value() < n_rails(), "invalid rail");
+  ensure(port.valid() && port.value() < cfg_.n_nodes * cfg_.nic_ports,
+         "invalid OCS port");
+  return gpu_at(NodeId{port.value() / cfg_.nic_ports}, rail.value());
+}
+
+int Cluster::nic_port_of_ocs_port(PortId port) const {
+  ensure(port.valid() && port.value() < cfg_.n_nodes * cfg_.nic_ports,
+         "invalid OCS port");
+  return port.value() % cfg_.nic_ports;
+}
+
+OpticalCircuitSwitch& Cluster::ocs(RailId rail) {
+  ensure(photonic(), "ocs(): cluster has electrical rails");
+  ensure(rail.valid() && rail.value() < n_rails(), "invalid rail");
+  return *rail_ocs_[static_cast<std::size_t>(rail.value())];
+}
+
+const OpticalCircuitSwitch& Cluster::ocs(RailId rail) const {
+  ensure(photonic(), "ocs(): cluster has electrical rails");
+  ensure(rail.valid() && rail.value() < n_rails(), "invalid rail");
+  return *rail_ocs_[static_cast<std::size_t>(rail.value())];
+}
+
+Cluster::Route Cluster::route_for(GpuId src, GpuId dst) const {
+  if (src == dst) return Route::kLoopback;
+  if (same_node(src, dst)) return Route::kScaleUp;
+  if (local_rank(src) == local_rank(dst)) return Route::kRail;
+  return Route::kPxn;
+}
+
+std::vector<LinkId> Cluster::live_circuit_links(GpuId src, GpuId dst) const {
+  ensure(photonic(), "live_circuit_links: cluster has electrical rails");
+  const RailId rail = rail_of(src);
+  const auto& sw = ocs(rail);
+  std::vector<LinkId> out;
+  for (int p = 0; p < cfg_.nic_ports; ++p) {
+    const PortId from = ocs_port(src, p);
+    const auto peer = sw.peer(from);
+    if (!peer) continue;
+    if (gpu_of_ocs_port(rail, *peer) != dst) continue;
+    if (!sw.connected(from, *peer)) continue;  // dark mid-reconfiguration
+    out.push_back(sw.link(from, *peer));
+  }
+  return out;
+}
+
+bool Cluster::rail_path_available(GpuId src, GpuId dst) const {
+  ensure(local_rank(src) == local_rank(dst),
+         "rail_path_available: GPUs are on different rails");
+  if (!photonic()) return true;
+  if (!live_circuit_links(src, dst).empty()) return true;
+  if (cfg_.allow_rail_multihop) {
+    return rail_multihop_path(src, dst).size() >= 2;
+  }
+  return false;
+}
+
+void Cluster::account(Route r, Bytes bytes) {
+  route_bytes_[static_cast<std::size_t>(r)] += bytes;
+}
+
+Bytes Cluster::bytes_on_route(Route r) const {
+  return route_bytes_[static_cast<std::size_t>(r)];
+}
+
+void Cluster::transfer_scale_up(GpuId src, GpuId dst, Bytes bytes,
+                                std::function<void()> on_complete) {
+  account(Route::kScaleUp, bytes);
+  net_.start_flow({nvl_out_[static_cast<std::size_t>(src.value())],
+                   nvl_in_[static_cast<std::size_t>(dst.value())]},
+                  bytes, cfg_.nvlink_latency, std::move(on_complete));
+}
+
+std::vector<GpuId> Cluster::rail_multihop_path(GpuId src, GpuId dst) const {
+  ensure(photonic(), "rail_multihop_path: cluster has electrical rails");
+  ensure(local_rank(src) == local_rank(dst),
+         "rail_multihop_path: GPUs are on different rails");
+  const RailId rail = rail_of(src);
+  const auto& sw = ocs(rail);
+  // BFS over nodes through live circuits.
+  const int n = cfg_.n_nodes;
+  std::vector<int> prev(static_cast<std::size_t>(n), -2);  // -2 = unvisited
+  std::vector<int> frontier{node_of(src).value()};
+  prev[static_cast<std::size_t>(node_of(src).value())] = -1;
+  const int target = node_of(dst).value();
+  while (!frontier.empty() && prev[static_cast<std::size_t>(target)] == -2) {
+    std::vector<int> next;
+    for (int node : frontier) {
+      const GpuId g = gpu_at(NodeId{node}, rail.value());
+      for (int p = 0; p < cfg_.nic_ports; ++p) {
+        const PortId port = ocs_port(g, p);
+        const auto peer = sw.peer(port);
+        if (!peer || !sw.connected(port, *peer)) continue;
+        const int peer_node = peer->value() / cfg_.nic_ports;
+        if (prev[static_cast<std::size_t>(peer_node)] != -2) continue;
+        prev[static_cast<std::size_t>(peer_node)] = node;
+        next.push_back(peer_node);
+      }
+    }
+    frontier = std::move(next);
+  }
+  if (prev[static_cast<std::size_t>(target)] == -2) return {};
+  std::vector<GpuId> path;
+  for (int node = target; node != -1;
+       node = prev[static_cast<std::size_t>(node)]) {
+    path.push_back(gpu_at(NodeId{node}, rail.value()));
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+void Cluster::transfer_rail(GpuId src, GpuId dst, Bytes bytes,
+                            std::function<void()> on_complete) {
+  if (photonic() && cfg_.allow_rail_multihop &&
+      live_circuit_links(src, dst).empty()) {
+    // No direct circuit: forward store-and-forward through intermediate
+    // same-rail GPUs over live circuits (§5). The per-hop accounting below
+    // exposes the bandwidth tax.
+    const std::vector<GpuId> path = rail_multihop_path(src, dst);
+    ensure(path.size() >= 2,
+           "photonic rail transfer: destination unreachable through live "
+           "circuits even with multi-hop forwarding");
+    account(Route::kRailMultiHop, bytes);
+    // Chain the hops back to front so each callback launches the next.
+    std::function<void()> chain = std::move(on_complete);
+    for (std::size_t i = path.size() - 1; i >= 1; --i) {
+      const GpuId hop_src = path[i - 1];
+      const GpuId hop_dst = path[i];
+      chain = [this, hop_src, hop_dst, bytes, next = std::move(chain)] {
+        transfer_rail_hop(hop_src, hop_dst, bytes, next);
+      };
+    }
+    chain();
+    return;
+  }
+  transfer_rail_hop(src, dst, bytes, std::move(on_complete));
+}
+
+void Cluster::transfer_rail_hop(GpuId src, GpuId dst, Bytes bytes,
+                                std::function<void()> on_complete) {
+  account(Route::kRail, bytes);
+  if (!photonic()) {
+    const auto& sw =
+        *rail_electrical_[static_cast<std::size_t>(local_rank(src))];
+    net_.start_flow({sw.uplink(node_of(src).value()),
+                     sw.downlink(node_of(dst).value())},
+                    bytes, cfg_.rail_latency + sw.hop_latency(),
+                    std::move(on_complete));
+    return;
+  }
+  const std::vector<LinkId> circuits = live_circuit_links(src, dst);
+  ensure(!circuits.empty(),
+         "photonic rail transfer without a live circuit: the control plane "
+         "must reconfigure the rail before communication starts");
+  if (circuits.size() == 1) {
+    net_.start_flow({circuits[0]}, bytes, cfg_.rail_latency,
+                    std::move(on_complete));
+    return;
+  }
+  // Stripe across parallel circuits; complete when every stripe lands.
+  const auto n = static_cast<Bytes>(circuits.size());
+  auto pending = std::make_shared<int>(static_cast<int>(n));
+  auto done = std::make_shared<std::function<void()>>(std::move(on_complete));
+  for (std::size_t i = 0; i < circuits.size(); ++i) {
+    const Bytes stripe =
+        bytes / n + (static_cast<Bytes>(i) < bytes % n ? 1 : 0);
+    net_.start_flow({circuits[i]}, stripe, cfg_.rail_latency,
+                    [pending, done] {
+                      if (--*pending == 0 && *done) (*done)();
+                    });
+  }
+}
+
+void Cluster::transfer(GpuId src, GpuId dst, Bytes bytes,
+                       std::function<void()> on_complete) {
+  ensure(bytes >= 0, "transfer size must be non-negative");
+  switch (route_for(src, dst)) {
+    case Route::kLoopback:
+      if (on_complete) sim_.schedule_after(0, std::move(on_complete));
+      return;
+    case Route::kScaleUp:
+      transfer_scale_up(src, dst, bytes, std::move(on_complete));
+      return;
+    case Route::kRail:
+      transfer_rail(src, dst, bytes, std::move(on_complete));
+      return;
+    case Route::kPxn: {
+      // PXN: forward over NVLink to the bridge GPU that shares the
+      // destination's rail, then ride that rail. Store-and-forward at the
+      // bridge: the rail hop starts when the NVLink hop delivered (this is
+      // the latency + bandwidth tax the paper attributes to multiplexing
+      // parallelisms over shared links).
+      account(Route::kPxn, bytes);
+      const GpuId bridge = gpu_at(node_of(src), local_rank(dst));
+      transfer_scale_up(src, bridge, bytes,
+                        [this, bridge, dst, bytes,
+                         cb = std::move(on_complete)]() mutable {
+                          transfer_rail(bridge, dst, bytes, std::move(cb));
+                        });
+      return;
+    }
+    case Route::kMgmt:
+    case Route::kRailMultiHop:
+      break;  // unreachable: route_for never returns these classes
+  }
+  ensure(false, "transfer: unhandled route");
+}
+
+void Cluster::transfer_mgmt(GpuId src, GpuId dst, Bytes bytes,
+                            std::function<void()> on_complete) {
+  ensure(mgmt_ != nullptr, "management network is not enabled");
+  ensure(src != dst, "mgmt transfer requires distinct endpoints");
+  account(Route::kMgmt, bytes);
+  // mgmt_latency is the end-to-end host-network latency (stored as the
+  // switch's hop latency at construction).
+  net_.start_flow({mgmt_->uplink(src.value()), mgmt_->downlink(dst.value())},
+                  bytes, mgmt_->hop_latency(), std::move(on_complete));
+}
+
+}  // namespace opus::net

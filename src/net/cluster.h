@@ -1,0 +1,159 @@
+// Cluster topology: scale-up (NVLink) domains wired into a rail-optimized
+// scale-out fabric, with the rails realized either by electrical packet
+// switches (baseline) or by optical circuit switches (the paper's proposal).
+//
+// Addressing: GPU global rank = node * gpus_per_node + local_rank.
+// Rail r connects the local-rank-r GPU of every node (Fig. 1 of the paper).
+// Each GPU's NIC exposes `nic_ports` ports of nic_total_bw / nic_ports each
+// (ConnectX-7 style 1x400G / 2x200G / 4x100G logical port configurations).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/units.h"
+#include "net/electrical.h"
+#include "net/fluid.h"
+#include "net/ocs.h"
+#include "sim/simulator.h"
+
+namespace opus::net {
+
+/// How the scale-out rails are switched.
+enum class RailKind {
+  kElectrical,  ///< packet switches: full any-to-any within a rail
+  kPhotonic,    ///< OCS: one-to-one circuits, reconfigurable
+};
+
+struct ClusterConfig {
+  int n_nodes = 4;
+  int gpus_per_node = 4;  ///< size of the scale-up domain == number of rails
+
+  /// NIC logical port configuration facing the rail (C3 in the paper).
+  int nic_ports = 2;
+  Bandwidth nic_total_bw = Bandwidth::gbps(400);
+
+  /// Scale-up interconnect: per-GPU injection/ejection bandwidth.
+  Bandwidth nvlink_bw = Bandwidth::gbps(2400);  // NVLink3 ~300 GB/s per GPU
+  TimeNs nvlink_latency = usecs(2);
+
+  /// Propagation + transceiver latency of a rail path (no OEO for photonic).
+  TimeNs rail_latency = usecs(2);
+  /// Extra per-traversal latency of an electrical rail switch (OEO + ASIC).
+  TimeNs electrical_hop_latency = usecs(1);
+
+  RailKind rail_kind = RailKind::kPhotonic;
+  /// OCS technology reconfiguration latency (Table 3).
+  TimeNs ocs_reconfig_delay = msecs(15);
+
+  /// Optional host-based packet network for small/bursty traffic offload
+  /// (paper §5). Zero bandwidth disables it.
+  Bandwidth mgmt_bw = Bandwidth::gbps(0);
+  TimeNs mgmt_latency = usecs(10);
+
+  /// Photonic rails only: when no direct circuit exists, forward through
+  /// intermediate GPUs of the same rail over live circuits (§5
+  /// "multi-hopping through connected GPUs in the same rail"). Each hop is
+  /// store-and-forward — the latency and bandwidth tax the paper warns
+  /// about. Off by default: Opus reconfigures instead.
+  bool allow_rail_multihop = false;
+
+  Bandwidth port_bw() const { return nic_total_bw / nic_ports; }
+  int n_gpus() const { return n_nodes * gpus_per_node; }
+};
+
+/// The assembled cluster: topology queries plus a byte-transfer API used by
+/// the collective executor. Routing policy (paper §2.1):
+///  - same scale-up domain        -> NVLink
+///  - same local rank (same rail) -> that rail (circuit or packet switch)
+///  - cross-rank, cross-node      -> PXN: NVLink to the bridge GPU holding
+///                                   the destination's local rank, then rail
+class Cluster {
+ public:
+  Cluster(sim::Simulator& sim, ClusterConfig cfg);
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  const ClusterConfig& config() const { return cfg_; }
+  int n_gpus() const { return cfg_.n_gpus(); }
+  int n_nodes() const { return cfg_.n_nodes; }
+  int gpus_per_node() const { return cfg_.gpus_per_node; }
+  int n_rails() const { return cfg_.gpus_per_node; }
+
+  NodeId node_of(GpuId g) const;
+  int local_rank(GpuId g) const;
+  RailId rail_of(GpuId g) const { return RailId{local_rank(g)}; }
+  GpuId gpu_at(NodeId n, int local) const;
+  bool same_node(GpuId a, GpuId b) const { return node_of(a) == node_of(b); }
+
+  /// The OCS port of `g`'s NIC port `p` on g's rail OCS.
+  PortId ocs_port(GpuId g, int nic_port) const;
+  /// Inverse mapping: which GPU and NIC port sit behind an OCS port.
+  GpuId gpu_of_ocs_port(RailId rail, PortId port) const;
+  int nic_port_of_ocs_port(PortId port) const;
+
+  sim::Simulator& sim() { return sim_; }
+  FluidNetwork& network() { return net_; }
+  const FluidNetwork& network() const { return net_; }
+
+  /// Photonic only: the rail's OCS.
+  OpticalCircuitSwitch& ocs(RailId rail);
+  const OpticalCircuitSwitch& ocs(RailId rail) const;
+  bool photonic() const { return cfg_.rail_kind == RailKind::kPhotonic; }
+  bool has_mgmt_network() const { return mgmt_ != nullptr; }
+
+  enum class Route { kLoopback, kScaleUp, kRail, kPxn, kMgmt, kRailMultiHop };
+  /// The route class transfer() would use for src -> dst.
+  Route route_for(GpuId src, GpuId dst) const;
+
+  /// True iff a rail hop src -> dst can currently carry traffic: always for
+  /// electrical rails; for photonic, some circuit from src to dst is live.
+  bool rail_path_available(GpuId src, GpuId dst) const;
+
+  /// Photonic: shortest path of same-rail GPUs from src to dst over live
+  /// circuits (src and dst included). Empty when unreachable.
+  std::vector<GpuId> rail_multihop_path(GpuId src, GpuId dst) const;
+
+  /// Moves `bytes` from src to dst; `on_complete` fires at delivery.
+  /// Photonic rail hops require a live circuit (InvariantError otherwise) —
+  /// the Opus control plane is responsible for establishing circuits first.
+  /// Rail transfers stripe across all live circuits between src and dst.
+  void transfer(GpuId src, GpuId dst, Bytes bytes,
+                std::function<void()> on_complete);
+
+  /// Sends over the host management network (must be enabled).
+  void transfer_mgmt(GpuId src, GpuId dst, Bytes bytes,
+                     std::function<void()> on_complete);
+
+  /// Total bytes moved per route class (diagnostics / bandwidth-tax studies).
+  Bytes bytes_on_route(Route r) const;
+
+ private:
+  void transfer_scale_up(GpuId src, GpuId dst, Bytes bytes,
+                         std::function<void()> on_complete);
+  void transfer_rail(GpuId src, GpuId dst, Bytes bytes,
+                     std::function<void()> on_complete);
+  /// One circuit hop between same-rail neighbours (requires live circuits).
+  void transfer_rail_hop(GpuId src, GpuId dst, Bytes bytes,
+                         std::function<void()> on_complete);
+  /// Live circuit links src -> dst on their shared rail (photonic).
+  std::vector<LinkId> live_circuit_links(GpuId src, GpuId dst) const;
+  void account(Route r, Bytes bytes);
+
+  sim::Simulator& sim_;
+  ClusterConfig cfg_;
+  FluidNetwork net_;
+  // Scale-up: per-GPU injection/ejection links into the node's NVSwitch.
+  std::vector<LinkId> nvl_in_;
+  std::vector<LinkId> nvl_out_;
+  // One rail per local rank; exactly one of these is populated.
+  std::vector<std::unique_ptr<OpticalCircuitSwitch>> rail_ocs_;
+  std::vector<std::unique_ptr<ElectricalSwitch>> rail_electrical_;
+  std::unique_ptr<ElectricalSwitch> mgmt_;
+  std::vector<Bytes> route_bytes_;
+};
+
+}  // namespace opus::net

@@ -1,0 +1,34 @@
+#include "net/electrical.h"
+
+#include "common/error.h"
+
+namespace opus::net {
+
+ElectricalSwitch::ElectricalSwitch(FluidNetwork& net, int n_endpoints,
+                                   Bandwidth port_bw, TimeNs hop_latency,
+                                   std::string name)
+    : port_bw_(port_bw), hop_latency_(hop_latency) {
+  ensure(n_endpoints > 0, "electrical switch requires endpoints");
+  ensure(port_bw.positive(), "electrical switch port bandwidth must be > 0");
+  ensure(hop_latency >= 0, "hop latency must be non-negative");
+  uplinks_.reserve(static_cast<std::size_t>(n_endpoints));
+  downlinks_.reserve(static_cast<std::size_t>(n_endpoints));
+  for (int i = 0; i < n_endpoints; ++i) {
+    uplinks_.push_back(
+        net.add_link(port_bw, name + ":up" + std::to_string(i)));
+    downlinks_.push_back(
+        net.add_link(port_bw, name + ":down" + std::to_string(i)));
+  }
+}
+
+LinkId ElectricalSwitch::uplink(int i) const {
+  ensure(i >= 0 && i < n_endpoints(), "invalid switch endpoint");
+  return uplinks_[static_cast<std::size_t>(i)];
+}
+
+LinkId ElectricalSwitch::downlink(int i) const {
+  ensure(i >= 0 && i < n_endpoints(), "invalid switch endpoint");
+  return downlinks_[static_cast<std::size_t>(i)];
+}
+
+}  // namespace opus::net

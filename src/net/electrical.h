@@ -1,0 +1,41 @@
+// Electrical packet rail switch (the baseline the paper replaces).
+//
+// Modelled as a non-blocking crossbar: every attached endpoint owns an uplink
+// (endpoint -> switch) and a downlink (switch -> endpoint), each at the full
+// NIC bandwidth. Any-to-any connectivity is always available; contention
+// appears on uplinks (fan-out) and downlinks (incast) through fluid sharing.
+// Each traversal adds one switch hop latency (OEO conversion + ASIC
+// processing), which an optical circuit does not pay.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/units.h"
+#include "net/fluid.h"
+
+namespace opus::net {
+
+class ElectricalSwitch {
+ public:
+  ElectricalSwitch(FluidNetwork& net, int n_endpoints, Bandwidth port_bw,
+                   TimeNs hop_latency, std::string name = {});
+
+  int n_endpoints() const { return static_cast<int>(uplinks_.size()); }
+  TimeNs hop_latency() const { return hop_latency_; }
+  Bandwidth port_bandwidth() const { return port_bw_; }
+
+  /// Link carrying traffic from endpoint `i` into the switch.
+  LinkId uplink(int i) const;
+  /// Link carrying traffic from the switch to endpoint `i`.
+  LinkId downlink(int i) const;
+
+ private:
+  Bandwidth port_bw_;
+  TimeNs hop_latency_;
+  std::vector<LinkId> uplinks_;
+  std::vector<LinkId> downlinks_;
+};
+
+}  // namespace opus::net

@@ -1,0 +1,225 @@
+#include "net/fluid.h"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_set>
+
+#include "common/error.h"
+
+namespace opus::net {
+namespace {
+/// A flow is considered drained when fewer than this many bytes remain
+/// (absorbs floating-point error from rate integration).
+constexpr double kDrainEpsilonBytes = 1e-3;
+}  // namespace
+
+LinkId FluidNetwork::add_link(Bandwidth capacity, std::string name) {
+  ensure(capacity.bits_per_sec >= 0.0, "link capacity must be non-negative");
+  links_.push_back(Link{capacity, std::move(name)});
+  return LinkId{static_cast<std::int32_t>(links_.size() - 1)};
+}
+
+Bandwidth FluidNetwork::capacity(LinkId link) const {
+  ensure(link.valid() && static_cast<std::size_t>(link.value()) < links_.size(),
+         "invalid link id");
+  return links_[static_cast<std::size_t>(link.value())].capacity;
+}
+
+const std::string& FluidNetwork::link_name(LinkId link) const {
+  ensure(link.valid() && static_cast<std::size_t>(link.value()) < links_.size(),
+         "invalid link id");
+  return links_[static_cast<std::size_t>(link.value())].name;
+}
+
+void FluidNetwork::set_capacity(LinkId link, Bandwidth capacity) {
+  ensure(link.valid() && static_cast<std::size_t>(link.value()) < links_.size(),
+         "invalid link id");
+  ensure(capacity.bits_per_sec >= 0.0, "link capacity must be non-negative");
+  advance_progress();
+  links_[static_cast<std::size_t>(link.value())].capacity = capacity;
+  recompute();
+}
+
+FlowId FluidNetwork::start_flow(std::vector<LinkId> path, Bytes bytes,
+                                TimeNs extra_latency,
+                                std::function<void()> on_complete) {
+  ensure(bytes >= 0, "flow size must be non-negative");
+  ensure(extra_latency >= 0, "flow latency must be non-negative");
+  std::unordered_set<LinkId> seen;
+  for (LinkId l : path) {
+    ensure(l.valid() && static_cast<std::size_t>(l.value()) < links_.size(),
+           "flow path contains invalid link");
+    ensure(seen.insert(l).second, "flow path contains a duplicate link");
+  }
+  const FlowId id{next_flow_++};
+  if (bytes == 0) {
+    // Pure-latency message (e.g. a control ack): no bandwidth consumed.
+    ++completed_;
+    if (on_complete) sim_.schedule_after(extra_latency, std::move(on_complete));
+    return id;
+  }
+  ensure(!path.empty(), "non-empty flow requires a non-empty path");
+  advance_progress();
+  flows_.emplace(id, Flow{std::move(path), static_cast<double>(bytes), 0.0,
+                          extra_latency, std::move(on_complete)});
+  recompute();
+  return id;
+}
+
+bool FluidNetwork::abort_flow(FlowId flow) {
+  auto it = flows_.find(flow);
+  if (it == flows_.end()) return false;
+  advance_progress();
+  flows_.erase(it);
+  recompute();
+  return true;
+}
+
+double FluidNetwork::flow_rate_bps(FlowId flow) const {
+  auto it = flows_.find(flow);
+  ensure(it != flows_.end(), "flow_rate_bps: flow not active");
+  return it->second.rate_bytes_per_ns * 8e9;
+}
+
+Bytes FluidNetwork::flow_remaining(FlowId flow) const {
+  auto it = flows_.find(flow);
+  ensure(it != flows_.end(), "flow_remaining: flow not active");
+  // Remaining is advanced lazily; account for time since last update.
+  const double elapsed = static_cast<double>(sim_.now() - last_update_);
+  const double rem =
+      it->second.remaining_bytes - it->second.rate_bytes_per_ns * elapsed;
+  return static_cast<Bytes>(std::max(rem, 0.0));
+}
+
+int FluidNetwork::active_flows_on(LinkId link) const {
+  int n = 0;
+  for (const auto& [id, f] : flows_) {
+    if (std::find(f.path.begin(), f.path.end(), link) != f.path.end()) ++n;
+  }
+  return n;
+}
+
+double FluidNetwork::allocated_bps(LinkId link) const {
+  double bps = 0.0;
+  for (const auto& [id, f] : flows_) {
+    if (std::find(f.path.begin(), f.path.end(), link) != f.path.end()) {
+      bps += f.rate_bytes_per_ns * 8e9;
+    }
+  }
+  return bps;
+}
+
+void FluidNetwork::advance_progress() {
+  const TimeNs now = sim_.now();
+  const double elapsed = static_cast<double>(now - last_update_);
+  if (elapsed > 0.0) {
+    for (auto& [id, f] : flows_) {
+      f.remaining_bytes =
+          std::max(0.0, f.remaining_bytes - f.rate_bytes_per_ns * elapsed);
+    }
+  }
+  last_update_ = now;
+}
+
+void FluidNetwork::solve_max_min() {
+  // Progressive filling: repeatedly saturate the most constrained link and
+  // freeze the flows crossing it at that link's fair share.
+  const std::size_t n_links = links_.size();
+  std::vector<double> cap_left(n_links);
+  std::vector<int> unfrozen_on(n_links, 0);
+  for (std::size_t l = 0; l < n_links; ++l) {
+    cap_left[l] = links_[l].capacity.bytes_per_ns();
+  }
+
+  std::vector<Flow*> active;
+  active.reserve(flows_.size());
+  for (auto& [id, f] : flows_) active.push_back(&f);
+  std::vector<bool> frozen(active.size(), false);
+  for (const Flow* f : active) {
+    for (LinkId l : f->path) ++unfrozen_on[static_cast<std::size_t>(l.value())];
+  }
+
+  std::size_t remaining = active.size();
+  while (remaining > 0) {
+    double best_share = std::numeric_limits<double>::infinity();
+    std::size_t best_link = n_links;
+    for (std::size_t l = 0; l < n_links; ++l) {
+      if (unfrozen_on[l] <= 0) continue;
+      const double share = std::max(cap_left[l], 0.0) / unfrozen_on[l];
+      if (share < best_share) {
+        best_share = share;
+        best_link = l;
+      }
+    }
+    ensure(best_link < n_links,
+           "max-min solve: unfrozen flow without a constraining link");
+    const LinkId bottleneck{static_cast<std::int32_t>(best_link)};
+    for (std::size_t i = 0; i < active.size(); ++i) {
+      if (frozen[i]) continue;
+      Flow* f = active[i];
+      if (std::find(f->path.begin(), f->path.end(), bottleneck) ==
+          f->path.end()) {
+        continue;
+      }
+      f->rate_bytes_per_ns = best_share;
+      frozen[i] = true;
+      --remaining;
+      for (LinkId l : f->path) {
+        const auto li = static_cast<std::size_t>(l.value());
+        cap_left[li] -= best_share;
+        --unfrozen_on[li];
+      }
+    }
+  }
+}
+
+void FluidNetwork::reschedule_completion_event() {
+  if (completion_event_.valid()) {
+    sim_.cancel(completion_event_);
+    completion_event_ = EventId{};
+  }
+  TimeNs earliest = std::numeric_limits<TimeNs>::max();
+  for (const auto& [id, f] : flows_) {
+    if (f.rate_bytes_per_ns <= 0.0) continue;  // stalled (dark / zero-cap link)
+    const double ns = f.remaining_bytes / f.rate_bytes_per_ns;
+    TimeNs t = sim_.now() + static_cast<TimeNs>(ns);
+    if (static_cast<double>(t - sim_.now()) < ns) ++t;  // round up
+    earliest = std::min(earliest, t);
+  }
+  if (earliest != std::numeric_limits<TimeNs>::max()) {
+    completion_event_ =
+        sim_.schedule_at(earliest, [this] { on_completion_event(); });
+  }
+}
+
+void FluidNetwork::recompute() {
+  solve_max_min();
+  reschedule_completion_event();
+}
+
+void FluidNetwork::on_completion_event() {
+  completion_event_ = EventId{};
+  advance_progress();
+  std::vector<std::pair<TimeNs, std::function<void()>>> done;
+  for (auto it = flows_.begin(); it != flows_.end();) {
+    if (it->second.remaining_bytes <= kDrainEpsilonBytes) {
+      done.emplace_back(it->second.extra_latency,
+                        std::move(it->second.on_complete));
+      it = flows_.erase(it);
+      ++completed_;
+    } else {
+      ++it;
+    }
+  }
+  recompute();
+  for (auto& [latency, cb] : done) {
+    if (!cb) continue;
+    if (latency > 0) {
+      sim_.schedule_after(latency, std::move(cb));
+    } else {
+      cb();  // may start new flows; recompute happens inside start_flow
+    }
+  }
+}
+
+}  // namespace opus::net

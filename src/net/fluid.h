@@ -1,0 +1,99 @@
+// Flow-level ("fluid") network model.
+//
+// Long-lived transfers are modelled as fluid flows over paths of
+// capacity-limited unidirectional links. Whenever the set of flows (or a link
+// capacity) changes, rates are re-solved with progressive filling (max-min
+// fairness) and the single earliest-completion event is rescheduled. This is
+// the standard first-order approximation used by flow-level datacenter
+// simulators and is exact for the dedicated point-to-point circuits of a
+// photonic rail.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/units.h"
+#include "sim/simulator.h"
+
+namespace opus::net {
+
+/// A unidirectional capacity-limited link.
+struct Link {
+  Bandwidth capacity;
+  std::string name;
+};
+
+/// The fluid-flow engine. One instance models the whole cluster's data plane.
+class FluidNetwork {
+ public:
+  explicit FluidNetwork(sim::Simulator& sim) : sim_(sim) {}
+  FluidNetwork(const FluidNetwork&) = delete;
+  FluidNetwork& operator=(const FluidNetwork&) = delete;
+
+  /// Adds a link with the given capacity; returns its id.
+  LinkId add_link(Bandwidth capacity, std::string name = {});
+
+  Bandwidth capacity(LinkId link) const;
+  const std::string& link_name(LinkId link) const;
+  std::size_t link_count() const { return links_.size(); }
+
+  /// Changes a link's capacity (used for failure injection / degradation
+  /// tests). Active flows immediately re-share.
+  void set_capacity(LinkId link, Bandwidth capacity);
+
+  /// Starts a flow of `bytes` over `path` (ordered, duplicate-free link ids).
+  /// `on_complete` fires once the flow has drained and `extra_latency` has
+  /// elapsed (propagation + per-hop fixed latency, applied once).
+  /// A zero-byte flow completes after `extra_latency` alone.
+  FlowId start_flow(std::vector<LinkId> path, Bytes bytes, TimeNs extra_latency,
+                    std::function<void()> on_complete);
+
+  /// Aborts an in-flight flow; its completion callback never fires.
+  /// Returns false if the flow already completed or never existed.
+  bool abort_flow(FlowId flow);
+
+  /// Current rate of an active flow in bits/sec (0 for stalled flows).
+  double flow_rate_bps(FlowId flow) const;
+  /// Bytes not yet drained for an active flow.
+  Bytes flow_remaining(FlowId flow) const;
+  bool flow_active(FlowId flow) const { return flows_.contains(flow); }
+
+  std::size_t active_flow_count() const { return flows_.size(); }
+  /// Number of active flows whose path crosses `link`.
+  int active_flows_on(LinkId link) const;
+  /// Sum of the current rates (bits/sec) of the flows crossing `link`.
+  /// Never exceeds the link capacity (a max-min allocation invariant).
+  double allocated_bps(LinkId link) const;
+  std::uint64_t completed_flow_count() const { return completed_; }
+
+ private:
+  struct Flow {
+    std::vector<LinkId> path;
+    double remaining_bytes = 0.0;
+    double rate_bytes_per_ns = 0.0;
+    TimeNs extra_latency = 0;
+    std::function<void()> on_complete;
+  };
+
+  /// Charges progress for elapsed time since the last update.
+  void advance_progress();
+  /// Re-solves max-min fair rates and reschedules the completion event.
+  void recompute();
+  void solve_max_min();
+  void reschedule_completion_event();
+  void on_completion_event();
+
+  sim::Simulator& sim_;
+  std::vector<Link> links_;
+  std::unordered_map<FlowId, Flow> flows_;
+  TimeNs last_update_ = 0;
+  EventId completion_event_{};
+  std::int32_t next_flow_ = 0;
+  std::uint64_t completed_ = 0;
+};
+
+}  // namespace opus::net

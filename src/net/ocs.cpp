@@ -1,0 +1,228 @@
+#include "net/ocs.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/error.h"
+
+namespace opus::net {
+
+OpticalCircuitSwitch::OpticalCircuitSwitch(sim::Simulator& sim,
+                                           FluidNetwork& net, int n_ports,
+                                           Bandwidth port_bw,
+                                           TimeNs circuit_latency,
+                                           TimeNs reconfig_delay,
+                                           std::string name)
+    : sim_(sim),
+      net_(net),
+      port_bw_(port_bw),
+      circuit_latency_(circuit_latency),
+      reconfig_delay_(reconfig_delay),
+      name_(std::move(name)),
+      peer_(static_cast<std::size_t>(n_ports), -1),
+      dark_(static_cast<std::size_t>(n_ports), false),
+      failed_(static_cast<std::size_t>(n_ports), false) {
+  ensure(n_ports > 0, "OCS requires at least one port");
+  ensure(port_bw.positive(), "OCS port bandwidth must be positive");
+  ensure(reconfig_delay >= 0, "OCS reconfig delay must be non-negative");
+}
+
+void OpticalCircuitSwitch::set_reconfig_delay(TimeNs d) {
+  ensure(d >= 0, "OCS reconfig delay must be non-negative");
+  reconfig_delay_ = d;
+}
+
+void OpticalCircuitSwitch::check_port(PortId p) const {
+  ensure(p.valid() && p.value() < n_ports(), "invalid OCS port");
+}
+
+std::optional<PortId> OpticalCircuitSwitch::peer(PortId p) const {
+  check_port(p);
+  const auto q = peer_[static_cast<std::size_t>(p.value())];
+  if (q < 0) return std::nullopt;
+  return PortId{q};
+}
+
+bool OpticalCircuitSwitch::dark(PortId p) const {
+  check_port(p);
+  return dark_[static_cast<std::size_t>(p.value())];
+}
+
+bool OpticalCircuitSwitch::connected(PortId a, PortId b) const {
+  check_port(a);
+  check_port(b);
+  return peer_[static_cast<std::size_t>(a.value())] == b.value() &&
+         !dark(a) && !dark(b) && !failed(a) && !failed(b);
+}
+
+bool OpticalCircuitSwitch::failed(PortId p) const {
+  check_port(p);
+  return failed_[static_cast<std::size_t>(p.value())];
+}
+
+int OpticalCircuitSwitch::failed_port_count() const {
+  int n = 0;
+  for (bool f : failed_)
+    if (f) ++n;
+  return n;
+}
+
+void OpticalCircuitSwitch::fail_port(PortId p) {
+  check_port(p);
+  ensure(!dark(p), "fail_port: port is mid-reconfiguration");
+  const auto q = peer_[static_cast<std::size_t>(p.value())];
+  if (q >= 0) {
+    const std::pair<std::int32_t, std::int32_t> key{std::min(p.value(), q),
+                                                    std::max(p.value(), q)};
+    const auto it = links_.find(key);
+    if (it != links_.end()) {
+      ensure(net_.active_flows_on(it->second.first) == 0 &&
+                 net_.active_flows_on(it->second.second) == 0,
+             "fail_port: circuit still carrying traffic");
+    }
+  }
+  tear_down(p);
+  failed_[static_cast<std::size_t>(p.value())] = true;
+}
+
+bool OpticalCircuitSwitch::satisfied(
+    const std::vector<CircuitRequest>& circuits) const {
+  return std::all_of(circuits.begin(), circuits.end(),
+                     [this](const CircuitRequest& c) {
+                       return connected(c.a, c.b);
+                     });
+}
+
+std::vector<PortId> OpticalCircuitSwitch::touched_ports(
+    const std::vector<CircuitRequest>& circuits) const {
+  std::unordered_set<std::int32_t> touched;
+  for (const CircuitRequest& c : circuits) {
+    if (connected(c.a, c.b)) continue;  // already live: untouched
+    for (PortId p : {c.a, c.b}) {
+      check_port(p);
+      touched.insert(p.value());
+      const auto old = peer_[static_cast<std::size_t>(p.value())];
+      if (old >= 0) touched.insert(old);
+    }
+  }
+  std::vector<PortId> out;
+  out.reserve(touched.size());
+  for (auto v : touched) out.push_back(PortId{v});
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::pair<LinkId, LinkId> OpticalCircuitSwitch::link_pair(PortId a, PortId b) {
+  const std::pair<std::int32_t, std::int32_t> key{
+      std::min(a.value(), b.value()), std::max(a.value(), b.value())};
+  auto it = links_.find(key);
+  if (it == links_.end()) {
+    const std::string base = name_ + ":p" + std::to_string(key.first) + "-p" +
+                             std::to_string(key.second);
+    const LinkId fwd = net_.add_link(port_bw_, base + ":fwd");
+    const LinkId rev = net_.add_link(port_bw_, base + ":rev");
+    it = links_.emplace(key, std::make_pair(fwd, rev)).first;
+  }
+  return it->second;
+}
+
+LinkId OpticalCircuitSwitch::link(PortId from, PortId to) const {
+  ensure(connected(from, to), "OCS::link: no live circuit between ports");
+  const std::pair<std::int32_t, std::int32_t> key{
+      std::min(from.value(), to.value()), std::max(from.value(), to.value())};
+  const auto it = links_.find(key);
+  ensure(it != links_.end(), "OCS::link: circuit links missing");
+  return from.value() < to.value() ? it->second.first : it->second.second;
+}
+
+void OpticalCircuitSwitch::establish(PortId a, PortId b) {
+  peer_[static_cast<std::size_t>(a.value())] = b.value();
+  peer_[static_cast<std::size_t>(b.value())] = a.value();
+  link_pair(a, b);  // make sure the data-path links exist
+}
+
+void OpticalCircuitSwitch::tear_down(PortId p) {
+  const auto q = peer_[static_cast<std::size_t>(p.value())];
+  if (q < 0) return;
+  peer_[static_cast<std::size_t>(p.value())] = -1;
+  peer_[static_cast<std::size_t>(q)] = -1;
+}
+
+void OpticalCircuitSwitch::force_circuits(
+    const std::vector<CircuitRequest>& circuits) {
+  for (const CircuitRequest& c : circuits) {
+    check_port(c.a);
+    check_port(c.b);
+    ensure(c.a != c.b, "OCS circuit cannot loop a port to itself");
+    tear_down(c.a);
+    tear_down(c.b);
+    establish(c.a, c.b);
+  }
+}
+
+void OpticalCircuitSwitch::reconfigure(
+    const std::vector<CircuitRequest>& circuits,
+    std::function<void()> on_done) {
+  // Validate: no port may appear twice among the requested circuits.
+  std::unordered_set<std::int32_t> seen;
+  for (const CircuitRequest& c : circuits) {
+    check_port(c.a);
+    check_port(c.b);
+    ensure(c.a != c.b, "OCS circuit cannot loop a port to itself");
+    ensure(!failed(c.a) && !failed(c.b),
+           "OCS reconfigure: circuit requests a failed port");
+    ensure(seen.insert(c.a.value()).second,
+           "OCS reconfigure: port appears in two circuits");
+    ensure(seen.insert(c.b.value()).second,
+           "OCS reconfigure: port appears in two circuits");
+  }
+
+  if (satisfied(circuits)) {
+    if (on_done) on_done();
+    return;
+  }
+
+  const std::vector<PortId> touched = touched_ports(circuits);
+  for (PortId p : touched) {
+    ensure(!dark(p),
+           "OCS reconfigure: port is mid-reconfiguration; serialize requests");
+  }
+  // Refuse to retarget a circuit that is actively carrying traffic; the Opus
+  // controller guarantees quiescence (reconfigure only after the previous
+  // communication kernel finishes).
+  for (PortId p : touched) {
+    const auto q = peer_[static_cast<std::size_t>(p.value())];
+    if (q < 0) continue;
+    const std::pair<std::int32_t, std::int32_t> key{std::min(p.value(), q),
+                                                    std::max(p.value(), q)};
+    const auto it = links_.find(key);
+    if (it == links_.end()) continue;
+    ensure(net_.active_flows_on(it->second.first) == 0 &&
+               net_.active_flows_on(it->second.second) == 0,
+           "OCS reconfigure: circuit still carrying traffic (switch " +
+               name_ + ", ports " + std::to_string(key.first) + "<->" +
+               std::to_string(key.second) + ")");
+  }
+
+  // Tear down old circuits on the touched ports and go dark.
+  for (PortId p : touched) tear_down(p);
+  for (PortId p : touched) dark_[static_cast<std::size_t>(p.value())] = true;
+
+  ++stats_.reconfigurations;
+  stats_.circuits_established += static_cast<int>(circuits.size());
+  stats_.cumulative_port_dark_ns +=
+      reconfig_delay_ * static_cast<TimeNs>(touched.size());
+
+  // Copy the request; the new circuits come up together after the delay.
+  sim_.schedule_after(
+      reconfig_delay_,
+      [this, circuits, touched, cb = std::move(on_done)]() mutable {
+        for (PortId p : touched) {
+          dark_[static_cast<std::size_t>(p.value())] = false;
+        }
+        for (const CircuitRequest& c : circuits) establish(c.a, c.b);
+        if (cb) cb();
+      });
+}
+
+}  // namespace opus::net

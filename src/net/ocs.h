@@ -1,0 +1,129 @@
+// Optical circuit switch (OCS) model.
+//
+// An OCS is a passive crossbar: at any instant each port is cross-connected
+// to at most one peer port (a bidirectional circuit), or to nothing. A
+// reconfiguration atomically retargets a *set* of ports; exactly the touched
+// ports (including the old peers of retargeted ports) are "dark" — unable to
+// carry traffic — for the technology's reconfiguration latency. Untouched
+// circuits keep carrying traffic throughout, modelling the fine-grained
+// per-port switching the paper requires for per-communication-group
+// reconfiguration (§5 "Reconfiguration granularity").
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/units.h"
+#include "net/fluid.h"
+#include "sim/simulator.h"
+
+namespace opus::net {
+
+/// One bidirectional cross-connect request: connect ports `a` and `b`.
+struct CircuitRequest {
+  PortId a;
+  PortId b;
+};
+
+/// MEMS/piezo/liquid-crystal-style optical circuit switch.
+class OpticalCircuitSwitch {
+ public:
+  struct Stats {
+    /// Number of reconfigure() operations that actually changed state.
+    int reconfigurations = 0;
+    /// Circuits established across all reconfigurations.
+    int circuits_established = 0;
+    /// Sum over ports of time spent dark.
+    TimeNs cumulative_port_dark_ns = 0;
+  };
+
+  /// `port_bw` is the per-direction bandwidth of a circuit (the NIC port
+  /// rate); `circuit_latency` is the end-to-end propagation latency of an
+  /// established circuit (fiber + transceivers, no OEO in the middle).
+  OpticalCircuitSwitch(sim::Simulator& sim, FluidNetwork& net, int n_ports,
+                       Bandwidth port_bw, TimeNs circuit_latency,
+                       TimeNs reconfig_delay, std::string name = {});
+
+  int n_ports() const { return static_cast<int>(peer_.size()); }
+  Bandwidth port_bandwidth() const { return port_bw_; }
+  TimeNs circuit_latency() const { return circuit_latency_; }
+  TimeNs reconfig_delay() const { return reconfig_delay_; }
+  void set_reconfig_delay(TimeNs d);
+
+  /// The port currently cross-connected to `p` (regardless of darkness).
+  std::optional<PortId> peer(PortId p) const;
+  /// True while `p` is being retargeted by an in-flight reconfiguration.
+  bool dark(PortId p) const;
+  /// True iff a live (non-dark) circuit connects `a` and `b`.
+  bool connected(PortId a, PortId b) const;
+
+  /// Permanently fails a port (fiber cut / transceiver death): its circuit
+  /// is torn down and no future circuit may use it. The port must be
+  /// quiescent (no in-flight traffic, not mid-reconfiguration) — fail
+  /// injection between kernels, matching the recovery model of LUMION
+  /// (the paper's fault-recovery companion work).
+  void fail_port(PortId p);
+  bool failed(PortId p) const;
+  int failed_port_count() const;
+
+  /// True iff every requested circuit is already established and live —
+  /// the idempotence fast-path used by the Opus controller's config cache.
+  bool satisfied(const std::vector<CircuitRequest>& circuits) const;
+
+  /// Requests a reconfiguration establishing every circuit in `circuits`.
+  /// Existing circuits on touched ports are torn down; the touched port set
+  /// (new ports plus their old peers) is dark for reconfig_delay, after which
+  /// the new circuits are live and `on_done` fires.
+  ///
+  /// Preconditions (enforced): no touched port is already dark (callers must
+  /// serialize overlapping requests — the Opus controller does), no port
+  /// appears twice in `circuits`, and no touched circuit is carrying traffic.
+  /// If `circuits` is already satisfied, `on_done` fires immediately (same
+  /// timestamp) and no reconfiguration is counted.
+  void reconfigure(const std::vector<CircuitRequest>& circuits,
+                   std::function<void()> on_done);
+
+  /// Instantly establishes circuits with no dark period. Intended for t=0
+  /// initial topology (e.g. a pre-job configuration); counts no stats.
+  void force_circuits(const std::vector<CircuitRequest>& circuits);
+
+  /// Set of ports a reconfiguration request would touch (new + old peers).
+  std::vector<PortId> touched_ports(
+      const std::vector<CircuitRequest>& circuits) const;
+
+  /// Fluid link carrying traffic in the direction `from` -> `to`.
+  /// Requires connected(from, to).
+  LinkId link(PortId from, PortId to) const;
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  void check_port(PortId p) const;
+  /// Cross-connects a<->b in the state tables (no timing).
+  void establish(PortId a, PortId b);
+  /// Clears the circuit on `p` (and its peer), if any.
+  void tear_down(PortId p);
+  /// Lazily creates (or fetches) the fluid link pair for an unordered pair.
+  std::pair<LinkId, LinkId> link_pair(PortId a, PortId b);
+
+  sim::Simulator& sim_;
+  FluidNetwork& net_;
+  Bandwidth port_bw_;
+  TimeNs circuit_latency_;
+  TimeNs reconfig_delay_;
+  std::string name_;
+  std::vector<std::int32_t> peer_;  // -1 = unconnected
+  std::vector<bool> dark_;
+  std::vector<bool> failed_;
+  // Unordered port pair -> (link low->high, link high->low).
+  std::map<std::pair<std::int32_t, std::int32_t>, std::pair<LinkId, LinkId>>
+      links_;
+  Stats stats_;
+};
+
+}  // namespace opus::net

@@ -1,0 +1,62 @@
+#include "sim/simulator.h"
+
+#include <utility>
+
+namespace opus::sim {
+
+EventId Simulator::schedule_at(TimeNs t, Callback cb) {
+  ensure(t >= now_, "Simulator::schedule_at: time is in the past");
+  ensure(static_cast<bool>(cb), "Simulator::schedule_at: empty callback");
+  const EventId id{next_id_++};
+  queue_.push(QueueEntry{t, next_seq_++, id});
+  callbacks_.emplace(id, std::move(cb));
+  return id;
+}
+
+bool Simulator::cancel(EventId id) {
+  return callbacks_.erase(id) > 0;  // heap entry becomes a tombstone
+}
+
+bool Simulator::skip_dead() {
+  while (!queue_.empty() && !callbacks_.contains(queue_.top().id)) {
+    queue_.pop();
+  }
+  return !queue_.empty();
+}
+
+bool Simulator::fire_next() {
+  if (!skip_dead()) return false;
+  const QueueEntry entry = queue_.top();
+  queue_.pop();
+  auto it = callbacks_.find(entry.id);
+  Callback cb = std::move(it->second);
+  callbacks_.erase(it);
+  now_ = entry.time;
+  ++fired_;
+  cb();
+  return true;
+}
+
+std::uint64_t Simulator::run() {
+  std::uint64_t n = 0;
+  while (fire_next()) ++n;
+  return n;
+}
+
+std::uint64_t Simulator::run_until(TimeNs limit) {
+  std::uint64_t n = 0;
+  while (skip_dead() && queue_.top().time <= limit) {
+    fire_next();
+    ++n;
+  }
+  if (now_ < limit) now_ = limit;
+  return n;
+}
+
+std::uint64_t Simulator::run_steps(std::uint64_t max_events) {
+  std::uint64_t n = 0;
+  while (n < max_events && fire_next()) ++n;
+  return n;
+}
+
+}  // namespace opus::sim

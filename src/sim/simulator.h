@@ -1,0 +1,90 @@
+// Discrete-event simulation engine.
+//
+// Single-threaded, deterministic: events at the same timestamp fire in the
+// order they were scheduled (FIFO tie-break on a monotonically increasing
+// sequence number). Events are cancellable; cancellation is O(1) via a
+// tombstone, and tombstoned heap entries are skipped lazily.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "common/error.h"
+#include "common/ids.h"
+#include "common/units.h"
+
+namespace opus::sim {
+
+/// The event-driven simulation kernel. All model components hold a reference
+/// to one Simulator and schedule callbacks on it.
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulation time.
+  TimeNs now() const { return now_; }
+
+  /// Schedules `cb` to run at absolute time `t` (must be >= now()).
+  EventId schedule_at(TimeNs t, Callback cb);
+
+  /// Schedules `cb` to run `delay` after now() (delay must be >= 0).
+  EventId schedule_after(TimeNs delay, Callback cb) {
+    return schedule_at(now_ + delay, std::move(cb));
+  }
+
+  /// Cancels a pending event. Returns true if the event existed and had not
+  /// yet fired; false otherwise (already fired, already cancelled, invalid).
+  bool cancel(EventId id);
+
+  /// Returns true if `id` is scheduled and not yet fired or cancelled.
+  bool pending(EventId id) const { return callbacks_.contains(id); }
+
+  /// Runs until the event queue is empty. Returns the number of events fired.
+  std::uint64_t run();
+
+  /// Runs events with time <= `limit`. Afterwards now() == min(limit, last
+  /// event time) if events fired, else now() is advanced to `limit`.
+  std::uint64_t run_until(TimeNs limit);
+
+  /// Executes at most `max_events` events. Returns the number fired.
+  std::uint64_t run_steps(std::uint64_t max_events);
+
+  /// Number of pending (non-cancelled) events.
+  std::size_t pending_events() const { return callbacks_.size(); }
+
+  /// Total events fired since construction.
+  std::uint64_t events_fired() const { return fired_; }
+
+ private:
+  struct QueueEntry {
+    TimeNs time;
+    std::uint64_t seq;
+    EventId id;
+    friend bool operator>(const QueueEntry& a, const QueueEntry& b) {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  /// Fires the next live event, if any. Returns false if the queue is empty.
+  bool fire_next();
+  /// Pops tombstoned entries; returns false when the queue is exhausted.
+  bool skip_dead();
+
+  TimeNs now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::int32_t next_id_ = 0;
+  std::uint64_t fired_ = 0;
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>>
+      queue_;
+  std::unordered_map<EventId, Callback> callbacks_;
+};
+
+}  // namespace opus::sim

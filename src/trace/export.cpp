@@ -1,0 +1,44 @@
+#include "trace/export.h"
+
+#include <sstream>
+
+namespace opus::trace {
+
+std::string comms_to_csv(const std::vector<CommRecord>& comms) {
+  std::ostringstream os;
+  os << "iteration,rail,group,dim,type,payload_bytes,issue_ns,end_ns,"
+        "scale_out\n";
+  for (const CommRecord& c : comms) {
+    os << c.iteration << ',' << (c.rail.valid() ? c.rail.value() : -1) << ','
+       << c.group.value() << ',' << collective::to_string(c.dim) << ','
+       << collective::to_string(c.type) << ',' << c.payload << ','
+       << c.t_issue << ',' << c.t_end << ',' << (c.scale_out ? 1 : 0) << '\n';
+  }
+  return os.str();
+}
+
+std::string windows_to_csv(const std::vector<Window>& windows) {
+  std::ostringstream os;
+  os << "iteration,size_ms,before_dim,after_dim,traffic_after_bytes\n";
+  for (const Window& w : windows) {
+    os << w.iteration << ',' << to_ms(w.size) << ','
+       << collective::to_string(w.before_dim) << ','
+       << collective::to_string(w.after_dim) << ',' << w.traffic_after
+       << '\n';
+  }
+  return os.str();
+}
+
+std::string cdf_to_csv(const Cdf& cdf) {
+  std::ostringstream os;
+  os << "value,fraction\n";
+  const auto& samples = cdf.sorted_samples();
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    os << samples[i] << ','
+       << static_cast<double>(i + 1) / static_cast<double>(samples.size())
+       << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace opus::trace

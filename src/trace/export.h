@@ -1,0 +1,24 @@
+// CSV export of traces and analysis results, for plotting Fig. 3/4-style
+// artifacts outside the simulator.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "trace/recorder.h"
+#include "trace/windows.h"
+
+namespace opus::trace {
+
+/// Comm records as CSV: iteration,rail,group,dim,type,payload,issue_ns,
+/// end_ns,scale_out.
+std::string comms_to_csv(const std::vector<CommRecord>& comms);
+
+/// Windows as CSV: iteration,size_ms,before_dim,after_dim,traffic_after.
+std::string windows_to_csv(const std::vector<Window>& windows);
+
+/// A CDF as CSV: value,fraction — one row per sample (step function).
+std::string cdf_to_csv(const Cdf& cdf);
+
+}  // namespace opus::trace

@@ -1,0 +1,76 @@
+#include "trace/gantt.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/error.h"
+#include "trace/windows.h"
+
+namespace opus::trace {
+
+char gantt_glyph(collective::CollectiveType type) {
+  using collective::CollectiveType;
+  switch (type) {
+    case CollectiveType::kAllGather: return 'G';
+    case CollectiveType::kReduceScatter: return 'R';
+    case CollectiveType::kAllReduce: return 'A';
+    case CollectiveType::kSendRecv: return 'S';
+    case CollectiveType::kAllToAll: return 'X';
+    case CollectiveType::kBroadcast: return 'B';
+    case CollectiveType::kReduce: return 'r';
+    case CollectiveType::kBarrier: return '|';
+  }
+  return '?';
+}
+
+std::string render_rail_gantt(const std::vector<CommRecord>& comms,
+                              const std::vector<GpuId>& gpus, TimeNs t_begin,
+                              TimeNs t_end, const GanttOptions& options) {
+  ensure(t_end > t_begin, "gantt: empty time range");
+  ensure(options.width > 0, "gantt: width must be positive");
+  const int w = options.width;
+  const double span = static_cast<double>(t_end - t_begin);
+
+  auto column = [&](TimeNs t) {
+    const double f = static_cast<double>(t - t_begin) / span;
+    return std::clamp(static_cast<int>(f * w), 0, w - 1);
+  };
+
+  std::vector<std::string> rows(gpus.size(), std::string(w, '.'));
+  for (const CommRecord& c : comms) {
+    const int c0 = column(std::max(c.t_issue, t_begin));
+    const int c1 = column(std::min(c.t_end, t_end));
+    const char glyph = gantt_glyph(c.type);
+    // A comm record covers its whole group; the rail view draws it across
+    // every row, matching the rail-wide presentation of Fig. 3.
+    for (auto& r : rows) {
+      for (int x = c0; x <= c1; ++x) {
+        if (r[static_cast<std::size_t>(x)] == '.') {
+          r[static_cast<std::size_t>(x)] = glyph;
+        }
+      }
+    }
+  }
+
+  std::ostringstream os;
+  os << "time: " << format_time(t_begin) << " .. " << format_time(t_end)
+     << "  (G=AllGather R=ReduceScatter A=AllReduce S=Send/Recv X=AllToAll)\n";
+  for (std::size_t i = 0; i < gpus.size(); ++i) {
+    os << "rank " << gpus[i].value() << "\t" << rows[i] << '\n';
+  }
+
+  if (options.show_phase_list) {
+    const auto phases = extract_phases(comms);
+    os << "phases (each dimension shift = one circuit configuration):\n";
+    int cfg = 0;
+    for (const Phase& p : phases) {
+      os << "  config " << cfg++ << ": " << collective::to_string(p.dim)
+         << "  [" << format_time(p.t_first_issue - t_begin) << " .. "
+         << format_time(p.t_last_end - t_begin) << "]  " << p.n_comms
+         << " comms, " << format_bytes(p.total_payload) << '\n';
+    }
+  }
+  return os.str();
+}
+
+}  // namespace opus::trace

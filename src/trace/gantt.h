@@ -1,0 +1,32 @@
+// ASCII Gantt rendering of a rail's communication pattern (Fig. 3).
+//
+// Rows are the GPUs attached to the rail; columns are time bins. Each comm
+// is drawn with a per-type glyph; phase boundaries (where the parallelism
+// dimension changes, i.e. where Opus would reconfigure circuits) are listed
+// below the chart as the "circuit configurations" of Fig. 3.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "trace/recorder.h"
+
+namespace opus::trace {
+
+struct GanttOptions {
+  int width = 100;  ///< number of time-bin columns
+  bool show_phase_list = true;
+};
+
+/// Renders the comm records of one rail/iteration (as returned by
+/// TraceRecorder::rail_comms) into an ASCII chart. `gpus` lists the global
+/// ranks attached to the rail, in row order.
+std::string render_rail_gantt(const std::vector<CommRecord>& comms,
+                              const std::vector<GpuId>& gpus,
+                              TimeNs t_begin, TimeNs t_end,
+                              const GanttOptions& options = {});
+
+/// Glyph used for a collective type in the chart.
+char gantt_glyph(collective::CollectiveType type);
+
+}  // namespace opus::trace

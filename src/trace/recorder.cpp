@@ -1,0 +1,64 @@
+#include "trace/recorder.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace opus::trace {
+
+void TraceRecorder::begin_iteration(TimeNs now) {
+  ++current_iteration_;
+  spans_.push_back(IterationSpan{current_iteration_, now, now});
+}
+
+void TraceRecorder::end_iteration(TimeNs now) {
+  ensure(!spans_.empty(), "end_iteration without begin_iteration");
+  spans_.back().t_end = now;
+}
+
+void TraceRecorder::record_comm(CommRecord rec) {
+  rec.iteration = current_iteration_;
+  comm_.push_back(std::move(rec));
+}
+
+void TraceRecorder::record_compute(ComputeRecord rec) {
+  if (!record_compute_) return;
+  rec.iteration = current_iteration_;
+  compute_.push_back(std::move(rec));
+}
+
+std::vector<CommRecord> TraceRecorder::rail_comms(int iteration,
+                                                  RailId rail) const {
+  std::vector<CommRecord> out;
+  for (const CommRecord& r : comm_) {
+    if (r.iteration == iteration && r.scale_out && r.rail == rail) {
+      out.push_back(r);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const CommRecord& a, const CommRecord& b) {
+              return a.t_issue < b.t_issue;
+            });
+  return out;
+}
+
+std::vector<CommRecord> TraceRecorder::scale_out_comms(int iteration) const {
+  std::vector<CommRecord> out;
+  for (const CommRecord& r : comm_) {
+    if (r.iteration == iteration && r.scale_out) out.push_back(r);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const CommRecord& a, const CommRecord& b) {
+              return a.t_issue < b.t_issue;
+            });
+  return out;
+}
+
+void TraceRecorder::clear() {
+  comm_.clear();
+  compute_.clear();
+  spans_.clear();
+  current_iteration_ = -1;
+}
+
+}  // namespace opus::trace

@@ -1,0 +1,119 @@
+#include "trace/windows.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/error.h"
+
+namespace opus::trace {
+
+std::vector<Phase> extract_phases(const std::vector<CommRecord>& comms) {
+  std::vector<Phase> phases;
+  for (const CommRecord& c : comms) {
+    bool start_new = phases.empty();
+    if (!start_new) {
+      const Phase& p = phases.back();
+      if (p.dim != c.dim) {
+        start_new = true;
+      } else if (c.t_issue > p.t_last_end && !p.contains_group(c.group)) {
+        // Same dimension but a *different* group set after an idle gap:
+        // a distinct phase (e.g. per-stage ReduceScatter bursts).
+        start_new = true;
+      }
+    }
+    if (start_new) {
+      Phase p;
+      p.dim = c.dim;
+      p.groups = {c.group};
+      p.t_first_issue = c.t_issue;
+      p.t_last_end = c.t_end;
+      p.first_comm_payload = c.payload;
+      p.total_payload = c.payload;
+      p.n_comms = 1;
+      phases.push_back(std::move(p));
+    } else {
+      Phase& p = phases.back();
+      if (!p.contains_group(c.group)) p.groups.push_back(c.group);
+      p.t_first_issue = std::min(p.t_first_issue, c.t_issue);
+      p.t_last_end = std::max(p.t_last_end, c.t_end);
+      p.total_payload += c.payload;
+      ++p.n_comms;
+    }
+  }
+  return phases;
+}
+
+std::vector<Window> extract_windows(const std::vector<CommRecord>& comms) {
+  std::vector<Window> windows;
+  const std::vector<Phase> phases = extract_phases(comms);
+  for (std::size_t i = 1; i < phases.size(); ++i) {
+    Window w;
+    w.size = phases[i].t_first_issue - phases[i - 1].t_last_end;
+    w.before_dim = phases[i - 1].dim;
+    w.after_dim = phases[i].dim;
+    // Fig. 4(b): windows are categorized by the *total* traffic between this
+    // window and the next one, i.e. the following phase's payload sum.
+    w.traffic_after = phases[i].total_payload;
+    if (!comms.empty()) w.iteration = comms.front().iteration;
+    windows.push_back(w);
+  }
+  return windows;
+}
+
+std::vector<WindowCategory> categorize_windows(
+    const std::vector<Window>& windows, int n_iterations) {
+  ensure(n_iterations >= 1, "categorize_windows: need >= 1 iteration");
+  // Bucket by volume, merging volumes within 1% of an existing bucket.
+  std::map<Bytes, std::pair<int, double>> buckets;  // volume -> (count, sum ms)
+  for (const Window& w : windows) {
+    Bytes key = w.traffic_after;
+    for (const auto& [v, agg] : buckets) {
+      const double rel = std::abs(static_cast<double>(v - key)) /
+                         std::max<double>(1.0, static_cast<double>(v));
+      if (rel < 0.01) {
+        key = v;
+        break;
+      }
+    }
+    auto& [count, sum_ms] = buckets[key];
+    ++count;
+    sum_ms += to_ms(w.size);
+  }
+  std::vector<WindowCategory> out;
+  for (const auto& [volume, agg] : buckets) {
+    WindowCategory c;
+    c.traffic_after = volume;
+    c.count_per_iteration =
+        static_cast<double>(agg.first) / static_cast<double>(n_iterations);
+    c.avg_window_ms = agg.second / agg.first;
+    out.push_back(c);
+  }
+  return out;
+}
+
+std::int64_t window_count_estimate(int pp, int n_layers, int n_microbatches,
+                                   bool cp_present, bool ep_present) {
+  ensure(pp >= 1 && n_layers >= 1 && n_microbatches >= 1,
+         "window_count_estimate: invalid configuration");
+  const std::int64_t layers_per_stage =
+      (n_layers + pp - 1) / pp;  // ceil, matching uneven stage splits
+  std::int64_t count = 0;
+  // PP and FSDP forward/backward interleave.
+  count += 4LL * (pp - 1);
+  if (cp_present || ep_present) {
+    // CP/EP and FSDP first-microbatch forward interleave.
+    count += 2LL * (layers_per_stage - 1);
+    // CP/EP and PP forward/backward interleave.
+    count += 4LL * n_microbatches;
+  }
+  if (cp_present && ep_present) {
+    // CP and EP forward/backward interleave (per layer, both passes).
+    count += 2LL * n_microbatches * (2 * layers_per_stage - 1);
+  }
+  // PP warm-up, steady, cool-down, and sync state transitions.
+  count += 4;
+  return count;
+}
+
+}  // namespace opus::trace

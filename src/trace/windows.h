@@ -1,0 +1,85 @@
+// Inter-parallelism window analysis (§3.1 of the paper).
+//
+// A *phase* is a maximal run of consecutive (by issue time) scale-out
+// communications on one rail that belong to the same parallelism dimension.
+// The window between consecutive phases P1 and P2 is
+//
+//   T_window = min_{comm_j in P2} T_start(comm_j)
+//            - max_{comm_i in P1} T_end(comm_i)
+//
+// where T_start is the moment the slowest participating rank joined — which
+// in the simulator is exactly the collective's issue time (all DAG
+// dependencies satisfied). Windows can be negative when phases overlap.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/units.h"
+#include "trace/recorder.h"
+
+namespace opus::trace {
+
+/// One contiguous run of communications on a rail belonging to the same
+/// parallelism phase. Phase identity follows the paper's "distinctive sets
+/// of communication groups": a new phase starts when the dimension changes,
+/// or when a communication from a group outside the running phase's group
+/// set arrives after an idle gap (e.g. stage 1's ReduceScatter chain versus
+/// stage 0's later one).
+struct Phase {
+  collective::ParallelismDim dim = collective::ParallelismDim::kOther;
+  std::vector<GroupId> groups;   ///< distinct groups seen in the phase
+  TimeNs t_first_issue = 0;      ///< min issue over the phase's comms
+  TimeNs t_last_end = 0;         ///< max end over the phase's comms
+  Bytes first_comm_payload = 0;  ///< payload of the earliest comm
+  Bytes total_payload = 0;       ///< Fig. 4(b)'s traffic categories
+  int n_comms = 0;
+
+  bool contains_group(GroupId g) const {
+    for (GroupId x : groups)
+      if (x == g) return true;
+    return false;
+  }
+};
+
+/// The gap between two consecutive phases.
+struct Window {
+  TimeNs size = 0;  ///< may be negative when phases overlap
+  collective::ParallelismDim before_dim = collective::ParallelismDim::kOther;
+  collective::ParallelismDim after_dim = collective::ParallelismDim::kOther;
+  /// Volume of the communication following the window (its category in
+  /// Fig. 4b).
+  Bytes traffic_after = 0;
+  int iteration = 0;
+};
+
+/// Splits a rail's comm records (one iteration, sorted by issue) into phases.
+std::vector<Phase> extract_phases(const std::vector<CommRecord>& comms);
+
+/// Windows between consecutive phases of one iteration on one rail.
+std::vector<Window> extract_windows(const std::vector<CommRecord>& comms);
+
+/// Aggregated Fig. 4(b) row: windows grouped by following-traffic volume.
+struct WindowCategory {
+  Bytes traffic_after = 0;  ///< representative volume of the category
+  double count_per_iteration = 0.0;
+  double avg_window_ms = 0.0;
+};
+
+/// Groups windows into volume categories (volumes equal within 1%) and
+/// averages over `n_iterations`.
+std::vector<WindowCategory> categorize_windows(
+    const std::vector<Window>& windows, int n_iterations);
+
+/// Eq. 1 of the paper: upper bound on the number of inter-parallelism
+/// windows in one training iteration (FSDP assumed; TP confined to the
+/// scale-up domain). Terms vanish with the absent dimensions: the CP/EP-vs-
+/// FSDP and CP/EP-vs-PP interleaves need at least one of CP/EP; the CP-vs-
+/// EP interleave needs both. For the paper's Llama3.1-405B setting
+/// (126 layers, PP=9, 16 microbatches, CP but no EP) this gives 126,
+/// matching the reported ~127 windows (~6/s over a ~20 s iteration).
+std::int64_t window_count_estimate(int pp, int n_layers, int n_microbatches,
+                                   bool cp_present, bool ep_present);
+
+}  // namespace opus::trace

@@ -1,0 +1,48 @@
+#include "workload/compute_model.h"
+
+#include <algorithm>
+
+namespace opus::workload {
+
+TimeNs ComputeModel::layer_fwd(const ModelConfig& m,
+                               const ParallelismConfig& p) const {
+  const double tokens =
+      static_cast<double>(p.microbatch_size) * m.seq_len / p.cp;
+  const double flops =
+      tokens * m.fwd_flops_per_token_per_layer() / p.tp;
+  return static_cast<TimeNs>(flops / effective_flops() * kNsPerSec);
+}
+
+TimeNs ComputeModel::layer_bwd(const ModelConfig& m,
+                               const ParallelismConfig& p) const {
+  // Backward is 2x forward FLOPs; full activation recomputation replays the
+  // forward pass first (3x total).
+  const double mult = activation_recompute_ ? 3.0 : 2.0;
+  return static_cast<TimeNs>(static_cast<double>(layer_fwd(m, p)) * mult);
+}
+
+TimeNs ComputeModel::layer_tp_comm(const ModelConfig& m,
+                                   const ParallelismConfig& p,
+                                   Bandwidth nvlink_bw) const {
+  if (p.tp <= 1) return 0;
+  // Two ring AllReduces of the activation tensor per layer per pass:
+  // per-rank wire bytes = 2 * (tp-1)/tp * payload each.
+  const Bytes activation = static_cast<Bytes>(p.microbatch_size) * m.seq_len /
+                           p.cp * m.activation_bytes_per_token();
+  const double wire = 2.0 * 2.0 * (p.tp - 1) / p.tp *
+                      static_cast<double>(activation);
+  return transfer_time(static_cast<Bytes>(wire), nvlink_bw);
+}
+
+TimeNs ComputeModel::optimizer_step(const ModelConfig& m,
+                                    const ParallelismConfig& p) const {
+  // Adam on the GPU's shard: read params+grads+2 moments, write params+
+  // moments => ~7 fp32-equivalent accesses per parameter (mixed precision).
+  const double shard_params =
+      static_cast<double>(m.total_params()) / p.tp / p.pp /
+      (p.fsdp ? p.dp : 1);
+  const double bytes = shard_params * 7.0 * 4.0;
+  return static_cast<TimeNs>(bytes / gpu_.hbm_bytes_per_sec * kNsPerSec);
+}
+
+}  // namespace opus::workload

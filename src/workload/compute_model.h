@@ -1,0 +1,57 @@
+// FLOPs-based compute-time model.
+//
+// Substitutes for the Perlmutter A100 measurements in §3.1 of the paper: it
+// produces per-layer forward/backward durations from model FLOPs, the GPU's
+// peak throughput, and an achieved-utilization factor (MFU). Defaults are
+// calibrated so the Llama3-8B / TP=4 / FSDP=2 / PP=2 workload exhibits the
+// paper's window structure (millisecond windows; ~O(100ms..1s) window before
+// the ReduceScatter phase).
+#pragma once
+
+#include "common/units.h"
+#include "workload/model_config.h"
+#include "workload/parallelism.h"
+
+namespace opus::workload {
+
+struct GpuSpec {
+  std::string name = "A100-SXM4-40GB";
+  double peak_flops = 312e12;       ///< bf16 dense
+  double hbm_bytes_per_sec = 1.6e12;
+  static GpuSpec a100() { return {}; }
+  static GpuSpec h100() { return {"H100-SXM5", 989e12, 3.35e12}; }
+  static GpuSpec h200() { return {"H200-SXM5", 989e12, 4.8e12}; }
+};
+
+class ComputeModel {
+ public:
+  explicit ComputeModel(GpuSpec gpu = GpuSpec::a100(), double mfu = 0.35,
+                        bool activation_recompute = true)
+      : gpu_(gpu), mfu_(mfu), activation_recompute_(activation_recompute) {}
+
+  double effective_flops() const { return gpu_.peak_flops * mfu_; }
+  bool activation_recompute() const { return activation_recompute_; }
+
+  /// Forward time of one layer for one microbatch (per GPU, TP-sharded).
+  TimeNs layer_fwd(const ModelConfig& m, const ParallelismConfig& p) const;
+  /// Backward time (2x forward, 3x with full activation recomputation).
+  TimeNs layer_bwd(const ModelConfig& m, const ParallelismConfig& p) const;
+
+  /// Folded cost of the layer's TP collectives over the scale-up fabric
+  /// (2 ring AllReduce per layer per pass). Added to layer durations when
+  /// the engine runs with tp_comm folded instead of simulated.
+  TimeNs layer_tp_comm(const ModelConfig& m, const ParallelismConfig& p,
+                       Bandwidth nvlink_bw) const;
+
+  /// Optimizer step: HBM-bandwidth-bound update of the GPU's param shard
+  /// (params + grads + two Adam moments).
+  TimeNs optimizer_step(const ModelConfig& m,
+                        const ParallelismConfig& p) const;
+
+ private:
+  GpuSpec gpu_;
+  double mfu_;
+  bool activation_recompute_;
+};
+
+}  // namespace opus::workload

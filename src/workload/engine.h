@@ -1,0 +1,100 @@
+// Iteration engine: executes an IterationDag on the simulated cluster.
+//
+// Compute ops occupy their GPUs (one op part per GPU at a time, FIFO);
+// collective ops run through the CollectiveExecutor over the injected
+// Transport (DirectTransport for electrical rails, OpusTransport for
+// photonic rails), so the same DAG drives both the baseline and the
+// photonic-rail experiments. Every communication-group execution and every
+// compute span is recorded into the TraceRecorder.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "collective/executor.h"
+#include "collective/planner.h"
+#include "collective/transport.h"
+#include "net/cluster.h"
+#include "sim/simulator.h"
+#include "trace/recorder.h"
+#include "workload/iteration.h"
+
+namespace opus::workload {
+
+class IterationEngine {
+ public:
+  struct Options {
+    /// Host-side dispatch overhead between a collective's dependencies
+    /// completing and the slowest rank actually joining it (CPU scheduling,
+    /// kernel launch, lazy DTensor initialization). Drawn deterministically
+    /// per (op, iteration) from [min, max]; set both to 0 to disable.
+    TimeNs dispatch_min = usecs(300);
+    TimeNs dispatch_max = msecs(3);
+    std::uint64_t seed = 42;
+  };
+
+  IterationEngine(sim::Simulator& sim, net::Cluster& cluster,
+                  collective::Transport& transport,
+                  trace::TraceRecorder* recorder, Options options);
+  IterationEngine(sim::Simulator& sim, net::Cluster& cluster,
+                  collective::Transport& transport,
+                  trace::TraceRecorder* recorder = nullptr)
+      : IterationEngine(sim, cluster, transport, recorder, Options{}) {}
+
+  /// Runs `iterations` executions of `dag` back to back, then fires
+  /// `on_done`. Call Simulator::run() afterwards to advance the simulation.
+  void run(const IterationDag& dag, int iterations,
+           std::function<void()> on_done = {});
+
+  /// Convenience: schedules `iterations` runs and drives the simulator to
+  /// completion; returns per-iteration wall times.
+  std::vector<TimeNs> run_to_completion(const IterationDag& dag,
+                                        int iterations);
+
+  const std::vector<TimeNs>& iteration_times() const { return iter_times_; }
+
+ private:
+  void start_iteration();
+  void finish_iteration();
+  void op_ready(OpId id);
+  void start_compute(const Op& op);
+  void start_collective(const Op& op);
+  TimeNs dispatch_latency(OpId id) const;
+  void complete_op(OpId id);
+  void gpu_finished_part(int gpu, OpId id);
+  void run_next_on_gpu(int gpu);
+
+  /// Degree budget for algorithm choice on this group's fabric path:
+  /// 0 (unconstrained) on scale-up or electrical rails; nic_ports on
+  /// photonic rails.
+  int degree_budget(const collective::CommGroup& group) const;
+  bool group_is_scale_out(const collective::CommGroup& group) const;
+
+  sim::Simulator& sim_;
+  net::Cluster& cluster_;
+  collective::Transport& transport_;
+  trace::TraceRecorder* recorder_;
+  Options options_;
+  collective::CollectiveExecutor executor_;
+
+  const IterationDag* dag_ = nullptr;
+  int iterations_left_ = 0;
+  int iteration_index_ = -1;
+  TimeNs iteration_start_ = 0;
+  std::function<void()> on_done_;
+  std::vector<TimeNs> iter_times_;
+
+  // Per-iteration execution state.
+  std::vector<int> deps_remaining_;
+  std::vector<int> parts_remaining_;
+  std::vector<std::vector<int>> dependents_;
+  std::size_t ops_remaining_ = 0;
+
+  // Per-GPU compute stream.
+  std::vector<std::deque<OpId>> gpu_queue_;
+  std::vector<bool> gpu_busy_;
+};
+
+}  // namespace opus::workload

@@ -1,0 +1,114 @@
+#include "workload/model_config.h"
+
+namespace opus::workload {
+
+std::int64_t ModelConfig::attention_params() const {
+  const std::int64_t h = hidden;
+  const std::int64_t kv = kv_dim();
+  // Q: h*h, K: h*kv, V: h*kv, O: h*h.
+  return 2 * h * h + 2 * h * kv;
+}
+
+std::int64_t ModelConfig::ffn_params() const {
+  // SwiGLU: gate (h x f), up (h x f), down (f x h).
+  // Classic GELU MLP: up (h x f), down (f x h).
+  return (swiglu ? 3LL : 2LL) * hidden * ffn_hidden;
+}
+
+std::int64_t ModelConfig::params_per_layer() const {
+  const std::int64_t experts = moe() ? n_experts : 1;
+  return attention_params() + experts * ffn_params();
+}
+
+std::int64_t ModelConfig::active_params_per_layer() const {
+  const std::int64_t active = moe() ? experts_per_token : 1;
+  return attention_params() + active * ffn_params();
+}
+
+std::int64_t ModelConfig::embedding_params() const {
+  return 2LL * vocab * hidden;  // untied input embedding + output head
+}
+
+std::int64_t ModelConfig::total_params() const {
+  return static_cast<std::int64_t>(n_layers) * params_per_layer() +
+         embedding_params();
+}
+
+double ModelConfig::fwd_flops_per_token_per_layer() const {
+  // Dense matmuls: 2 FLOPs per parameter per token. Attention scores and
+  // values: 2 matmuls of [seq x head_dim] x [head_dim x seq] per head,
+  // i.e. ~4 * seq * hidden FLOPs per token (causal masking halves it).
+  const double dense = 2.0 * static_cast<double>(active_params_per_layer());
+  const double attn = 2.0 * static_cast<double>(seq_len) * hidden;
+  return dense + attn;
+}
+
+ModelConfig ModelConfig::llama3_8b() {
+  ModelConfig m;
+  m.name = "Llama3-8B";
+  m.n_layers = 32;
+  m.hidden = 4096;
+  m.n_heads = 32;
+  m.n_kv_heads = 8;
+  m.ffn_hidden = 14336;
+  m.vocab = 128256;
+  m.seq_len = 4096;  // TorchTitan trace configuration (§3.1)
+  return m;
+}
+
+ModelConfig ModelConfig::llama31_405b() {
+  ModelConfig m;
+  m.name = "Llama3.1-405B";
+  m.n_layers = 126;
+  m.hidden = 16384;
+  m.n_heads = 128;
+  m.n_kv_heads = 8;
+  m.ffn_hidden = 53248;
+  m.vocab = 128256;
+  m.seq_len = 8192;
+  return m;
+}
+
+ModelConfig ModelConfig::gpt3_175b() {
+  ModelConfig m;
+  m.name = "GPT-3-175B";
+  m.n_layers = 96;
+  m.hidden = 12288;
+  m.n_heads = 96;
+  m.n_kv_heads = 96;
+  m.ffn_hidden = 49152;
+  m.vocab = 50257;
+  m.seq_len = 2048;
+  m.swiglu = false;  // GPT-3 uses a GELU MLP
+  return m;
+}
+
+ModelConfig ModelConfig::mixtral_8x7b() {
+  ModelConfig m;
+  m.name = "Mixtral-8x7B";
+  m.n_layers = 32;
+  m.hidden = 4096;
+  m.n_heads = 32;
+  m.n_kv_heads = 8;
+  m.ffn_hidden = 14336;
+  m.vocab = 32000;
+  m.seq_len = 4096;
+  m.n_experts = 8;
+  m.experts_per_token = 2;
+  return m;
+}
+
+ModelConfig ModelConfig::test_tiny() {
+  ModelConfig m;
+  m.name = "TestTiny";
+  m.n_layers = 4;
+  m.hidden = 256;
+  m.n_heads = 4;
+  m.n_kv_heads = 4;
+  m.ffn_hidden = 1024;
+  m.vocab = 1024;
+  m.seq_len = 128;
+  return m;
+}
+
+}  // namespace opus::workload

@@ -1,0 +1,194 @@
+#include "workload/parallelism.h"
+
+#include <sstream>
+
+#include "common/error.h"
+
+namespace opus::workload {
+
+void ParallelismConfig::validate() const {
+  ensure(tp >= 1 && cp >= 1 && dp >= 1 && pp >= 1 && ep >= 1,
+         "parallel degrees must be >= 1");
+  ensure(n_microbatches >= 1, "need at least one microbatch");
+  ensure(microbatch_size >= 1, "microbatch size must be >= 1");
+  ensure(dp % ep == 0, "expert parallel degree must divide data parallel");
+  ensure(n_microbatches >= pp,
+         "1F1B requires at least as many microbatches as pipeline stages");
+}
+
+std::string ParallelismConfig::to_string() const {
+  std::ostringstream os;
+  os << "TP=" << tp;
+  if (cp > 1) os << " CP=" << cp;
+  os << (fsdp ? " FSDP=" : " DP=") << dp << " PP=" << pp;
+  if (ep > 1) os << " EP=" << ep;
+  os << " mb=" << n_microbatches << "x" << microbatch_size;
+  return os.str();
+}
+
+RankMapper::RankMapper(ParallelismConfig cfg, int gpus_per_node)
+    : cfg_(cfg), gpus_per_node_(gpus_per_node) {
+  cfg_.validate();
+  ensure(gpus_per_node >= 1, "need at least one GPU per node");
+  ensure(cfg_.world_size() % gpus_per_node == 0,
+         "world size must be a whole number of nodes");
+  ensure((cfg_.tp * cfg_.cp) % gpus_per_node == 0 ||
+             gpus_per_node % (cfg_.tp * cfg_.cp) == 0,
+         "TP*CP must pack into scale-up domains");
+  build_groups();
+}
+
+RankCoords RankMapper::coords(GpuId g) const {
+  ensure(g.valid() && g.value() < world_size(), "invalid rank");
+  int v = g.value();
+  RankCoords c;
+  c.tp = v % cfg_.tp;
+  v /= cfg_.tp;
+  c.cp = v % cfg_.cp;
+  v /= cfg_.cp;
+  c.dp = v % cfg_.dp;
+  v /= cfg_.dp;
+  c.pp = v;
+  return c;
+}
+
+GpuId RankMapper::gpu(const RankCoords& c) const {
+  ensure(c.tp >= 0 && c.tp < cfg_.tp && c.cp >= 0 && c.cp < cfg_.cp &&
+             c.dp >= 0 && c.dp < cfg_.dp && c.pp >= 0 && c.pp < cfg_.pp,
+         "coords out of range");
+  return GpuId{c.tp + cfg_.tp * (c.cp + cfg_.cp * (c.dp + cfg_.dp * c.pp))};
+}
+
+void RankMapper::build_groups() {
+  using collective::CommGroup;
+  using collective::ParallelismDim;
+  std::int32_t next_id = 0;
+  auto make_group = [&next_id](ParallelismDim dim, std::string name) {
+    CommGroup g;
+    g.id = GroupId{next_id++};
+    g.dim = dim;
+    g.name = std::move(name);
+    return g;
+  };
+
+  // TP groups: vary tp, fix (cp, dp, pp).
+  for (int p = 0; p < cfg_.pp; ++p)
+    for (int d = 0; d < cfg_.dp; ++d)
+      for (int c = 0; c < cfg_.cp; ++c) {
+        auto g = make_group(ParallelismDim::kTP,
+                            "tp[cp" + std::to_string(c) + ",dp" +
+                                std::to_string(d) + ",pp" + std::to_string(p) +
+                                "]");
+        for (int t = 0; t < cfg_.tp; ++t) g.ranks.push_back(gpu({t, c, d, p}));
+        tp_.push_back(std::move(g));
+      }
+
+  // CP groups: vary cp.
+  if (cfg_.cp > 1) {
+    for (int p = 0; p < cfg_.pp; ++p)
+      for (int d = 0; d < cfg_.dp; ++d)
+        for (int t = 0; t < cfg_.tp; ++t) {
+          auto g = make_group(ParallelismDim::kCP,
+                              "cp[tp" + std::to_string(t) + ",dp" +
+                                  std::to_string(d) + ",pp" +
+                                  std::to_string(p) + "]");
+          for (int c = 0; c < cfg_.cp; ++c)
+            g.ranks.push_back(gpu({t, c, d, p}));
+          cp_.push_back(std::move(g));
+        }
+  }
+
+  // DP groups: vary dp.
+  for (int p = 0; p < cfg_.pp; ++p)
+    for (int c = 0; c < cfg_.cp; ++c)
+      for (int t = 0; t < cfg_.tp; ++t) {
+        auto g = make_group(ParallelismDim::kDP,
+                            "dp[tp" + std::to_string(t) + ",cp" +
+                                std::to_string(c) + ",pp" + std::to_string(p) +
+                                "]");
+        for (int d = 0; d < cfg_.dp; ++d) g.ranks.push_back(gpu({t, c, d, p}));
+        dp_.push_back(std::move(g));
+      }
+
+  // PP groups: vary pp (ring order = stage order).
+  for (int d = 0; d < cfg_.dp; ++d)
+    for (int c = 0; c < cfg_.cp; ++c)
+      for (int t = 0; t < cfg_.tp; ++t) {
+        auto g = make_group(ParallelismDim::kPP,
+                            "pp[tp" + std::to_string(t) + ",cp" +
+                                std::to_string(c) + ",dp" + std::to_string(d) +
+                                "]");
+        for (int p = 0; p < cfg_.pp; ++p) g.ranks.push_back(gpu({t, c, d, p}));
+        pp_.push_back(std::move(g));
+      }
+
+  // EP groups: first `ep` ranks of each DP group slice (EP nests inside DP).
+  if (cfg_.ep > 1) {
+    for (int p = 0; p < cfg_.pp; ++p)
+      for (int c = 0; c < cfg_.cp; ++c)
+        for (int t = 0; t < cfg_.tp; ++t)
+          for (int d0 = 0; d0 < cfg_.dp; d0 += cfg_.ep) {
+            auto g = make_group(ParallelismDim::kEP,
+                                "ep[tp" + std::to_string(t) + ",cp" +
+                                    std::to_string(c) + ",dp" +
+                                    std::to_string(d0) + "..,pp" +
+                                    std::to_string(p) + "]");
+            for (int e = 0; e < cfg_.ep; ++e)
+              g.ranks.push_back(gpu({t, c, d0 + e, p}));
+            ep_.push_back(std::move(g));
+          }
+  }
+}
+
+const collective::CommGroup& RankMapper::group_of(
+    collective::ParallelismDim dim, GpuId g) const {
+  const std::vector<collective::CommGroup>* groups = nullptr;
+  switch (dim) {
+    case collective::ParallelismDim::kTP: groups = &tp_; break;
+    case collective::ParallelismDim::kCP: groups = &cp_; break;
+    case collective::ParallelismDim::kDP: groups = &dp_; break;
+    case collective::ParallelismDim::kPP: groups = &pp_; break;
+    case collective::ParallelismDim::kEP: groups = &ep_; break;
+    case collective::ParallelismDim::kOther:
+      ensure(false, "group_of: no groups for dim Other");
+  }
+  for (const auto& grp : *groups) {
+    if (grp.contains(g)) return grp;
+  }
+  ensure(false, "group_of: rank not found in any group of the dimension");
+  return tp_.front();  // unreachable
+}
+
+bool RankMapper::rail_local(const collective::CommGroup& group) const {
+  if (group.ranks.empty()) return true;
+  const int local = group.ranks.front().value() % gpus_per_node_;
+  for (GpuId g : group.ranks) {
+    if (g.value() % gpus_per_node_ != local) return false;
+  }
+  return true;
+}
+
+ParallelismAdvice advise_parallelism(std::int64_t params, int n_gpus) {
+  const bool small = params < 10'000'000'000LL;
+  if (small) {
+    return {"Small (<10B)", "N <= 8", "TP or DP"};
+  }
+  if (n_gpus <= 512) {
+    return {"Large (>10B)", "8 < N <= 512", "TP & PP, TP & DP, or DP"};
+  }
+  if (n_gpus <= 1024) {
+    return {"Large (>10B)", "512 < N <= 1024", "DP & PP, or DP & TP"};
+  }
+  return {"Large (>10B)", "N > 1024", "TP, DP & PP"};
+}
+
+std::vector<ParallelismAdvice> parallelism_rule_table() {
+  return {
+      advise_parallelism(8'000'000'000LL, 8),
+      advise_parallelism(70'000'000'000LL, 512),
+      advise_parallelism(70'000'000'000LL, 1024),
+      advise_parallelism(405'000'000'000LL, 8192),
+  };
+}
+
+}  // namespace opus::workload

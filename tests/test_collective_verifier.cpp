@@ -1,0 +1,155 @@
+// Symbolic verification of collective schedules: every planner output must
+// satisfy its collective's postcondition, and corrupted schedules must be
+// rejected (missing transfers, double-counted reductions, wrong chunks).
+#include <gtest/gtest.h>
+
+#include "collective/planner.h"
+#include "collective/verifier.h"
+#include "common/error.h"
+
+namespace opus::collective {
+namespace {
+
+constexpr Bytes kPayload = 1 << 20;
+
+struct VerifyCase {
+  CollectiveType type;
+  Algorithm algo;
+  int n;
+};
+
+class VerifierSweep : public ::testing::TestWithParam<VerifyCase> {};
+
+TEST_P(VerifierSweep, PlannedSchedulesVerify) {
+  const auto& [type, algo, n] = GetParam();
+  const auto s = plan_collective(type, algo, n, kPayload);
+  const auto report = verify_schedule(s);
+  EXPECT_TRUE(report.ok) << to_string(type) << "/" << to_string(algo) << "/n="
+                         << n << ": " << report.error;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAlgorithms, VerifierSweep,
+    ::testing::Values(
+        VerifyCase{CollectiveType::kAllReduce, Algorithm::kRing, 2},
+        VerifyCase{CollectiveType::kAllReduce, Algorithm::kRing, 3},
+        VerifyCase{CollectiveType::kAllReduce, Algorithm::kRing, 8},
+        VerifyCase{CollectiveType::kAllReduce, Algorithm::kRing, 17},
+        VerifyCase{CollectiveType::kAllReduce, Algorithm::kRing, 64},
+        VerifyCase{CollectiveType::kAllReduce,
+                   Algorithm::kRecursiveHalvingDoubling, 2},
+        VerifyCase{CollectiveType::kAllReduce,
+                   Algorithm::kRecursiveHalvingDoubling, 8},
+        VerifyCase{CollectiveType::kAllReduce,
+                   Algorithm::kRecursiveHalvingDoubling, 64},
+        VerifyCase{CollectiveType::kAllReduce, Algorithm::kBinomialTree, 2},
+        VerifyCase{CollectiveType::kAllReduce, Algorithm::kBinomialTree, 7},
+        VerifyCase{CollectiveType::kAllReduce, Algorithm::kBinomialTree, 24},
+        VerifyCase{CollectiveType::kAllGather, Algorithm::kRing, 2},
+        VerifyCase{CollectiveType::kAllGather, Algorithm::kRing, 9},
+        VerifyCase{CollectiveType::kAllGather, Algorithm::kRing, 33},
+        VerifyCase{CollectiveType::kAllGather, Algorithm::kRecursiveDoubling,
+                   4},
+        VerifyCase{CollectiveType::kAllGather, Algorithm::kRecursiveDoubling,
+                   32},
+        VerifyCase{CollectiveType::kAllGather, Algorithm::kDirect, 6},
+        VerifyCase{CollectiveType::kReduceScatter, Algorithm::kRing, 2},
+        VerifyCase{CollectiveType::kReduceScatter, Algorithm::kRing, 10},
+        VerifyCase{CollectiveType::kReduceScatter, Algorithm::kRing, 31},
+        VerifyCase{CollectiveType::kAllToAll, Algorithm::kPairwise, 2},
+        VerifyCase{CollectiveType::kAllToAll, Algorithm::kPairwise, 12},
+        VerifyCase{CollectiveType::kAllToAll, Algorithm::kDirect, 9},
+        VerifyCase{CollectiveType::kBroadcast, Algorithm::kRing, 5},
+        VerifyCase{CollectiveType::kBroadcast, Algorithm::kBinomialTree, 11},
+        VerifyCase{CollectiveType::kBroadcast, Algorithm::kDirect, 7},
+        VerifyCase{CollectiveType::kReduce, Algorithm::kRing, 6},
+        VerifyCase{CollectiveType::kReduce, Algorithm::kBinomialTree, 19},
+        VerifyCase{CollectiveType::kReduce, Algorithm::kDirect, 5},
+        VerifyCase{CollectiveType::kSendRecv, Algorithm::kDirect, 2},
+        VerifyCase{CollectiveType::kBarrier, Algorithm::kRing, 6},
+        VerifyCase{CollectiveType::kBarrier, Algorithm::kRecursiveDoubling,
+                   10}));
+
+// ---- negative cases: the verifier must catch broken schedules -------------
+
+TEST(VerifierNegative, MissingTransferFailsAllReduce) {
+  auto s = plan_collective(CollectiveType::kAllReduce, Algorithm::kRing, 4,
+                           kPayload);
+  s.transfers.pop_back();
+  EXPECT_FALSE(verify_schedule(s).ok);
+}
+
+TEST(VerifierNegative, DoubleCountedReductionIsCaught) {
+  auto s = plan_collective(CollectiveType::kAllReduce, Algorithm::kRing, 4,
+                           kPayload);
+  // Flip one all-gather-phase copy into a reduce: the receiver now adds an
+  // already-complete chunk to its own partial sum -> contribution counted
+  // twice. Set semantics would miss this; exact counting must not.
+  for (auto& t : s.transfers) {
+    if (t.step >= s.n_ranks - 1) {
+      t.reduce_op = true;
+      break;
+    }
+  }
+  EXPECT_FALSE(verify_schedule(s).ok);
+}
+
+TEST(VerifierNegative, WrongChunkFailsAllGather) {
+  auto s = plan_collective(CollectiveType::kAllGather, Algorithm::kRing, 4,
+                           kPayload);
+  s.transfers[0].chunk_lo = (s.transfers[0].chunk_lo + 1) % 4;
+  s.transfers[0].chunk_hi = s.transfers[0].chunk_lo + 1;
+  EXPECT_FALSE(verify_schedule(s).ok);
+}
+
+TEST(VerifierNegative, DroppedBarrierEdgeIsCaught) {
+  auto s = plan_collective(CollectiveType::kBarrier,
+                           Algorithm::kRecursiveDoubling, 8, 0);
+  s.transfers.pop_back();
+  EXPECT_FALSE(verify_schedule(s).ok);
+}
+
+TEST(VerifierNegative, DuplicateAllToAllSliceIsCaught) {
+  auto s = plan_collective(CollectiveType::kAllToAll, Algorithm::kPairwise, 4,
+                           kPayload);
+  s.transfers.push_back(s.transfers.front());
+  EXPECT_FALSE(verify_schedule(s).ok);
+}
+
+TEST(VerifierNegative, RewiredReduceTreeStillVerifies) {
+  // Rerouting (4 -> 0) to (4 -> 1) keeps the reduction correct: rank 4's
+  // contribution reaches the root through rank 1's later send. The verifier
+  // is semantic, not structural, so this must PASS.
+  auto s = plan_collective(CollectiveType::kReduce, Algorithm::kBinomialTree,
+                           8, kPayload);
+  ASSERT_EQ(s.transfers[0].src, 4);
+  ASSERT_EQ(s.transfers[0].dst, 0);
+  s.transfers[0].dst = 1;
+  EXPECT_TRUE(verify_schedule(s).ok);
+}
+
+TEST(VerifierNegative, WrongSourceFailsReduce) {
+  // Replacing sender 4 with sender 5 double-counts rank 5's contribution
+  // and drops rank 4's entirely.
+  auto s = plan_collective(CollectiveType::kReduce, Algorithm::kBinomialTree,
+                           8, kPayload);
+  ASSERT_EQ(s.transfers[0].src, 4);
+  s.transfers[0].src = 5;
+  EXPECT_FALSE(verify_schedule(s).ok);
+}
+
+TEST(Verifier, SingleRankAlwaysOk) {
+  const auto s =
+      plan_collective(CollectiveType::kAllReduce, Algorithm::kRing, 1, 100);
+  EXPECT_TRUE(verify_schedule(s).ok);
+}
+
+TEST(Verifier, RejectsOversizedGroups) {
+  auto s = plan_collective(CollectiveType::kAllReduce, Algorithm::kRing, 4,
+                           kPayload);
+  s.n_ranks = 10'000;
+  EXPECT_THROW(verify_schedule(s), InvariantError);
+}
+
+}  // namespace
+}  // namespace opus::collective

@@ -1,0 +1,170 @@
+// Tests for the common utilities: units, ids, stats/CDF, tables, RNG.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/ids.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "common/units.h"
+
+namespace opus {
+namespace {
+
+TEST(Units, TimeConversions) {
+  EXPECT_EQ(usecs(1), 1'000);
+  EXPECT_EQ(msecs(1.5), 1'500'000);
+  EXPECT_EQ(secs(2), 2'000'000'000);
+  EXPECT_DOUBLE_EQ(to_ms(msecs(250)), 250.0);
+  EXPECT_DOUBLE_EQ(to_sec(secs(3)), 3.0);
+}
+
+TEST(Units, BandwidthAndTransferTime) {
+  const Bandwidth bw = Bandwidth::gbps(400);
+  EXPECT_DOUBLE_EQ(bw.gbps_value(), 400.0);
+  EXPECT_DOUBLE_EQ(bw.bytes_per_ns(), 50.0);
+  // 50 GB at 50 B/ns = 1 s.
+  EXPECT_EQ(transfer_time(50'000'000'000, bw), secs(1));
+  EXPECT_EQ(transfer_time(0, bw), 0);
+  // Rounds up: 1 byte never takes 0 ns.
+  EXPECT_EQ(transfer_time(1, bw), 1);
+}
+
+TEST(Units, BandwidthArithmetic) {
+  const Bandwidth bw = Bandwidth::gbps(400);
+  EXPECT_EQ((bw / 2).gbps_value(), 200.0);
+  EXPECT_EQ((bw * 2).gbps_value(), 800.0);
+  EXPECT_LT(Bandwidth::gbps(100), bw);
+  EXPECT_TRUE(bw.positive());
+  EXPECT_FALSE(Bandwidth::gbps(0).positive());
+}
+
+TEST(Units, Formatting) {
+  EXPECT_EQ(format_time(msecs(12.5)), "12.500ms");
+  EXPECT_EQ(format_time(secs(1.25)), "1.250s");
+  EXPECT_EQ(format_time(500), "500ns");
+  EXPECT_EQ(format_bytes(957'000'000), "957.0MB");
+  EXPECT_EQ(format_bytes(64), "64B");
+}
+
+TEST(Ids, StrongTypingAndValidity) {
+  GpuId g{3};
+  EXPECT_TRUE(g.valid());
+  EXPECT_FALSE(GpuId{}.valid());
+  EXPECT_EQ(g, GpuId{3});
+  EXPECT_NE(g, GpuId{4});
+  EXPECT_LT(GpuId{1}, GpuId{2});
+  // Distinct tags do not compare/convert (compile-time property; here we
+  // just check hashing works for maps).
+  std::hash<GpuId> h;
+  EXPECT_EQ(h(GpuId{5}), h(GpuId{5}));
+}
+
+TEST(Stats, SummaryStatsMoments) {
+  SummaryStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 1e-3);
+}
+
+TEST(Stats, EmptyStatsThrow) {
+  SummaryStats s;
+  EXPECT_THROW(s.mean(), InvariantError);
+  EXPECT_THROW(s.min(), InvariantError);
+}
+
+TEST(Cdf, FractionsAndQuantiles) {
+  Cdf cdf;
+  for (int i = 1; i <= 100; ++i) cdf.add(i);
+  EXPECT_DOUBLE_EQ(cdf.fraction_at_or_below(50), 0.5);
+  EXPECT_DOUBLE_EQ(cdf.fraction_at_or_below(0), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.fraction_at_or_below(1000), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.5), 50);
+  EXPECT_DOUBLE_EQ(cdf.quantile(1.0), 100);
+  EXPECT_DOUBLE_EQ(cdf.median(), 50);
+  const auto pts = cdf.evaluate({25.0, 75.0});
+  EXPECT_DOUBLE_EQ(pts[0].second, 0.25);
+  EXPECT_DOUBLE_EQ(pts[1].second, 0.75);
+}
+
+TEST(Cdf, UnsortedInsertionOrderIrrelevant) {
+  Cdf a, b;
+  a.add_all({3, 1, 2});
+  b.add_all({1, 2, 3});
+  EXPECT_EQ(a.sorted_samples(), b.sorted_samples());
+}
+
+TEST(Cdf, EmptyQuantileThrows) {
+  Cdf cdf;
+  EXPECT_THROW(cdf.quantile(0.5), InvariantError);
+  EXPECT_DOUBLE_EQ(cdf.fraction_at_or_below(1.0), 0.0);
+}
+
+TEST(Table, RendersAlignedColumnsAndCsv) {
+  TextTable t({"fabric", "cost"});
+  t.add_row({"Opus", "$1"});
+  t.add_row({"Fat-tree", "$3"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("fabric"), std::string::npos);
+  EXPECT_NE(out.find("Fat-tree"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+  EXPECT_EQ(t.to_csv(), "fabric,cost\nOpus,$1\nFat-tree,$3\n");
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(Table, RowArityMismatchThrows) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), InvariantError);
+}
+
+TEST(Table, NumberFormatting) {
+  EXPECT_EQ(fmt_count(20736), "20,736");
+  EXPECT_EQ(fmt_count(-1234567), "-1,234,567");
+  EXPECT_EQ(fmt_count(7), "7");
+  EXPECT_EQ(fmt_dollars(12500000.4), "$12,500,000");
+  EXPECT_EQ(fmt_double(0.70549, 3), "0.705");
+}
+
+TEST(Rng, DeterministicFromSeed) {
+  Xoshiro256 a(12345);
+  Xoshiro256 b(12345);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+  Xoshiro256 c(54321);
+  bool differs = false;
+  Xoshiro256 d(12345);
+  for (int i = 0; i < 10; ++i) {
+    if (c.next() != d.next()) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Rng, UniformBounds) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 10'000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+  SummaryStats s;
+  Xoshiro256 rng2(11);
+  for (int i = 0; i < 100'000; ++i) s.add(rng2.uniform(10.0, 20.0));
+  EXPECT_NEAR(s.mean(), 15.0, 0.05);
+  EXPECT_GE(s.min(), 10.0);
+  EXPECT_LT(s.max(), 20.0);
+}
+
+TEST(Ensure, ThrowsWithMessage) {
+  EXPECT_NO_THROW(ensure(true, "fine"));
+  try {
+    ensure(false, "boom");
+    FAIL() << "ensure(false) must throw";
+  } catch (const InvariantError& e) {
+    EXPECT_STREQ(e.what(), "boom");
+  }
+}
+
+}  // namespace
+}  // namespace opus

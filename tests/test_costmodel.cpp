@@ -1,0 +1,162 @@
+// Cost/power model tests: Table 3 reproduction and Fig. 7 properties
+// (ordering, scaling, headline savings bands).
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "costmodel/fabric_cost.h"
+#include "costmodel/ocs_catalog.h"
+
+namespace opus::costmodel {
+namespace {
+
+TEST(OcsCatalog, HasAllSevenTechnologies) {
+  const auto& catalog = ocs_catalog();
+  ASSERT_EQ(catalog.size(), 7u);
+  EXPECT_EQ(catalog[0].technology, "PLZT");
+  EXPECT_EQ(catalog[6].technology, "Robotic");
+}
+
+TEST(OcsCatalog, Table3GpuCounts) {
+  // Every (radix, scale-up) cell of Table 3.
+  struct Row {
+    const char* tech;
+    std::int64_t gb200;
+    std::int64_t h200;
+  };
+  const Row rows[] = {
+      {"PLZT", 576, 64},          {"SiP", 1152, 128},
+      {"RotorNet", 4608, 512},    {"3D MEMS", 11520, 1280},
+      {"Piezo", 20736, 2304},     {"Liquid crystal", 18432, 2048},
+      {"Robotic", 36288, 4032},
+  };
+  for (const Row& row : rows) {
+    const OcsSpec& ocs = ocs_by_technology(row.tech);
+    EXPECT_EQ(opus_max_gpus(ocs, kGb200ScaleUp), row.gb200) << row.tech;
+    EXPECT_EQ(opus_max_gpus(ocs, kH200ScaleUp), row.h200) << row.tech;
+  }
+}
+
+TEST(OcsCatalog, ReconfigTimesMatchPaper) {
+  EXPECT_EQ(ocs_by_technology("Piezo").reconfig_ms, 25.0);
+  EXPECT_EQ(ocs_by_technology("3D MEMS").reconfig_ms, 15.0);
+  EXPECT_EQ(ocs_by_technology("Liquid crystal").reconfig_ms, 100.0);
+  EXPECT_EQ(ocs_by_technology("Robotic").reconfig_ms, 120000.0);
+  EXPECT_NEAR(ocs_by_technology("PLZT").reconfig_ms, 1e-5, 1e-12);
+}
+
+TEST(OcsCatalog, UnknownTechnologyThrows) {
+  EXPECT_THROW(ocs_by_technology("Quantum"), InvariantError);
+}
+
+TEST(FabricCost, OrderingMatchesFig7) {
+  // At every Fig. 7 scale: Opus < Rail-optimized < Fat-tree for both cost
+  // and power.
+  for (int n : {1024, 2048, 4096, 8192}) {
+    const auto ft = fat_tree_fabric(n);
+    const auto rail = rail_optimized_fabric(n);
+    const auto opus = opus_fabric(n);
+    EXPECT_LT(opus.total_cost(), rail.total_cost()) << n;
+    EXPECT_LT(rail.total_cost(), ft.total_cost()) << n;
+    EXPECT_LT(opus.total_power_w(), rail.total_power_w()) << n;
+    EXPECT_LT(rail.total_power_w(), ft.total_power_w()) << n;
+  }
+}
+
+TEST(FabricCost, HeadlineSavingsBands) {
+  // The paper: up to 70.5% cost and 95.84% power savings. Our calibrated
+  // component prices land in the same bands at 8192 GPUs.
+  const auto ft = fat_tree_fabric(8192);
+  const auto rail = rail_optimized_fabric(8192);
+  const auto opus = opus_fabric(8192);
+  EXPECT_GT(cost_saving(opus, rail), 0.55);
+  EXPECT_GT(cost_saving(opus, ft), 0.70);
+  EXPECT_LT(cost_saving(opus, ft), 0.90);
+  EXPECT_GT(power_saving(opus, rail), 0.88);
+  EXPECT_GT(power_saving(opus, ft), 0.93);
+  EXPECT_LT(power_saving(opus, ft), 0.99);
+}
+
+TEST(FabricCost, ScalesRoughlyLinearly) {
+  for (auto fabric : {fat_tree_fabric, rail_optimized_fabric, opus_fabric}) {
+    const auto small = fabric(1024, CostParams{});
+    const auto large = fabric(8192, CostParams{});
+    const double ratio = large.total_cost() / small.total_cost();
+    EXPECT_GT(ratio, 6.0);
+    EXPECT_LT(ratio, 10.0);
+  }
+}
+
+TEST(FabricCost, OpusHasNoPacketSwitches) {
+  const auto opus = opus_fabric(4096);
+  EXPECT_EQ(opus.n_switches, 0);
+  EXPECT_GT(opus.n_ocs, 0);
+  EXPECT_EQ(opus.switch_cost, 0.0);
+  // End-to-end optical: the only power is NIC optics + the OCS itself.
+  EXPECT_GT(opus.transceiver_power_w, 0.0);
+  EXPECT_GT(opus.ocs_power_w, 0.0);
+  EXPECT_LT(opus.ocs_power_w, opus.transceiver_power_w);
+}
+
+TEST(FabricCost, OpusOcsCountMatchesPortMath) {
+  // 8192 H200 GPUs: 8 rails x 1024 nodes x 2 ports = 2048 ports per rail;
+  // Polatis 576 -> ceil(2048/576) = 4 OCS per rail -> 32 total.
+  const auto opus = opus_fabric(8192);
+  EXPECT_EQ(opus.n_ocs, 32);
+  // Transceivers: 2 per GPU (NIC side only).
+  EXPECT_EQ(opus.n_transceivers, 2 * 8192);
+}
+
+TEST(FabricCost, FatTreeHasThreeTiersOfSwitches) {
+  const auto ft = fat_tree_fabric(8192);
+  // ~5N/64 switches for a full-bisection 3-tier Clos.
+  EXPECT_NEAR(ft.n_switches, 5.0 * 8192 / 64, 10);
+  EXPECT_EQ(ft.n_transceivers, 6 * 8192);
+}
+
+TEST(FabricCost, RailOptimizedSitsBetween) {
+  const auto rail = rail_optimized_fabric(8192);
+  // Leaf per rail + spine: ~3N/64 switches, 4N transceivers.
+  EXPECT_NEAR(rail.n_switches, 3.0 * 8192 / 64, 10);
+  EXPECT_EQ(rail.n_transceivers, 4 * 8192);
+}
+
+TEST(FabricCost, SavingsGrowWithScaleForPower) {
+  const double s1 =
+      power_saving(opus_fabric(1024), rail_optimized_fabric(1024));
+  const double s8 =
+      power_saving(opus_fabric(8192), rail_optimized_fabric(8192));
+  EXPECT_GE(s8, s1 - 0.02);  // monotone up to step-function wiggle
+}
+
+TEST(FabricCost, CustomParamsPropagate) {
+  CostParams p;
+  p.ocs_cost_per_port = 1000.0;
+  const auto cheap = opus_fabric(2048, CostParams{});
+  const auto pricey = opus_fabric(2048, p);
+  EXPECT_GT(pricey.total_cost(), cheap.total_cost());
+  // Per-used-port pricing: 2048 GPUs x 2 ports.
+  EXPECT_EQ(pricey.ocs_cost, 2048 * 2 * 1000.0);
+}
+
+TEST(FabricCost, RejectsEmptyClusters) {
+  EXPECT_THROW(fat_tree_fabric(0), InvariantError);
+  EXPECT_THROW(opus_fabric(4), InvariantError);  // less than one node
+}
+
+// Sweep: Opus stays cheapest across a wide range of scales.
+class ScaleSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ScaleSweep, OpusCheapestAtEveryScale) {
+  const int n = GetParam();
+  EXPECT_LT(opus_fabric(n).total_cost(),
+            rail_optimized_fabric(n).total_cost());
+  EXPECT_LT(opus_fabric(n).total_power_w(),
+            rail_optimized_fabric(n).total_power_w());
+}
+
+INSTANTIATE_TEST_SUITE_P(Fig7Range, ScaleSweep,
+                         ::testing::Values(512, 1024, 2048, 3072, 4096, 6144,
+                                           8192, 16384, 32768));
+
+}  // namespace
+}  // namespace opus::costmodel

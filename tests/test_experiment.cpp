@@ -1,0 +1,97 @@
+// Integration tests: full training iterations on electrical and photonic
+// rails, reproducing the qualitative claims of the paper end to end.
+#include <gtest/gtest.h>
+
+#include "core/experiment.h"
+#include "trace/windows.h"
+
+namespace opus {
+namespace {
+
+using core::ExperimentConfig;
+using core::ExperimentResult;
+using core::perlmutter_llama3_8b_config;
+
+ExperimentConfig small_config(net::RailKind kind) {
+  ExperimentConfig cfg = perlmutter_llama3_8b_config();
+  cfg.rail_kind = kind;
+  cfg.iterations = 2;
+  return cfg;
+}
+
+TEST(Experiment, ElectricalBaselineRuns) {
+  ExperimentConfig cfg = small_config(net::RailKind::kElectrical);
+  const ExperimentResult r = core::run_experiment(cfg);
+  ASSERT_EQ(r.iteration_times.size(), 2u);
+  EXPECT_GT(r.iteration_times[0], 0);
+  EXPECT_EQ(r.ocs_reconfigurations, 0);
+  EXPECT_GT(r.rail_bytes, 0);
+}
+
+TEST(Experiment, PhotonicRunsAndReconfigures) {
+  ExperimentConfig cfg = small_config(net::RailKind::kPhotonic);
+  const ExperimentResult r = core::run_experiment(cfg);
+  ASSERT_EQ(r.iteration_times.size(), 2u);
+  EXPECT_GT(r.ocs_reconfigurations, 0);
+  EXPECT_GT(r.controller.requests, 0);
+}
+
+TEST(Experiment, ZeroLatencyPhotonicMatchesElectricalClosely) {
+  ExperimentConfig e = small_config(net::RailKind::kElectrical);
+  ExperimentConfig p = small_config(net::RailKind::kPhotonic);
+  p.ocs_reconfig_delay = 0;
+  const auto re = core::run_experiment(e);
+  const auto rp = core::run_experiment(p);
+  const double ratio = static_cast<double>(rp.steady_iteration_time) /
+                       static_cast<double>(re.steady_iteration_time);
+  // The paper's Fig. 8 latency-0 point: photonic == fully-connected baseline
+  // (up to control-plane RTTs and the 2x200G port split).
+  EXPECT_NEAR(ratio, 1.0, 0.05) << "photonic/electrical = " << ratio;
+}
+
+TEST(Experiment, ProvisioningReducesIterationTime) {
+  ExperimentConfig with = small_config(net::RailKind::kPhotonic);
+  with.ocs_reconfig_delay = msecs(100);
+  with.provisioning = true;
+  with.iterations = 3;
+  ExperimentConfig without = with;
+  without.provisioning = false;
+  const auto rw = core::run_experiment(with);
+  const auto ro = core::run_experiment(without);
+  EXPECT_LE(rw.steady_iteration_time, ro.steady_iteration_time);
+  EXPECT_GT(rw.shim_speculative_requests, 0);
+}
+
+TEST(Experiment, WindowStructureMatchesPaper) {
+  // Fig. 4: >75% of inter-parallelism windows longer than 1 ms; the largest
+  // average window precedes the ReduceScatter phase.
+  ExperimentConfig cfg = small_config(net::RailKind::kElectrical);
+  cfg.iterations = 3;
+  const auto r = core::run_experiment(cfg);
+  std::vector<trace::Window> windows;
+  for (int iter = 1; iter < cfg.iterations; ++iter) {
+    for (int rail = 0; rail < 4; ++rail) {
+      const auto comms = r.recorder->rail_comms(iter, RailId{rail});
+      ASSERT_FALSE(comms.empty());
+      const auto w = trace::extract_windows(comms);
+      windows.insert(windows.end(), w.begin(), w.end());
+    }
+  }
+  ASSERT_FALSE(windows.empty());
+  int over_1ms = 0;
+  TimeNs best_window = 0;
+  Bytes best_traffic = 0;
+  for (const auto& w : windows) {
+    if (w.size > msecs(1)) ++over_1ms;
+    if (w.size > best_window) {
+      best_window = w.size;
+      best_traffic = w.traffic_after;
+    }
+  }
+  EXPECT_GT(static_cast<double>(over_1ms) / windows.size(), 0.5);
+  // The biggest window precedes the largest traffic volume (ReduceScatter).
+  EXPECT_GT(best_traffic, static_cast<Bytes>(3) * 1000 * 1000 * 1000);
+}
+
+}  // namespace
+}  // namespace opus

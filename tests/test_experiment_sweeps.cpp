@@ -1,0 +1,190 @@
+// Parameterized end-to-end sweeps: the full photonic stack must run
+// correctly (and deterministically) across parallelism shapes, OCS
+// technologies, NIC port configurations, and workload options.
+#include <gtest/gtest.h>
+
+#include "core/experiment.h"
+#include "costmodel/ocs_catalog.h"
+
+namespace opus {
+namespace {
+
+core::ExperimentConfig tiny_config(int tp, int dp, int pp) {
+  core::ExperimentConfig cfg;
+  cfg.model = workload::ModelConfig::test_tiny();
+  cfg.model.n_layers = 8;
+  cfg.parallelism.tp = tp;
+  cfg.parallelism.dp = dp;
+  cfg.parallelism.pp = pp;
+  cfg.parallelism.n_microbatches = std::max(2, pp);
+  cfg.parallelism.microbatch_size = 1;
+  cfg.gpus_per_node = std::min(tp, tp * dp * pp);
+  cfg.iterations = 3;
+  cfg.record_compute_trace = false;
+  cfg.rail_kind = net::RailKind::kPhotonic;
+  cfg.ocs_reconfig_delay = msecs(1);
+  return cfg;
+}
+
+class ShapeSweep : public ::testing::TestWithParam<std::tuple<int, int, int>> {
+};
+
+TEST_P(ShapeSweep, PhotonicEndToEnd) {
+  const auto [tp, dp, pp] = GetParam();
+  core::ExperimentConfig cfg = tiny_config(tp, dp, pp);
+  const auto r = core::run_experiment(cfg);
+  ASSERT_EQ(r.iteration_times.size(), 3u);
+  for (TimeNs t : r.iteration_times) EXPECT_GT(t, 0);
+  EXPECT_EQ(r.shim_mispredictions, 0)
+      << "deterministic loops must replay their profile exactly";
+  if (dp > 1 || pp > 1) {
+    EXPECT_GT(r.rail_bytes, 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ShapeSweep,
+    ::testing::Values(std::tuple{2, 2, 2}, std::tuple{4, 2, 2},
+                      std::tuple{4, 4, 1}, std::tuple{4, 1, 4},
+                      std::tuple{2, 4, 2}, std::tuple{2, 2, 4},
+                      std::tuple{4, 2, 3}, std::tuple{1, 4, 2}));
+
+TEST(ExperimentSweeps, DeterministicAcrossRuns) {
+  core::ExperimentConfig cfg = tiny_config(4, 2, 2);
+  const auto a = core::run_experiment(cfg);
+  const auto b = core::run_experiment(cfg);
+  EXPECT_EQ(a.iteration_times, b.iteration_times);
+  EXPECT_EQ(a.ocs_reconfigurations, b.ocs_reconfigurations);
+  EXPECT_EQ(a.controller.requests, b.controller.requests);
+}
+
+TEST(ExperimentSweeps, SteadyIterationsAreStable) {
+  core::ExperimentConfig cfg = tiny_config(4, 2, 2);
+  cfg.iterations = 5;
+  // Disable the host dispatch jitter (it varies per iteration by design).
+  cfg.engine.dispatch_min = 0;
+  cfg.engine.dispatch_max = 0;
+  const auto r = core::run_experiment(cfg);
+  // Iterations 1..4 replay the same profiled schedule; their durations
+  // must agree to within a couple of reconfiguration delays.
+  for (std::size_t i = 2; i < r.iteration_times.size(); ++i) {
+    EXPECT_NEAR(static_cast<double>(r.iteration_times[i]),
+                static_cast<double>(r.iteration_times[1]),
+                static_cast<double>(msecs(2)));
+  }
+}
+
+class OcsTechnologySweep : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(OcsTechnologySweep, RunsAtEveryTable3Latency) {
+  const auto& ocs = costmodel::ocs_by_technology(GetParam());
+  core::ExperimentConfig cfg = tiny_config(4, 2, 2);
+  cfg.ocs_reconfig_delay = ocs.reconfig_time();
+  const auto r = core::run_experiment(cfg);
+  EXPECT_GT(r.steady_iteration_time, 0);
+  EXPECT_GT(r.ocs_reconfigurations, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Table3, OcsTechnologySweep,
+                         ::testing::Values("PLZT", "SiP", "RotorNet",
+                                           "3D MEMS", "Piezo",
+                                           "Liquid crystal"));
+
+class PortSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(PortSweep, AllNicConfigurationsComplete) {
+  core::ExperimentConfig cfg = tiny_config(4, 2, 2);
+  cfg.nic_ports = GetParam();
+  const auto r = core::run_experiment(cfg);
+  EXPECT_GT(r.steady_iteration_time, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(NicPorts, PortSweep, ::testing::Values(1, 2, 4));
+
+TEST(ExperimentSweeps, LargerRingsNeedTwoPorts) {
+  // dp=4 ring groups cannot be wired on a 1-port NIC (C1): the planner
+  // falls back to per-step mode, whose single steps still need degree 2.
+  core::ExperimentConfig cfg = tiny_config(4, 4, 1);
+  cfg.nic_ports = 1;
+  EXPECT_THROW(core::run_experiment(cfg), InvariantError);
+  cfg.nic_ports = 2;
+  EXPECT_GT(core::run_experiment(cfg).steady_iteration_time, 0);
+}
+
+TEST(ExperimentSweeps, PlainDpAllReducePath) {
+  core::ExperimentConfig cfg = tiny_config(4, 2, 2);
+  cfg.parallelism.fsdp = false;
+  const auto r = core::run_experiment(cfg);
+  EXPECT_GT(r.rail_bytes, 0);
+  EXPECT_EQ(r.shim_mispredictions, 0);
+}
+
+TEST(ExperimentSweeps, BackwardRegatherRuns) {
+  core::ExperimentConfig cfg = tiny_config(4, 2, 2);
+  cfg.iteration.bwd_regather = true;
+  const auto with = core::run_experiment(cfg);
+  cfg.iteration.bwd_regather = false;
+  const auto without = core::run_experiment(cfg);
+  EXPECT_GT(with.rail_bytes, without.rail_bytes);
+}
+
+TEST(ExperimentSweeps, SimulatedTpUsesScaleUpOnly) {
+  core::ExperimentConfig cfg = tiny_config(4, 2, 2);
+  cfg.iteration.simulate_tp_comm = true;
+  const auto r = core::run_experiment(cfg);
+  EXPECT_GT(r.scale_up_bytes, 0);
+  // TP never touches the rails: rail traffic equals the folded-TP run's.
+  cfg.iteration.simulate_tp_comm = false;
+  const auto folded = core::run_experiment(cfg);
+  EXPECT_EQ(r.rail_bytes, folded.rail_bytes);
+}
+
+TEST(ExperimentSweeps, MoEWithExpertParallelism) {
+  core::ExperimentConfig cfg;
+  cfg.model = workload::ModelConfig::mixtral_8x7b();
+  cfg.model.n_layers = 4;
+  cfg.parallelism.tp = 2;
+  cfg.parallelism.dp = 4;
+  cfg.parallelism.ep = 4;
+  cfg.parallelism.pp = 1;
+  cfg.parallelism.n_microbatches = 2;
+  cfg.parallelism.microbatch_size = 1;
+  cfg.gpus_per_node = 2;
+  cfg.iterations = 2;
+  cfg.rail_kind = net::RailKind::kPhotonic;
+  cfg.ocs_reconfig_delay = msecs(1);
+  cfg.record_compute_trace = false;
+  const auto r = core::run_experiment(cfg);
+  EXPECT_GT(r.steady_iteration_time, 0);
+  EXPECT_GT(r.ocs_reconfigurations, 0);
+  // The pairwise AllToAll reconfigures per step: far more reconfigurations
+  // than the ring-only dense workload.
+  EXPECT_GT(r.ocs_reconfigurations, 50);
+}
+
+TEST(ExperimentSweeps, MgmtOffloadReducesRailBytes) {
+  core::ExperimentConfig cfg = tiny_config(4, 2, 2);
+  cfg.mgmt_bw = Bandwidth::gbps(50);
+  cfg.mgmt_offload_threshold = kib(64);
+  const auto with = core::run_experiment(cfg);
+  EXPECT_GT(with.mgmt_bytes, 0);
+  cfg.mgmt_offload_threshold = 0;
+  const auto without = core::run_experiment(cfg);
+  EXPECT_EQ(without.mgmt_bytes, 0);
+  EXPECT_LT(with.rail_bytes, without.rail_bytes);
+}
+
+TEST(ExperimentSweeps, HigherReconfigLatencyNeverFaster) {
+  core::ExperimentConfig cfg = tiny_config(4, 2, 2);
+  TimeNs prev = 0;
+  for (double ms : {0.0, 1.0, 10.0, 100.0}) {
+    cfg.ocs_reconfig_delay = msecs(ms);
+    const auto r = core::run_experiment(cfg);
+    EXPECT_GE(r.steady_iteration_time + msecs(1), prev)
+        << "latency " << ms << "ms";
+    prev = r.steady_iteration_time;
+  }
+}
+
+}  // namespace
+}  // namespace opus

@@ -1,0 +1,151 @@
+// CSV export tests and failure-injection integration tests (link
+// degradation mid-training on the fluid substrate).
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/experiment.h"
+#include "trace/export.h"
+#include "trace/windows.h"
+
+namespace opus {
+namespace {
+
+trace::CommRecord make_rec(TimeNs issue, TimeNs end, Bytes payload) {
+  trace::CommRecord r;
+  r.iteration = 1;
+  r.rail = RailId{0};
+  r.group = GroupId{7};
+  r.dim = collective::ParallelismDim::kDP;
+  r.type = collective::CollectiveType::kAllGather;
+  r.payload = payload;
+  r.t_issue = issue;
+  r.t_end = end;
+  r.scale_out = true;
+  return r;
+}
+
+TEST(Export, CommsCsvHasHeaderAndRows) {
+  const std::string csv =
+      trace::comms_to_csv({make_rec(10, 20, 100), make_rec(30, 40, 200)});
+  std::istringstream is(csv);
+  std::string line;
+  std::getline(is, line);
+  EXPECT_EQ(line,
+            "iteration,rail,group,dim,type,payload_bytes,issue_ns,end_ns,"
+            "scale_out");
+  std::getline(is, line);
+  EXPECT_EQ(line, "1,0,7,DP,AllGather,100,10,20,1");
+  std::getline(is, line);
+  EXPECT_EQ(line, "1,0,7,DP,AllGather,200,30,40,1");
+}
+
+TEST(Export, WindowsCsvRoundTripsAnalysis) {
+  std::vector<trace::CommRecord> comms = {make_rec(0, msecs(1), 100)};
+  trace::CommRecord pp = make_rec(msecs(5), msecs(6), 64);
+  pp.dim = collective::ParallelismDim::kPP;
+  pp.group = GroupId{8};
+  comms.push_back(pp);
+  const auto windows = trace::extract_windows(comms);
+  const std::string csv = trace::windows_to_csv(windows);
+  EXPECT_NE(csv.find("size_ms"), std::string::npos);
+  EXPECT_NE(csv.find("DP,PP,64"), std::string::npos);
+}
+
+TEST(Export, CdfCsvIsMonotone) {
+  Cdf cdf;
+  cdf.add_all({3.0, 1.0, 2.0});
+  const std::string csv = trace::cdf_to_csv(cdf);
+  std::istringstream is(csv);
+  std::string line;
+  std::getline(is, line);  // header
+  double prev_value = -1;
+  double prev_frac = 0;
+  while (std::getline(is, line)) {
+    const auto comma = line.find(',');
+    const double value = std::stod(line.substr(0, comma));
+    const double frac = std::stod(line.substr(comma + 1));
+    EXPECT_GE(value, prev_value);
+    EXPECT_GT(frac, prev_frac);
+    prev_value = value;
+    prev_frac = frac;
+  }
+  EXPECT_DOUBLE_EQ(prev_frac, 1.0);
+}
+
+TEST(FailureInjection, DegradedNvlinkSlowsScaleUpTransfers) {
+  sim::Simulator sim;
+  net::ClusterConfig cfg;
+  cfg.n_nodes = 1;
+  cfg.gpus_per_node = 2;
+  cfg.rail_kind = net::RailKind::kElectrical;
+  net::Cluster c(sim, cfg);
+  TimeNs healthy = -1;
+  c.transfer(GpuId{0}, GpuId{1}, 300'000'000, [&] { healthy = sim.now(); });
+  sim.run();
+  // Degrade every NVLink to half bandwidth and repeat: twice as slow.
+  for (std::size_t l = 0; l < c.network().link_count(); ++l) {
+    const LinkId link{static_cast<std::int32_t>(l)};
+    c.network().set_capacity(link, c.network().capacity(link) / 2.0);
+  }
+  const TimeNs t0 = sim.now();
+  TimeNs degraded = -1;
+  c.transfer(GpuId{0}, GpuId{1}, 300'000'000, [&] { degraded = sim.now(); });
+  sim.run();
+  EXPECT_NEAR(static_cast<double>(degraded - t0),
+              2.0 * static_cast<double>(healthy), 1e4);
+}
+
+TEST(FailureInjection, DarkRailCircuitStallsUntilRestored) {
+  // A circuit whose fiber degrades to zero capacity stalls its flow; the
+  // flow resumes when capacity returns (e.g. after re-splicing) without
+  // losing progress.
+  sim::Simulator sim;
+  net::ClusterConfig cfg;
+  cfg.n_nodes = 2;
+  cfg.gpus_per_node = 1;
+  cfg.nic_ports = 2;
+  cfg.rail_kind = net::RailKind::kPhotonic;
+  net::Cluster c(sim, cfg);
+  c.ocs(RailId{0}).force_circuits(
+      {{c.ocs_port(GpuId{0}, 0), c.ocs_port(GpuId{1}, 1)}});
+  const LinkId circuit =
+      c.ocs(RailId{0}).link(c.ocs_port(GpuId{0}, 0), c.ocs_port(GpuId{1}, 1));
+  TimeNs done = -1;
+  // 50 MB at 200 Gb/s = 2 ms.
+  c.transfer(GpuId{0}, GpuId{1}, 50'000'000, [&] { done = sim.now(); });
+  sim.run_until(msecs(1));  // half transferred
+  c.network().set_capacity(circuit, Bandwidth::gbps(0));
+  sim.run_until(msecs(100));
+  EXPECT_EQ(done, -1);
+  c.network().set_capacity(circuit, Bandwidth::gbps(200));
+  sim.run();
+  EXPECT_EQ(done, msecs(100) + msecs(1) + usecs(2));
+}
+
+TEST(FailureInjection, TrainingSurvivesRailDegradation) {
+  // Degrade one rail's circuits to quarter bandwidth mid-run: iterations
+  // complete, later iterations are slower (comm less hideable).
+  core::ExperimentConfig cfg;
+  cfg.model = workload::ModelConfig::test_tiny();
+  cfg.model.n_layers = 8;
+  cfg.parallelism.tp = 2;
+  cfg.parallelism.dp = 2;
+  cfg.parallelism.pp = 2;
+  cfg.parallelism.n_microbatches = 4;
+  cfg.parallelism.microbatch_size = 1;
+  cfg.gpus_per_node = 2;
+  cfg.iterations = 3;
+  cfg.rail_kind = net::RailKind::kElectrical;
+  cfg.record_compute_trace = false;
+  const auto healthy = core::run_experiment(cfg);
+
+  // The experiment harness owns its cluster, so emulate degradation by
+  // quartering the NIC bandwidth instead (equivalent fluid effect).
+  cfg.nic_total_bw = Bandwidth::gbps(100);
+  const auto degraded = core::run_experiment(cfg);
+  EXPECT_GT(degraded.steady_iteration_time, healthy.steady_iteration_time);
+}
+
+}  // namespace
+}  // namespace opus

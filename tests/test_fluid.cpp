@@ -1,0 +1,195 @@
+// Unit tests for the max-min fair fluid flow network.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "net/fluid.h"
+#include "sim/simulator.h"
+
+namespace opus::net {
+namespace {
+
+constexpr Bandwidth k100G = Bandwidth::gbps(100);
+
+class FluidTest : public ::testing::Test {
+ protected:
+  sim::Simulator sim;
+  FluidNetwork net{sim};
+};
+
+TEST_F(FluidTest, SingleFlowDrainsAtLinkRate) {
+  const LinkId l = net.add_link(k100G);
+  TimeNs done = -1;
+  // 125 MB at 100 Gb/s = 12.5 GB/s -> 10 ms.
+  net.start_flow({l}, 125'000'000, 0, [&] { done = sim.now(); });
+  sim.run();
+  EXPECT_EQ(done, msecs(10));
+}
+
+TEST_F(FluidTest, ExtraLatencyDelaysCompletionOnly) {
+  const LinkId l = net.add_link(k100G);
+  TimeNs done = -1;
+  net.start_flow({l}, 125'000'000, usecs(5), [&] { done = sim.now(); });
+  sim.run();
+  EXPECT_EQ(done, msecs(10) + usecs(5));
+}
+
+TEST_F(FluidTest, ZeroByteFlowCompletesAfterLatencyOnly) {
+  TimeNs done = -1;
+  net.start_flow({}, 0, usecs(7), [&] { done = sim.now(); });
+  sim.run();
+  EXPECT_EQ(done, usecs(7));
+  EXPECT_EQ(net.completed_flow_count(), 1u);
+}
+
+TEST_F(FluidTest, TwoFlowsShareALinkFairly) {
+  const LinkId l = net.add_link(k100G);
+  TimeNs done_a = -1;
+  TimeNs done_b = -1;
+  net.start_flow({l}, 125'000'000, 0, [&] { done_a = sim.now(); });
+  net.start_flow({l}, 125'000'000, 0, [&] { done_b = sim.now(); });
+  sim.run();
+  // Equal flows sharing equally finish together at 2x the solo time.
+  EXPECT_EQ(done_a, msecs(20));
+  EXPECT_EQ(done_b, msecs(20));
+}
+
+TEST_F(FluidTest, ShortFlowFinishesThenLongFlowSpeedsUp) {
+  const LinkId l = net.add_link(k100G);
+  TimeNs done_short = -1;
+  TimeNs done_long = -1;
+  net.start_flow({l}, 62'500'000, 0, [&] { done_short = sim.now(); });   // 5ms solo
+  net.start_flow({l}, 125'000'000, 0, [&] { done_long = sim.now(); });  // 10ms solo
+  sim.run();
+  // Shared till the short one drains at t=10ms (5ms of work at half rate),
+  // then the long one runs at full rate: 62.5MB left -> +5ms => 15ms? No:
+  // at t=10ms the long flow has moved 62.5MB, 62.5MB left at full rate
+  // -> finishes at 15ms.
+  EXPECT_EQ(done_short, msecs(10));
+  EXPECT_EQ(done_long, msecs(15));
+}
+
+TEST_F(FluidTest, ParkingLotGivesMaxMinRates) {
+  // Classic parking lot: flow A crosses links 1 and 2; flow B crosses only
+  // link 1; flow C crosses only link 2. Max-min: every flow gets 50.
+  const LinkId l1 = net.add_link(k100G);
+  const LinkId l2 = net.add_link(k100G);
+  const FlowId a = net.start_flow({l1, l2}, 1'000'000'000, 0, nullptr);
+  const FlowId b = net.start_flow({l1}, 1'000'000'000, 0, nullptr);
+  const FlowId c = net.start_flow({l2}, 1'000'000'000, 0, nullptr);
+  EXPECT_NEAR(net.flow_rate_bps(a), 50e9, 1e6);
+  EXPECT_NEAR(net.flow_rate_bps(b), 50e9, 1e6);
+  EXPECT_NEAR(net.flow_rate_bps(c), 50e9, 1e6);
+}
+
+TEST_F(FluidTest, UnevenBottlenecksWaterfillCorrectly) {
+  // Link 1 at 100G carries flows A,B; link 2 at 30G carries flows B,C...
+  // B is bottlenecked by link2: B=C=15G; A then gets the rest of link1: 85G.
+  const LinkId l1 = net.add_link(k100G);
+  const LinkId l2 = net.add_link(Bandwidth::gbps(30));
+  const FlowId a = net.start_flow({l1}, 1'000'000'000, 0, nullptr);
+  const FlowId b = net.start_flow({l1, l2}, 1'000'000'000, 0, nullptr);
+  const FlowId c = net.start_flow({l2}, 1'000'000'000, 0, nullptr);
+  EXPECT_NEAR(net.flow_rate_bps(b), 15e9, 1e6);
+  EXPECT_NEAR(net.flow_rate_bps(c), 15e9, 1e6);
+  EXPECT_NEAR(net.flow_rate_bps(a), 85e9, 1e6);
+}
+
+TEST_F(FluidTest, AbortFlowFreesBandwidth) {
+  const LinkId l = net.add_link(k100G);
+  TimeNs done = -1;
+  bool aborted_fired = false;
+  const FlowId victim =
+      net.start_flow({l}, 1'000'000'000, 0, [&] { aborted_fired = true; });
+  net.start_flow({l}, 125'000'000, 0, [&] { done = sim.now(); });
+  sim.run_until(msecs(2));
+  EXPECT_TRUE(net.abort_flow(victim));
+  sim.run();
+  EXPECT_FALSE(aborted_fired);
+  // 2ms shared (6.25MB+6.25MB... survivor moved 12.5MB), then full rate for
+  // the remaining 112.5MB -> 9ms more => 11ms total.
+  EXPECT_EQ(done, msecs(11));
+}
+
+TEST_F(FluidTest, AbortUnknownFlowReturnsFalse) {
+  EXPECT_FALSE(net.abort_flow(FlowId{123}));
+}
+
+TEST_F(FluidTest, CapacityDropStallsAndRestores) {
+  const LinkId l = net.add_link(k100G);
+  TimeNs done = -1;
+  net.start_flow({l}, 125'000'000, 0, [&] { done = sim.now(); });
+  sim.run_until(msecs(5));  // half done
+  net.set_capacity(l, Bandwidth::gbps(0));  // failure injection: link dark
+  sim.run_until(msecs(50));
+  EXPECT_EQ(done, -1) << "flow must stall on a zero-capacity link";
+  net.set_capacity(l, k100G);
+  sim.run();
+  // 62.5MB remained; 45ms dark; finishes 5ms after restore at t=55ms.
+  EXPECT_EQ(done, msecs(55));
+}
+
+TEST_F(FluidTest, FlowRemainingTracksProgress) {
+  const LinkId l = net.add_link(k100G);
+  const FlowId f = net.start_flow({l}, 125'000'000, 0, nullptr);
+  sim.run_until(msecs(4));
+  EXPECT_NEAR(static_cast<double>(net.flow_remaining(f)), 75'000'000.0, 1e4);
+}
+
+TEST_F(FluidTest, CompletionCallbackCanStartNewFlow) {
+  const LinkId l = net.add_link(k100G);
+  TimeNs second_done = -1;
+  net.start_flow({l}, 125'000'000, 0, [&] {
+    net.start_flow({l}, 125'000'000, 0, [&] { second_done = sim.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(second_done, msecs(20));
+}
+
+TEST_F(FluidTest, DuplicateLinkInPathThrows) {
+  const LinkId l = net.add_link(k100G);
+  EXPECT_THROW(net.start_flow({l, l}, 100, 0, nullptr), InvariantError);
+}
+
+TEST_F(FluidTest, NegativeBytesThrow) {
+  const LinkId l = net.add_link(k100G);
+  EXPECT_THROW(net.start_flow({l}, -1, 0, nullptr), InvariantError);
+}
+
+TEST_F(FluidTest, ActiveFlowsOnCountsPathMembership) {
+  const LinkId l1 = net.add_link(k100G);
+  const LinkId l2 = net.add_link(k100G);
+  net.start_flow({l1, l2}, 1'000'000'000, 0, nullptr);
+  net.start_flow({l1}, 1'000'000'000, 0, nullptr);
+  EXPECT_EQ(net.active_flows_on(l1), 2);
+  EXPECT_EQ(net.active_flows_on(l2), 1);
+}
+
+// Property sweep: N equal flows on one link each get capacity/N and all
+// finish at N x solo time.
+class FairShareSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(FairShareSweep, EqualFlowsFinishTogether) {
+  const int n = GetParam();
+  sim::Simulator sim;
+  FluidNetwork net(sim);
+  const LinkId l = net.add_link(k100G);
+  std::vector<TimeNs> done(static_cast<std::size_t>(n), -1);
+  for (int i = 0; i < n; ++i) {
+    net.start_flow({l}, 12'500'000, 0,
+                   [&done, i, &sim] { done[static_cast<std::size_t>(i)] = sim.now(); });
+  }
+  const FlowId probe = net.start_flow({l}, 12'500'000, 0, nullptr);
+  EXPECT_NEAR(net.flow_rate_bps(probe), 100e9 / (n + 1), 1e6);
+  net.abort_flow(probe);
+  sim.run();
+  for (int i = 0; i < n; ++i) {
+    EXPECT_NEAR(static_cast<double>(done[static_cast<std::size_t>(i)]),
+                static_cast<double>(n) * msecs(1), static_cast<double>(n));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Fanout, FairShareSweep,
+                         ::testing::Values(1, 2, 3, 4, 8, 16, 32));
+
+}  // namespace
+}  // namespace opus::net

@@ -1,0 +1,176 @@
+// Unit tests for the optical circuit switch: circuit state, reconfiguration
+// dark periods, fine-grained (per-port) switching, and safety invariants.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "net/ocs.h"
+#include "sim/simulator.h"
+
+namespace opus::net {
+namespace {
+
+constexpr Bandwidth k200G = Bandwidth::gbps(200);
+
+class OcsTest : public ::testing::Test {
+ protected:
+  OcsTest() : net(sim), sw(sim, net, 8, k200G, usecs(2), msecs(15), "t") {}
+  sim::Simulator sim;
+  FluidNetwork net;
+  OpticalCircuitSwitch sw;
+};
+
+TEST_F(OcsTest, StartsUnconnected) {
+  for (int p = 0; p < sw.n_ports(); ++p) {
+    EXPECT_FALSE(sw.peer(PortId{p}).has_value());
+    EXPECT_FALSE(sw.dark(PortId{p}));
+  }
+}
+
+TEST_F(OcsTest, ReconfigureEstablishesAfterDelay) {
+  bool done = false;
+  sw.reconfigure({{PortId{0}, PortId{1}}}, [&] { done = true; });
+  EXPECT_TRUE(sw.dark(PortId{0}));
+  EXPECT_TRUE(sw.dark(PortId{1}));
+  EXPECT_FALSE(sw.connected(PortId{0}, PortId{1}));
+  sim.run_until(msecs(14));
+  EXPECT_FALSE(done);
+  sim.run_until(msecs(15));
+  EXPECT_TRUE(done);
+  EXPECT_TRUE(sw.connected(PortId{0}, PortId{1}));
+  EXPECT_TRUE(sw.connected(PortId{1}, PortId{0}));  // bidirectional
+  EXPECT_FALSE(sw.dark(PortId{0}));
+}
+
+TEST_F(OcsTest, SatisfiedRequestAcksWithoutReconfiguring) {
+  sw.force_circuits({{PortId{0}, PortId{1}}});
+  EXPECT_EQ(sw.stats().reconfigurations, 0);
+  bool done = false;
+  sw.reconfigure({{PortId{0}, PortId{1}}}, [&] { done = true; });
+  EXPECT_TRUE(done) << "idempotent request must ack immediately";
+  EXPECT_EQ(sw.stats().reconfigurations, 0);
+}
+
+TEST_F(OcsTest, RetargetingTearsOldPeerToo) {
+  sw.force_circuits({{PortId{0}, PortId{1}}});
+  // Retarget port 0 to port 2: the old peer (port 1) must go dark and end
+  // up unconnected.
+  const auto touched = sw.touched_ports({{PortId{0}, PortId{2}}});
+  EXPECT_EQ(touched.size(), 3u);  // ports 0, 1, 2
+  sw.reconfigure({{PortId{0}, PortId{2}}}, nullptr);
+  EXPECT_TRUE(sw.dark(PortId{1}));
+  sim.run();
+  EXPECT_TRUE(sw.connected(PortId{0}, PortId{2}));
+  EXPECT_FALSE(sw.peer(PortId{1}).has_value());
+}
+
+TEST_F(OcsTest, UntouchedCircuitsKeepCarryingTraffic) {
+  sw.force_circuits({{PortId{0}, PortId{1}}, {PortId{2}, PortId{3}}});
+  TimeNs done = -1;
+  // 25 MB at 200 Gb/s = 1 ms.
+  net.start_flow({sw.link(PortId{0}, PortId{1})}, 25'000'000, 0,
+                 [&] { done = sim.now(); });
+  // Fine-grained reconfiguration of the other ports.
+  sw.reconfigure({{PortId{4}, PortId{5}}}, nullptr);
+  EXPECT_TRUE(sw.connected(PortId{0}, PortId{1}));
+  sim.run();
+  EXPECT_EQ(done, msecs(1)) << "reconfig of ports 4/5 must not disturb 0/1";
+}
+
+TEST_F(OcsTest, ReconfiguringActiveCircuitThrows) {
+  sw.force_circuits({{PortId{0}, PortId{1}}});
+  net.start_flow({sw.link(PortId{0}, PortId{1})}, 1'000'000'000, 0, nullptr);
+  EXPECT_THROW(sw.reconfigure({{PortId{0}, PortId{2}}}, nullptr),
+               InvariantError);
+}
+
+TEST_F(OcsTest, OverlappingInFlightReconfigThrows) {
+  sw.reconfigure({{PortId{0}, PortId{1}}}, nullptr);
+  EXPECT_THROW(sw.reconfigure({{PortId{1}, PortId{2}}}, nullptr),
+               InvariantError)
+      << "callers must serialize overlapping requests";
+  // Disjoint reconfig is fine.
+  EXPECT_NO_THROW(sw.reconfigure({{PortId{2}, PortId{3}}}, nullptr));
+}
+
+TEST_F(OcsTest, PortInTwoCircuitsThrows) {
+  EXPECT_THROW(
+      sw.reconfigure({{PortId{0}, PortId{1}}, {PortId{1}, PortId{2}}},
+                     nullptr),
+      InvariantError);
+}
+
+TEST_F(OcsTest, SelfLoopThrows) {
+  EXPECT_THROW(sw.reconfigure({{PortId{3}, PortId{3}}}, nullptr),
+               InvariantError);
+}
+
+TEST_F(OcsTest, LinkRequiresLiveCircuit) {
+  EXPECT_THROW(sw.link(PortId{0}, PortId{1}), InvariantError);
+  sw.reconfigure({{PortId{0}, PortId{1}}}, nullptr);
+  EXPECT_THROW(sw.link(PortId{0}, PortId{1}), InvariantError);  // still dark
+  sim.run();
+  EXPECT_NO_THROW(sw.link(PortId{0}, PortId{1}));
+}
+
+TEST_F(OcsTest, DirectionalLinksAreDistinct) {
+  sw.force_circuits({{PortId{0}, PortId{1}}});
+  const LinkId fwd = sw.link(PortId{0}, PortId{1});
+  const LinkId rev = sw.link(PortId{1}, PortId{0});
+  EXPECT_NE(fwd, rev);
+  EXPECT_EQ(net.capacity(fwd), k200G);
+  EXPECT_EQ(net.capacity(rev), k200G);
+}
+
+TEST_F(OcsTest, StatsAccumulate) {
+  sw.reconfigure({{PortId{0}, PortId{1}}, {PortId{2}, PortId{3}}}, nullptr);
+  sim.run();
+  sw.reconfigure({{PortId{0}, PortId{2}}}, nullptr);
+  sim.run();
+  EXPECT_EQ(sw.stats().reconfigurations, 2);
+  EXPECT_EQ(sw.stats().circuits_established, 3);
+  // First reconfig darkened 4 ports, second 4 (0,1,2,3 via old peers).
+  EXPECT_EQ(sw.stats().cumulative_port_dark_ns, 8 * msecs(15));
+}
+
+TEST_F(OcsTest, ZeroDelayReconfigCompletesAtSameTimestamp) {
+  OpticalCircuitSwitch fast(sim, net, 4, k200G, 0, 0, "fast");
+  bool done = false;
+  fast.reconfigure({{PortId{0}, PortId{1}}}, [&] { done = true; });
+  EXPECT_FALSE(done);  // still event-driven, no synchronous reentrancy
+  sim.run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(sim.now(), 0);
+}
+
+TEST_F(OcsTest, CircuitReuseKeepsLinkIdentity) {
+  sw.force_circuits({{PortId{0}, PortId{1}}});
+  const LinkId first = sw.link(PortId{0}, PortId{1});
+  sw.reconfigure({{PortId{0}, PortId{2}}}, nullptr);
+  sim.run();
+  sw.reconfigure({{PortId{0}, PortId{1}}}, nullptr);
+  sim.run();
+  EXPECT_EQ(sw.link(PortId{0}, PortId{1}), first)
+      << "re-established circuits reuse their fluid links";
+}
+
+// Parameterized: the dark period must equal the configured delay for any
+// technology (Table 3 spans 10 ns .. 120 s).
+class DarkPeriodSweep : public ::testing::TestWithParam<TimeNs> {};
+
+TEST_P(DarkPeriodSweep, DarknessLastsExactlyTheReconfigDelay) {
+  sim::Simulator sim;
+  FluidNetwork net(sim);
+  OpticalCircuitSwitch sw(sim, net, 4, k200G, 0, GetParam(), "p");
+  TimeNs up_at = -1;
+  sw.reconfigure({{PortId{0}, PortId{1}}}, [&] { up_at = sim.now(); });
+  sim.run();
+  EXPECT_EQ(up_at, GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Table3Latencies, DarkPeriodSweep,
+                         ::testing::Values(usecs(0.01), usecs(7), usecs(10),
+                                           msecs(15), msecs(25), msecs(100),
+                                           secs(120)));
+
+}  // namespace
+}  // namespace opus::net

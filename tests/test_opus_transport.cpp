@@ -1,0 +1,243 @@
+// End-to-end tests of the Opus transport: circuits established before data
+// moves, idempotent phases, step-synchronous peer-changing algorithms,
+// management-network offload, and provisioning behaviour.
+#include <gtest/gtest.h>
+
+#include "collective/executor.h"
+#include "collective/planner.h"
+#include "collective/verifier.h"
+#include "core/opus_transport.h"
+
+namespace opus::core {
+namespace {
+
+using collective::Algorithm;
+using collective::CollectiveExecutor;
+using collective::CollectiveType;
+using collective::CommGroup;
+using collective::ParallelismDim;
+
+net::ClusterConfig photonic_cfg(int nodes, int gpn, int ports,
+                                TimeNs reconfig = msecs(10)) {
+  net::ClusterConfig cfg;
+  cfg.n_nodes = nodes;
+  cfg.gpus_per_node = gpn;
+  cfg.nic_ports = ports;
+  cfg.rail_kind = net::RailKind::kPhotonic;
+  cfg.ocs_reconfig_delay = reconfig;
+  return cfg;
+}
+
+CommGroup rail_group(const net::Cluster& c, int local, int n_nodes,
+                     ParallelismDim dim = ParallelismDim::kDP) {
+  CommGroup g;
+  g.id = GroupId{local + 100};
+  g.dim = dim;
+  for (int n = 0; n < n_nodes; ++n) g.ranks.push_back(c.gpu_at(NodeId{n}, local));
+  g.name = "grp";
+  return g;
+}
+
+TEST(OpusTransport, RingCollectiveWaitsForCircuitsThenRuns) {
+  sim::Simulator sim;
+  net::Cluster cluster(sim, photonic_cfg(4, 2, 2));
+  OpusTransport transport(sim, cluster);
+  CollectiveExecutor exec(sim, transport);
+  const CommGroup g = rail_group(cluster, 0, 4);
+  const auto sched = plan_collective(CollectiveType::kAllReduce,
+                                     Algorithm::kRing, 4, mib(50));
+  TimeNs start = -1, end = -1;
+  exec.run(g, sched, [&](const CollectiveExecutor::Result& r) {
+    start = r.start;
+    end = r.end;
+  });
+  sim.run();
+  ASSERT_GE(end, 0);
+  // Duration includes one reconfiguration (10ms) + control RTT + transfers.
+  EXPECT_GT(end - start, msecs(10));
+  EXPECT_EQ(transport.total_ocs_reconfigurations(), 1);
+  EXPECT_EQ(transport.controller().stats().reconfigurations, 1);
+}
+
+TEST(OpusTransport, SecondSameGroupCollectiveHitsTheCircuitCache) {
+  sim::Simulator sim;
+  net::Cluster cluster(sim, photonic_cfg(4, 2, 2));
+  OpusTransport transport(sim, cluster);
+  CollectiveExecutor exec(sim, transport);
+  const CommGroup g = rail_group(cluster, 0, 4);
+  const auto sched = plan_collective(CollectiveType::kAllReduce,
+                                     Algorithm::kRing, 4, mib(50));
+  TimeNs first = -1, second = -1;
+  exec.run(g, sched, [&](const CollectiveExecutor::Result& r) {
+    first = r.duration();
+    exec.run(g, sched, [&](const CollectiveExecutor::Result& r2) {
+      second = r2.duration();
+    });
+  });
+  sim.run();
+  EXPECT_GT(first, second);
+  EXPECT_EQ(transport.total_ocs_reconfigurations(), 1)
+      << "same-group repeat must not reconfigure (Objective 2)";
+  EXPECT_EQ(transport.controller().stats().satisfied_immediately, 1);
+}
+
+TEST(OpusTransport, ScaleUpCollectiveBypassesControlPlane) {
+  sim::Simulator sim;
+  net::Cluster cluster(sim, photonic_cfg(2, 4, 2));
+  OpusTransport transport(sim, cluster);
+  CollectiveExecutor exec(sim, transport);
+  CommGroup g;
+  g.id = GroupId{1};
+  g.dim = ParallelismDim::kTP;
+  g.ranks = {GpuId{0}, GpuId{1}, GpuId{2}, GpuId{3}};
+  const auto sched = plan_collective(CollectiveType::kAllReduce,
+                                     Algorithm::kRing, 4, mib(10));
+  bool done = false;
+  exec.run(g, sched, [&](const CollectiveExecutor::Result&) { done = true; });
+  sim.run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(transport.controller().stats().requests, 0);
+  EXPECT_EQ(transport.total_ocs_reconfigurations(), 0);
+}
+
+TEST(OpusTransport, PeerChangingAlgorithmReconfiguresPerStep) {
+  sim::Simulator sim;
+  net::Cluster cluster(sim, photonic_cfg(8, 2, 2));
+  OpusTransport transport(sim, cluster);
+  CollectiveExecutor exec(sim, transport);
+  const CommGroup g = rail_group(cluster, 0, 8);
+  // Recursive doubling on 8 nodes: 3 steps, 3 distinct peers > 2 ports (C1).
+  const auto sched = plan_collective(CollectiveType::kAllGather,
+                                     Algorithm::kRecursiveDoubling, 8, mib(8));
+  EXPECT_TRUE(transport.needs_per_step_preparation(g, sched));
+  bool done = false;
+  CollectiveExecutor::Result result;
+  exec.run(g, sched, [&](const CollectiveExecutor::Result& r) {
+    done = true;
+    result = r;
+  });
+  sim.run();
+  ASSERT_TRUE(done);
+  EXPECT_TRUE(result.step_synchronous);
+  EXPECT_EQ(transport.total_ocs_reconfigurations(), sched.n_steps)
+      << "every peer change pays a reconfiguration on circuits (C1)";
+  EXPECT_GT(result.duration(), 3 * msecs(10));
+}
+
+TEST(OpusTransport, RingBeatsRecursiveDoublingOnCircuits) {
+  // The C1 tradeoff, end to end: for a small payload the logarithmic
+  // algorithm's per-step reconfigurations dwarf its latency advantage.
+  auto run_with = [](Algorithm algo) {
+    sim::Simulator sim;
+    net::Cluster cluster(sim, photonic_cfg(8, 2, 2));
+    OpusTransport transport(sim, cluster);
+    CollectiveExecutor exec(sim, transport);
+    const CommGroup g = rail_group(cluster, 0, 8);
+    const auto sched =
+        plan_collective(CollectiveType::kAllGather, algo, 8, mib(1));
+    TimeNs duration = -1;
+    exec.run(g, sched, [&](const CollectiveExecutor::Result& r) {
+      duration = r.duration();
+    });
+    sim.run();
+    return duration;
+  };
+  EXPECT_LT(run_with(Algorithm::kRing),
+            run_with(Algorithm::kRecursiveDoubling));
+}
+
+TEST(OpusTransport, MgmtOffloadSkipsCircuitsForSmallCollectives) {
+  sim::Simulator sim;
+  net::ClusterConfig ncfg = photonic_cfg(4, 2, 2);
+  ncfg.mgmt_bw = Bandwidth::gbps(50);
+  net::Cluster cluster(sim, ncfg);
+  OpusTransport::Options opts;
+  opts.mgmt_offload_threshold = kib(64);
+  OpusTransport transport(sim, cluster, opts);
+  CollectiveExecutor exec(sim, transport);
+  const CommGroup g = rail_group(cluster, 0, 4);
+  const auto sched = plan_collective(CollectiveType::kAllReduce,
+                                     Algorithm::kRing, 4, kib(4));
+  bool done = false;
+  exec.run(g, sched, [&](const CollectiveExecutor::Result&) { done = true; });
+  sim.run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(transport.controller().stats().requests, 0);
+  EXPECT_GT(cluster.bytes_on_route(net::Cluster::Route::kMgmt), 0);
+  EXPECT_EQ(cluster.bytes_on_route(net::Cluster::Route::kRail), 0);
+}
+
+TEST(OpusTransport, DifferentGroupsTimeMultiplexTheSamePorts) {
+  // DP pair {node0,node1} then PP pair {node0,node2}: the second collective
+  // must reconfigure node0's ports after the first finishes.
+  sim::Simulator sim;
+  net::Cluster cluster(sim, photonic_cfg(4, 2, 2));
+  OpusTransport transport(sim, cluster);
+  CollectiveExecutor exec(sim, transport);
+  CommGroup dp;
+  dp.id = GroupId{1};
+  dp.dim = ParallelismDim::kDP;
+  dp.ranks = {cluster.gpu_at(NodeId{0}, 0), cluster.gpu_at(NodeId{1}, 0)};
+  CommGroup pp;
+  pp.id = GroupId{2};
+  pp.dim = ParallelismDim::kPP;
+  pp.ranks = {cluster.gpu_at(NodeId{0}, 0), cluster.gpu_at(NodeId{2}, 0)};
+  const auto sched = plan_collective(CollectiveType::kAllReduce,
+                                     Algorithm::kRing, 2, mib(25));
+  int completions = 0;
+  exec.run(dp, sched, [&](const CollectiveExecutor::Result&) {
+    ++completions;
+    exec.run(pp, sched,
+             [&](const CollectiveExecutor::Result&) { ++completions; });
+  });
+  sim.run();
+  EXPECT_EQ(completions, 2);
+  EXPECT_EQ(transport.total_ocs_reconfigurations(), 2);
+}
+
+TEST(OpusTransport, ProvisioningSpeculatesAfterProfiledPhase) {
+  sim::Simulator sim;
+  net::Cluster cluster(sim, photonic_cfg(4, 2, 2));
+  OpusTransport::Options opts;
+  opts.provisioning = true;
+  OpusTransport transport(sim, cluster, opts);
+  CollectiveExecutor exec(sim, transport);
+  CommGroup dp = rail_group(cluster, 0, 4, ParallelismDim::kDP);
+  CommGroup pp = rail_group(cluster, 1, 4, ParallelismDim::kPP);
+  pp.id = GroupId{200};
+  const auto sched = plan_collective(CollectiveType::kAllReduce,
+                                     Algorithm::kRing, 4, mib(25));
+
+  auto run_iteration = [&](int index, std::function<void()> next) {
+    transport.iteration_started(index);
+    exec.run(dp, sched, [&, next](const CollectiveExecutor::Result&) {
+      exec.run(pp, sched,
+               [next](const CollectiveExecutor::Result&) { next(); });
+    });
+  };
+  bool all_done = false;
+  run_iteration(0, [&] { run_iteration(1, [&] { all_done = true; }); });
+  sim.run();
+  ASSERT_TRUE(all_done);
+  EXPECT_EQ(transport.shim().profile().size(), 2u);  // DP phase, PP phase
+  EXPECT_GT(transport.shim().speculative_requests(), 0);
+  EXPECT_EQ(transport.shim().mispredictions(), 0);
+}
+
+TEST(OpusTransport, CollectiveDataIsVerifiableEndToEnd) {
+  // The schedule that actually ran on circuits satisfies its postcondition.
+  const auto sched = plan_collective(CollectiveType::kAllReduce,
+                                     Algorithm::kRing, 4, mib(16));
+  EXPECT_TRUE(collective::verify_schedule(sched).ok);
+}
+
+TEST(OpusTransport, RequiresPhotonicCluster) {
+  sim::Simulator sim;
+  net::ClusterConfig cfg = photonic_cfg(2, 2, 2);
+  cfg.rail_kind = net::RailKind::kElectrical;
+  net::Cluster cluster(sim, cfg);
+  EXPECT_THROW(OpusTransport(sim, cluster), InvariantError);
+}
+
+}  // namespace
+}  // namespace opus::core

@@ -1,0 +1,170 @@
+// Tests for the traffic-oblivious rotor transport (the §3 contrast case).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "collective/executor.h"
+#include "collective/planner.h"
+#include "core/rotor.h"
+
+namespace opus::core {
+namespace {
+
+using collective::Algorithm;
+using collective::CollectiveExecutor;
+using collective::CollectiveType;
+using collective::CommGroup;
+
+net::ClusterConfig rotor_cfg(int nodes) {
+  net::ClusterConfig cfg;
+  cfg.n_nodes = nodes;
+  cfg.gpus_per_node = 2;
+  cfg.nic_ports = 2;
+  cfg.rail_kind = net::RailKind::kPhotonic;
+  cfg.ocs_reconfig_delay = usecs(10);  // RotorNet-class switching
+  return cfg;
+}
+
+TEST(Rotor, MatchingsEventuallyServeEveryPair) {
+  // Behavioral coverage: a send between every node pair completes, because
+  // the circle-method matchings connect each pair once per cycle. (The
+  // rotor freezes when idle, so coverage is observed through traffic.)
+  sim::Simulator sim;
+  net::Cluster cluster(sim, rotor_cfg(6));
+  RotorTransport::Options opts;
+  opts.slot_time = usecs(100);
+  RotorTransport rotor(sim, cluster, opts);
+  int completed = 0;
+  int issued = 0;
+  CommGroup g;
+  g.id = GroupId{1};
+  for (int a = 0; a < 6; ++a) {
+    for (int b = a + 1; b < 6; ++b) {
+      ++issued;
+      rotor.send(g, cluster.gpu_at(NodeId{a}, 0), cluster.gpu_at(NodeId{b}, 0),
+                 1000, [&] { ++completed; });
+    }
+  }
+  sim.run();
+  EXPECT_EQ(completed, issued);
+  EXPECT_GE(rotor.rotations(), 4) << "needed most of a cycle";
+}
+
+TEST(Rotor, OddNodeCountGivesByes) {
+  sim::Simulator sim;
+  net::Cluster cluster(sim, rotor_cfg(5));
+  RotorTransport rotor(sim, cluster);
+  // At any instant, exactly 2 of the 5 nodes' pairs are connected (one
+  // node idles with the virtual bye).
+  int connected = 0;
+  for (int a = 0; a < 5; ++a) {
+    for (int b = a + 1; b < 5; ++b) {
+      if (cluster.rail_path_available(cluster.gpu_at(NodeId{a}, 0),
+                                      cluster.gpu_at(NodeId{b}, 0))) {
+        ++connected;
+      }
+    }
+  }
+  EXPECT_EQ(connected, 2);
+}
+
+TEST(Rotor, SendWaitsForItsMatching) {
+  sim::Simulator sim;
+  net::Cluster cluster(sim, rotor_cfg(4));
+  RotorTransport::Options opts;
+  opts.slot_time = msecs(1);
+  RotorTransport rotor(sim, cluster, opts);
+  // Find a pair NOT in the current (round 0) matching: circle method for 4
+  // nodes, round 0: (0,3), (1,2). So (0,1) must wait.
+  const GpuId src = cluster.gpu_at(NodeId{0}, 0);
+  const GpuId dst = cluster.gpu_at(NodeId{1}, 0);
+  ASSERT_FALSE(cluster.rail_path_available(src, dst));
+  CommGroup g;
+  g.id = GroupId{1};
+  g.ranks = {src, dst};
+  TimeNs done = -1;
+  rotor.send(g, src, dst, 1000, [&] { done = sim.now(); });
+  EXPECT_EQ(rotor.deferred_sends(), 1);
+  sim.run_until(msecs(10));
+  ASSERT_GT(done, 0);
+  EXPECT_GT(done, msecs(1)) << "had to wait for at least one rotation";
+}
+
+TEST(Rotor, ConnectedPairSendsImmediately) {
+  sim::Simulator sim;
+  net::Cluster cluster(sim, rotor_cfg(4));
+  RotorTransport rotor(sim, cluster);
+  const GpuId src = cluster.gpu_at(NodeId{0}, 0);
+  const GpuId dst = cluster.gpu_at(NodeId{3}, 0);  // round-0 matching
+  ASSERT_TRUE(cluster.rail_path_available(src, dst));
+  CommGroup g;
+  g.id = GroupId{1};
+  g.ranks = {src, dst};
+  TimeNs done = -1;
+  rotor.send(g, src, dst, 25'000'000, [&] { done = sim.now(); });
+  sim.run_until(msecs(5));
+  // 25MB at 2x200G striped = 0.5ms + latency, inside the first slot.
+  EXPECT_GT(done, 0);
+  EXPECT_LT(done, msecs(1));
+  EXPECT_EQ(rotor.deferred_sends(), 0);
+}
+
+TEST(Rotor, RotationWaitsForInFlightTransfers) {
+  sim::Simulator sim;
+  net::Cluster cluster(sim, rotor_cfg(4));
+  RotorTransport::Options opts;
+  opts.slot_time = msecs(1);
+  RotorTransport rotor(sim, cluster, opts);
+  const GpuId src = cluster.gpu_at(NodeId{0}, 0);
+  const GpuId dst = cluster.gpu_at(NodeId{3}, 0);
+  CommGroup g;
+  g.id = GroupId{1};
+  g.ranks = {src, dst};
+  // 200 MB at 400G = 4 ms: spans several slots; the rotor must hold the
+  // matching (guard band) instead of tearing the live circuit.
+  TimeNs done = -1;
+  rotor.send(g, src, dst, 200'000'000, [&] { done = sim.now(); });
+  sim.run_until(msecs(20));
+  EXPECT_GE(done, msecs(4));
+  EXPECT_EQ(cluster.bytes_on_route(net::Cluster::Route::kRail), 200'000'000);
+}
+
+TEST(Rotor, RingAllReduceCompletesButSlowly) {
+  // The §3 claim: oblivious rotation serves ML collectives poorly. A ring
+  // AllReduce's neighbour transfers only run when the rotor happens to
+  // connect them, so the collective stretches across many slots.
+  const auto sched = collective::plan_collective(
+      CollectiveType::kAllReduce, Algorithm::kRing, 4, mib(8));
+  TimeNs rotor_time = -1;
+  {
+    sim::Simulator sim;
+    net::Cluster cluster(sim, rotor_cfg(4));
+    RotorTransport::Options opts;
+    opts.slot_time = msecs(1);
+    RotorTransport rotor(sim, cluster, opts);
+    CollectiveExecutor exec(sim, rotor);
+    CommGroup g;
+    g.id = GroupId{1};
+    g.dim = collective::ParallelismDim::kDP;
+    for (int n = 0; n < 4; ++n) g.ranks.push_back(cluster.gpu_at(NodeId{n}, 0));
+    exec.run(g, sched, [&](const CollectiveExecutor::Result& r) {
+      rotor_time = r.duration();
+    });
+    sim.run();
+  }
+  ASSERT_GT(rotor_time, 0);
+  // Each of the 6 pipelined steps needs both ring directions, which live
+  // in different matchings: the collective spans multiple full cycles.
+  EXPECT_GT(rotor_time, msecs(3));
+}
+
+TEST(Rotor, RequiresPhotonicRails) {
+  sim::Simulator sim;
+  net::ClusterConfig cfg = rotor_cfg(4);
+  cfg.rail_kind = net::RailKind::kElectrical;
+  net::Cluster cluster(sim, cfg);
+  EXPECT_THROW(RotorTransport(sim, cluster), InvariantError);
+}
+
+}  // namespace
+}  // namespace opus::core

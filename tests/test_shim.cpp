@@ -1,0 +1,181 @@
+// Unit tests for the Opus shim: profiling, phase replay, speculative
+// provisioning triggers, misprediction handling, and layout merging.
+#include <gtest/gtest.h>
+
+#include "core/shim.h"
+
+namespace opus::core {
+namespace {
+
+using collective::ParallelismDim;
+
+RailCircuits rc(int rail, std::vector<std::pair<int, int>> ports) {
+  RailCircuits out;
+  out.rail = RailId{rail};
+  for (auto [a, b] : ports) out.circuits.push_back({PortId{a}, PortId{b}});
+  return out;
+}
+
+struct SpeculationLog {
+  std::vector<GroupId> groups;
+  std::vector<std::vector<RailCircuits>> layouts;
+};
+
+OpusShim make_shim(SpeculationLog& log, bool provisioning = true) {
+  OpusShim shim(provisioning);
+  shim.set_speculate([&log](GroupId g, const std::vector<RailCircuits>& l) {
+    log.groups.push_back(g);
+    log.layouts.push_back(l);
+  });
+  return shim;
+}
+
+TEST(Shim, ProfilesPhasesByDimension) {
+  SpeculationLog log;
+  OpusShim shim = make_shim(log);
+  shim.iteration_started(0);
+  shim.on_intent(ParallelismDim::kDP, {rc(0, {{0, 2}})});
+  shim.on_intent(ParallelismDim::kDP, {rc(0, {{1, 3}})});
+  shim.on_intent(ParallelismDim::kPP, {rc(0, {{0, 4}})});
+  shim.on_intent(ParallelismDim::kDP, {rc(0, {{0, 2}})});
+  ASSERT_EQ(shim.profile().size(), 3u);
+  EXPECT_EQ(shim.profile()[0].dim, ParallelismDim::kDP);
+  EXPECT_EQ(shim.profile()[0].n_collectives, 2);
+  // Layouts merged across the phase.
+  EXPECT_EQ(shim.profile()[0].layout[0].circuits.size(), 2u);
+  EXPECT_EQ(shim.profile()[1].dim, ParallelismDim::kPP);
+  EXPECT_EQ(shim.profile()[2].n_collectives, 1);
+}
+
+TEST(Shim, NoSpeculationDuringProfiling) {
+  SpeculationLog log;
+  OpusShim shim = make_shim(log);
+  shim.iteration_started(0);
+  shim.on_intent(ParallelismDim::kDP, {rc(0, {{0, 2}})});
+  shim.on_finished(ParallelismDim::kDP);
+  EXPECT_TRUE(log.groups.empty());
+}
+
+TEST(Shim, SpeculatesNextPhaseWhenCurrentCompletes) {
+  SpeculationLog log;
+  OpusShim shim = make_shim(log);
+  shim.iteration_started(0);
+  shim.on_intent(ParallelismDim::kDP, {rc(0, {{0, 2}})});
+  shim.on_intent(ParallelismDim::kDP, {rc(0, {{1, 3}})});
+  shim.on_intent(ParallelismDim::kPP, {rc(0, {{0, 4}})});
+
+  shim.iteration_started(1);
+  shim.on_intent(ParallelismDim::kDP, {rc(0, {{0, 2}})});
+  shim.on_finished(ParallelismDim::kDP);
+  EXPECT_TRUE(log.groups.empty()) << "phase has 2 collectives; 1 finished";
+  shim.on_intent(ParallelismDim::kDP, {rc(0, {{1, 3}})});
+  shim.on_finished(ParallelismDim::kDP);
+  ASSERT_EQ(log.groups.size(), 1u);
+  EXPECT_EQ(log.groups[0], speculative_group_id(ParallelismDim::kPP));
+  ASSERT_EQ(log.layouts[0].size(), 1u);
+  EXPECT_EQ(log.layouts[0][0].circuits[0].a.value(), 0);
+  EXPECT_EQ(log.layouts[0][0].circuits[0].b.value(), 4);
+  EXPECT_EQ(shim.speculative_requests(), 1);
+}
+
+TEST(Shim, NoSpeculationPastTheLastPhase) {
+  SpeculationLog log;
+  OpusShim shim = make_shim(log);
+  shim.iteration_started(0);
+  shim.on_intent(ParallelismDim::kDP, {rc(0, {{0, 2}})});
+  shim.iteration_started(1);
+  shim.on_intent(ParallelismDim::kDP, {rc(0, {{0, 2}})});
+  shim.on_finished(ParallelismDim::kDP);
+  EXPECT_TRUE(log.groups.empty());
+}
+
+TEST(Shim, ProvisioningDisabledNeverSpeculates) {
+  SpeculationLog log;
+  OpusShim shim = make_shim(log, /*provisioning=*/false);
+  shim.iteration_started(0);
+  shim.on_intent(ParallelismDim::kDP, {rc(0, {{0, 2}})});
+  shim.on_intent(ParallelismDim::kPP, {rc(0, {{0, 4}})});
+  shim.iteration_started(1);
+  shim.on_intent(ParallelismDim::kDP, {rc(0, {{0, 2}})});
+  shim.on_finished(ParallelismDim::kDP);
+  EXPECT_TRUE(log.groups.empty());
+  EXPECT_EQ(shim.speculative_requests(), 0);
+}
+
+TEST(Shim, ReplayResynchronizesWithWrapAround) {
+  SpeculationLog log;
+  OpusShim shim = make_shim(log);
+  shim.iteration_started(0);
+  shim.on_intent(ParallelismDim::kDP, {rc(0, {{0, 2}})});
+  shim.on_intent(ParallelismDim::kPP, {rc(0, {{0, 4}})});
+  shim.on_intent(ParallelismDim::kDP, {rc(0, {{1, 3}})});
+
+  shim.iteration_started(1);
+  // Intents arrive slightly out of the profiled order: PP first.
+  shim.on_intent(ParallelismDim::kPP, {rc(0, {{0, 4}})});
+  shim.on_finished(ParallelismDim::kPP);
+  // The pointer advanced to the PP phase and speculated the DP after it.
+  ASSERT_EQ(log.groups.size(), 1u);
+  EXPECT_EQ(log.groups[0], speculative_group_id(ParallelismDim::kDP));
+  // A DP intent now wraps around the profile instead of mispredicting.
+  shim.on_intent(ParallelismDim::kDP, {rc(0, {{1, 3}})});
+  EXPECT_EQ(shim.mispredictions(), 0);
+}
+
+TEST(Shim, UnknownDimCountsAsMisprediction) {
+  SpeculationLog log;
+  OpusShim shim = make_shim(log);
+  shim.iteration_started(0);
+  shim.on_intent(ParallelismDim::kDP, {rc(0, {{0, 2}})});
+  shim.iteration_started(1);
+  shim.on_intent(ParallelismDim::kEP, {rc(0, {{0, 4}})});  // never profiled
+  EXPECT_EQ(shim.mispredictions(), 1);
+}
+
+TEST(Shim, MergedLayoutStaysConflictFree) {
+  SpeculationLog log;
+  OpusShim shim = make_shim(log);
+  shim.iteration_started(0);
+  // Two PP pair groups sharing port 2 (a 3-stage chain through one node):
+  // the merged phase layout must keep only one circuit per port.
+  shim.on_intent(ParallelismDim::kPP, {rc(0, {{0, 2}})});
+  shim.on_intent(ParallelismDim::kPP, {rc(0, {{2, 4}})});
+  ASSERT_EQ(shim.profile().size(), 1u);
+  const auto& merged = shim.profile()[0].layout[0].circuits;
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_EQ(merged[0].a.value(), 0);
+  EXPECT_EQ(merged[0].b.value(), 2);
+}
+
+TEST(Shim, MergeAcrossRailsKeepsBothRails) {
+  SpeculationLog log;
+  OpusShim shim = make_shim(log);
+  shim.iteration_started(0);
+  shim.on_intent(ParallelismDim::kDP, {rc(0, {{0, 2}})});
+  shim.on_intent(ParallelismDim::kDP, {rc(1, {{0, 2}})});
+  ASSERT_EQ(shim.profile().size(), 1u);
+  EXPECT_EQ(shim.profile()[0].layout.size(), 2u);
+}
+
+TEST(Shim, SpeculativeGroupIdsAreDistinctPerDim) {
+  EXPECT_NE(speculative_group_id(ParallelismDim::kDP),
+            speculative_group_id(ParallelismDim::kPP));
+  EXPECT_TRUE(speculative_group_id(ParallelismDim::kEP).valid());
+}
+
+TEST(Shim, CountersResetPerIterationButProfilePersists) {
+  SpeculationLog log;
+  OpusShim shim = make_shim(log);
+  shim.iteration_started(0);
+  shim.on_intent(ParallelismDim::kDP, {rc(0, {{0, 2}})});
+  shim.on_intent(ParallelismDim::kPP, {rc(0, {{0, 4}})});
+  const auto profile_size = shim.profile().size();
+  shim.iteration_started(1);
+  EXPECT_EQ(shim.profile().size(), profile_size);
+  shim.iteration_started(2);
+  EXPECT_EQ(shim.profile().size(), profile_size);
+  EXPECT_FALSE(shim.profiling());
+}
+
+}  // namespace
+}  // namespace opus::core

@@ -1,0 +1,157 @@
+// Unit tests for the discrete-event engine: ordering, determinism,
+// cancellation, and the run_until / run_steps contracts.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.h"
+#include "sim/simulator.h"
+
+namespace opus::sim {
+namespace {
+
+TEST(Simulator, StartsAtTimeZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.now(), 0);
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(Simulator, FiresEventsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(30, [&] { order.push_back(3); });
+  sim.schedule_at(10, [&] { order.push_back(1); });
+  sim.schedule_at(20, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 30);
+}
+
+TEST(Simulator, SameTimestampFiresInScheduleOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule_at(5, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Simulator, ScheduleAfterUsesCurrentTime) {
+  Simulator sim;
+  TimeNs inner_fired = -1;
+  sim.schedule_at(100, [&] {
+    sim.schedule_after(50, [&] { inner_fired = sim.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(inner_fired, 150);
+}
+
+TEST(Simulator, SchedulingInThePastThrows) {
+  Simulator sim;
+  sim.schedule_at(100, [] {});
+  sim.run();
+  EXPECT_THROW(sim.schedule_at(50, [] {}), InvariantError);
+}
+
+TEST(Simulator, EmptyCallbackThrows) {
+  Simulator sim;
+  EXPECT_THROW(sim.schedule_at(1, Simulator::Callback{}), InvariantError);
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator sim;
+  bool fired = false;
+  const EventId id = sim.schedule_at(10, [&] { fired = true; });
+  EXPECT_TRUE(sim.pending(id));
+  EXPECT_TRUE(sim.cancel(id));
+  EXPECT_FALSE(sim.pending(id));
+  sim.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulator, CancelTwiceReturnsFalse) {
+  Simulator sim;
+  const EventId id = sim.schedule_at(10, [] {});
+  EXPECT_TRUE(sim.cancel(id));
+  EXPECT_FALSE(sim.cancel(id));
+}
+
+TEST(Simulator, CancelAfterFireReturnsFalse) {
+  Simulator sim;
+  const EventId id = sim.schedule_at(10, [] {});
+  sim.run();
+  EXPECT_FALSE(sim.cancel(id));
+}
+
+TEST(Simulator, CancelledEventDoesNotBlockQueue) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.cancel(sim.schedule_at(5, [&] { order.push_back(0); }));
+  sim.schedule_at(10, [&] { order.push_back(1); });
+  EXPECT_EQ(sim.run(), 1u);
+  EXPECT_EQ(order, (std::vector<int>{1}));
+}
+
+TEST(Simulator, RunUntilStopsAtLimit) {
+  Simulator sim;
+  std::vector<TimeNs> fired;
+  for (TimeNs t : {10, 20, 30, 40}) {
+    sim.schedule_at(t, [&fired, &sim] { fired.push_back(sim.now()); });
+  }
+  EXPECT_EQ(sim.run_until(25), 2u);
+  EXPECT_EQ(fired, (std::vector<TimeNs>{10, 20}));
+  EXPECT_EQ(sim.now(), 25);  // clock advanced to the limit
+  EXPECT_EQ(sim.pending_events(), 2u);
+  sim.run();
+  EXPECT_EQ(fired.size(), 4u);
+}
+
+TEST(Simulator, RunUntilIncludesEventsAtLimit) {
+  Simulator sim;
+  bool fired = false;
+  sim.schedule_at(25, [&] { fired = true; });
+  sim.run_until(25);
+  EXPECT_TRUE(fired);
+}
+
+TEST(Simulator, RunStepsExecutesBoundedCount) {
+  Simulator sim;
+  int count = 0;
+  for (int i = 0; i < 5; ++i) {
+    sim.schedule_at(i + 1, [&] { ++count; });
+  }
+  EXPECT_EQ(sim.run_steps(3), 3u);
+  EXPECT_EQ(count, 3);
+  EXPECT_EQ(sim.run(), 2u);
+  EXPECT_EQ(count, 5);
+}
+
+TEST(Simulator, EventsCanScheduleMoreEvents) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 100) sim.schedule_after(1, recurse);
+  };
+  sim.schedule_at(0, recurse);
+  sim.run();
+  EXPECT_EQ(depth, 100);
+  EXPECT_EQ(sim.now(), 99);
+  EXPECT_EQ(sim.events_fired(), 100u);
+}
+
+TEST(Simulator, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    Simulator sim;
+    std::vector<int> order;
+    for (int i = 0; i < 50; ++i) {
+      sim.schedule_at(i % 7, [&order, i] { order.push_back(i); });
+    }
+    sim.run();
+    return order;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace opus::sim

@@ -1,0 +1,245 @@
+// Tests for the §3.1 window analysis: phase extraction, the T_window
+// formula, Fig. 4(b) categorization, Eq. 1, and the Gantt exporter.
+#include <gtest/gtest.h>
+
+#include "trace/gantt.h"
+#include "trace/recorder.h"
+#include "trace/windows.h"
+
+namespace opus::trace {
+namespace {
+
+using collective::CollectiveType;
+using collective::ParallelismDim;
+
+CommRecord rec(ParallelismDim dim, GroupId group, TimeNs issue, TimeNs end,
+               Bytes payload, CollectiveType type = CollectiveType::kAllReduce) {
+  CommRecord r;
+  r.dim = dim;
+  r.group = group;
+  r.type = type;
+  r.payload = payload;
+  r.t_issue = issue;
+  r.t_end = end;
+  r.scale_out = true;
+  r.rail = RailId{0};
+  return r;
+}
+
+TEST(Phases, ConsecutiveSameDimMerge) {
+  std::vector<CommRecord> comms = {
+      rec(ParallelismDim::kDP, GroupId{1}, 0, 10, 100),
+      rec(ParallelismDim::kDP, GroupId{1}, 5, 20, 200),
+      rec(ParallelismDim::kPP, GroupId{2}, 30, 40, 50),
+  };
+  const auto phases = extract_phases(comms);
+  ASSERT_EQ(phases.size(), 2u);
+  EXPECT_EQ(phases[0].n_comms, 2);
+  EXPECT_EQ(phases[0].total_payload, 300);
+  EXPECT_EQ(phases[0].t_last_end, 20);
+  EXPECT_EQ(phases[1].dim, ParallelismDim::kPP);
+}
+
+TEST(Phases, SameDimDifferentGroupAfterGapSplits) {
+  // Stage 1's RS chain, a long idle gap, then stage 0's RS chain: two
+  // distinct phases even though both are DP.
+  std::vector<CommRecord> comms = {
+      rec(ParallelismDim::kDP, GroupId{1}, 0, 10, 100),
+      rec(ParallelismDim::kDP, GroupId{2}, 500, 510, 100),
+  };
+  const auto phases = extract_phases(comms);
+  ASSERT_EQ(phases.size(), 2u);
+}
+
+TEST(Phases, SameGroupAfterGapDoesNotSplit) {
+  // Quiet gaps inside one group's chain stay one phase (same parallelism).
+  std::vector<CommRecord> comms = {
+      rec(ParallelismDim::kPP, GroupId{1}, 0, 10, 100),
+      rec(ParallelismDim::kPP, GroupId{1}, 500, 510, 100),
+  };
+  EXPECT_EQ(extract_phases(comms).size(), 1u);
+}
+
+TEST(Phases, OverlappingDifferentGroupSameDimMerges) {
+  // Concurrent per-stage chains of the same dimension form one phase.
+  std::vector<CommRecord> comms = {
+      rec(ParallelismDim::kDP, GroupId{1}, 0, 100, 10),
+      rec(ParallelismDim::kDP, GroupId{2}, 50, 150, 10),
+  };
+  EXPECT_EQ(extract_phases(comms).size(), 1u);
+}
+
+TEST(Windows, FormulaMatchesPaperDefinition) {
+  // T_window = min issue of P2 - max end of P1.
+  std::vector<CommRecord> comms = {
+      rec(ParallelismDim::kDP, GroupId{1}, 0, msecs(10), 100),
+      rec(ParallelismDim::kDP, GroupId{1}, msecs(2), msecs(14), 100),
+      rec(ParallelismDim::kPP, GroupId{2}, msecs(20), msecs(25), 64),
+  };
+  const auto windows = extract_windows(comms);
+  ASSERT_EQ(windows.size(), 1u);
+  EXPECT_EQ(windows[0].size, msecs(6));  // 20 - 14
+  EXPECT_EQ(windows[0].before_dim, ParallelismDim::kDP);
+  EXPECT_EQ(windows[0].after_dim, ParallelismDim::kPP);
+  EXPECT_EQ(windows[0].traffic_after, 64);
+}
+
+TEST(Windows, OverlappingPhasesGiveNegativeWindow) {
+  std::vector<CommRecord> comms = {
+      rec(ParallelismDim::kDP, GroupId{1}, 0, msecs(10), 100),
+      rec(ParallelismDim::kPP, GroupId{2}, msecs(8), msecs(12), 100),
+  };
+  const auto windows = extract_windows(comms);
+  ASSERT_EQ(windows.size(), 1u);
+  EXPECT_EQ(windows[0].size, -msecs(2));
+}
+
+TEST(Windows, EmptyAndSinglePhaseTracesHaveNoWindows) {
+  EXPECT_TRUE(extract_windows({}).empty());
+  std::vector<CommRecord> one = {
+      rec(ParallelismDim::kDP, GroupId{1}, 0, 10, 100)};
+  EXPECT_TRUE(extract_windows(one).empty());
+}
+
+TEST(WindowCategories, GroupsByVolumeAndAverages) {
+  std::vector<Window> windows;
+  for (int i = 0; i < 4; ++i) {
+    Window w;
+    w.size = msecs(2 * (i + 1));
+    w.traffic_after = 64 * kMiB;
+    windows.push_back(w);
+  }
+  Window big;
+  big.size = msecs(1000);
+  big.traffic_after = 3829 * kMiB;
+  windows.push_back(big);
+  const auto cats = categorize_windows(windows, 2);
+  ASSERT_EQ(cats.size(), 2u);
+  EXPECT_EQ(cats[0].traffic_after, 64 * kMiB);
+  EXPECT_NEAR(cats[0].count_per_iteration, 2.0, 1e-9);
+  EXPECT_NEAR(cats[0].avg_window_ms, 5.0, 1e-9);
+  EXPECT_NEAR(cats[1].avg_window_ms, 1000.0, 1e-9);
+}
+
+TEST(WindowCategories, NearbyVolumesMergeWithinOnePercent) {
+  std::vector<Window> windows;
+  Window a;
+  a.traffic_after = 1'000'000'000;
+  a.size = msecs(1);
+  Window b;
+  b.traffic_after = 1'004'000'000;  // +0.4%
+  b.size = msecs(3);
+  windows = {a, b};
+  const auto cats = categorize_windows(windows, 1);
+  ASSERT_EQ(cats.size(), 1u);
+  EXPECT_NEAR(cats[0].avg_window_ms, 2.0, 1e-9);
+}
+
+TEST(Eq1, PaperWorkloadWindowCount) {
+  // 3D-parallel job (no CP/EP): only the PP/FSDP interleave and the four
+  // pipeline state transitions remain: 4(PP-1) + 4.
+  EXPECT_EQ(window_count_estimate(2, 32, 8, false, false), 8);
+  EXPECT_EQ(window_count_estimate(3, 32, 8, false, false), 12);
+  EXPECT_EQ(window_count_estimate(1, 32, 8, false, false), 4);
+}
+
+TEST(Eq1, FiveDimensionalJobCountsAllTerms) {
+  // Full formula: 4(PP-1) + 2(L/PP - 1) + 4M + 2M(2L/PP - 1) + 4.
+  const int pp = 4;
+  const int layers = 32;  // 8 per stage
+  const int mb = 8;
+  const std::int64_t expected =
+      4 * 3 + 2 * (8 - 1) + 4 * 8 + 2 * 8 * (2 * 8 - 1) + 4;
+  EXPECT_EQ(window_count_estimate(pp, layers, mb, true, true), expected);
+}
+
+TEST(Eq1, CpOnlyJobDropsTheCpEpCrossTerm) {
+  const std::int64_t expected = 4 * 3 + 2 * (8 - 1) + 4 * 8 + 4;
+  EXPECT_EQ(window_count_estimate(4, 32, 8, true, false), expected);
+  EXPECT_EQ(window_count_estimate(4, 32, 8, false, true), expected);
+}
+
+TEST(Eq1, Llama405BMatchesPaperFigure) {
+  // The paper reports ~127 windows over a ~20s iteration (~6/s) for
+  // Llama3.1-405B. With the published recipe (126 layers, PP=9, 16
+  // microbatches, CP but no EP) the formula yields 126.
+  const std::int64_t count = window_count_estimate(9, 126, 16, true, false);
+  EXPECT_EQ(count, 126);
+  EXPECT_NEAR(static_cast<double>(count) / 20.0, 6.0, 0.5);  // windows/s
+}
+
+TEST(Recorder, RailFilteringAndIterationSpans) {
+  TraceRecorder r;
+  r.begin_iteration(0);
+  CommRecord a = rec(ParallelismDim::kDP, GroupId{1}, 10, 20, 100);
+  a.rail = RailId{0};
+  r.record_comm(a);
+  CommRecord b = rec(ParallelismDim::kDP, GroupId{2}, 5, 15, 100);
+  b.rail = RailId{1};
+  r.record_comm(b);
+  CommRecord scale_up = rec(ParallelismDim::kTP, GroupId{3}, 0, 5, 100);
+  scale_up.scale_out = false;
+  r.record_comm(scale_up);
+  r.end_iteration(msecs(1));
+  r.begin_iteration(msecs(1));
+  CommRecord c = rec(ParallelismDim::kPP, GroupId{4}, msecs(2), msecs(3), 50);
+  r.record_comm(c);
+  r.end_iteration(msecs(4));
+
+  EXPECT_EQ(r.rail_comms(0, RailId{0}).size(), 1u);
+  EXPECT_EQ(r.rail_comms(0, RailId{1}).size(), 1u);
+  EXPECT_EQ(r.rail_comms(1, RailId{0}).size(), 1u);
+  EXPECT_EQ(r.scale_out_comms(0).size(), 2u);
+  ASSERT_EQ(r.iterations().size(), 2u);
+  EXPECT_EQ(r.iterations()[1].duration(), msecs(3));
+}
+
+TEST(Recorder, ScaleOutCommsSortedByIssue) {
+  TraceRecorder r;
+  r.begin_iteration(0);
+  r.record_comm(rec(ParallelismDim::kDP, GroupId{1}, 30, 40, 1));
+  r.record_comm(rec(ParallelismDim::kDP, GroupId{1}, 10, 20, 1));
+  r.end_iteration(100);
+  const auto out = r.scale_out_comms(0);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_LT(out[0].t_issue, out[1].t_issue);
+}
+
+TEST(Recorder, ComputeRecordingCanBeDisabled) {
+  TraceRecorder r(false);
+  r.begin_iteration(0);
+  r.record_compute(ComputeRecord{});
+  EXPECT_TRUE(r.compute_records().empty());
+}
+
+TEST(Gantt, RendersGlyphsAndPhases) {
+  std::vector<CommRecord> comms = {
+      rec(ParallelismDim::kDP, GroupId{1}, 0, msecs(10), 100,
+          CollectiveType::kAllGather),
+      rec(ParallelismDim::kPP, GroupId{2}, msecs(50), msecs(60), 100,
+          CollectiveType::kSendRecv),
+      rec(ParallelismDim::kDP, GroupId{3}, msecs(80), msecs(90), 100,
+          CollectiveType::kReduceScatter),
+  };
+  const std::string chart = render_rail_gantt(
+      comms, {GpuId{0}, GpuId{4}, GpuId{8}, GpuId{12}}, 0, msecs(100));
+  EXPECT_NE(chart.find("rank 0"), std::string::npos);
+  EXPECT_NE(chart.find("rank 12"), std::string::npos);
+  EXPECT_NE(chart.find('G'), std::string::npos);
+  EXPECT_NE(chart.find('S'), std::string::npos);
+  EXPECT_NE(chart.find('R'), std::string::npos);
+  EXPECT_NE(chart.find("config 0: DP"), std::string::npos);
+  EXPECT_NE(chart.find("config 1: PP"), std::string::npos);
+  EXPECT_NE(chart.find("config 2: DP"), std::string::npos);
+}
+
+TEST(Gantt, GlyphCoverage) {
+  EXPECT_EQ(gantt_glyph(CollectiveType::kAllGather), 'G');
+  EXPECT_EQ(gantt_glyph(CollectiveType::kReduceScatter), 'R');
+  EXPECT_EQ(gantt_glyph(CollectiveType::kAllReduce), 'A');
+  EXPECT_EQ(gantt_glyph(CollectiveType::kSendRecv), 'S');
+  EXPECT_EQ(gantt_glyph(CollectiveType::kAllToAll), 'X');
+}
+
+}  // namespace
+}  // namespace opus::trace

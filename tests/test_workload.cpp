@@ -1,0 +1,244 @@
+// Workload model tests: parameter counts, Table 1/2 reproduction, rank
+// mapping & communication-group construction, and the exact traffic volumes
+// the paper reports in Fig. 4(b).
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "workload/comm_volume.h"
+#include "workload/compute_model.h"
+#include "workload/model_config.h"
+#include "workload/parallelism.h"
+
+namespace opus::workload {
+namespace {
+
+TEST(ModelConfig, Llama3_8BParameterCount) {
+  const auto m = ModelConfig::llama3_8b();
+  // ~8.0B parameters (meta reports 8.03B).
+  EXPECT_NEAR(static_cast<double>(m.total_params()), 8.0e9, 0.1e9);
+  EXPECT_EQ(m.head_dim(), 128);
+  EXPECT_EQ(m.kv_dim(), 1024);
+}
+
+TEST(ModelConfig, Llama31_405BParameterCount) {
+  const auto m = ModelConfig::llama31_405b();
+  EXPECT_NEAR(static_cast<double>(m.total_params()), 405e9, 8e9);
+}
+
+TEST(ModelConfig, Gpt3ParameterCount) {
+  const auto m = ModelConfig::gpt3_175b();
+  EXPECT_NEAR(static_cast<double>(m.total_params()), 175e9, 10e9);
+}
+
+TEST(ModelConfig, MoeActiveVsTotalParams) {
+  const auto m = ModelConfig::mixtral_8x7b();
+  EXPECT_TRUE(m.moe());
+  EXPECT_GT(m.params_per_layer(), 4 * m.active_params_per_layer() / 2);
+  EXPECT_LT(m.active_params_per_layer(), m.params_per_layer());
+  // 8 experts, top-2: dense-equivalent active share.
+  const double ratio = static_cast<double>(m.params_per_layer()) /
+                       static_cast<double>(m.active_params_per_layer());
+  EXPECT_GT(ratio, 2.5);
+  EXPECT_LT(ratio, 4.0);
+}
+
+TEST(ParallelismConfig, ValidationRejectsBadConfigs) {
+  ParallelismConfig p;
+  p.pp = 4;
+  p.n_microbatches = 2;  // 1F1B needs n_microbatches >= pp
+  EXPECT_THROW(p.validate(), InvariantError);
+  ParallelismConfig q;
+  q.dp = 4;
+  q.ep = 3;  // must divide dp
+  EXPECT_THROW(q.validate(), InvariantError);
+}
+
+TEST(RankMapper, PaperWorkloadCoordinates) {
+  // TP=4 (intra-node), FSDP=2, PP=2 on 4 nodes x 4 GPUs (§3.1).
+  ParallelismConfig p;
+  p.tp = 4;
+  p.dp = 2;
+  p.pp = 2;
+  RankMapper m(p, 4);
+  EXPECT_EQ(m.n_nodes(), 4);
+  // Rank 0 is stage 0; rank 8 hosts stage 1 (the paper's Fig. 3 narrative).
+  EXPECT_EQ(m.pp_stage(GpuId{0}), 0);
+  EXPECT_EQ(m.pp_stage(GpuId{8}), 1);
+  // Coordinates round-trip.
+  for (int g = 0; g < 16; ++g) {
+    EXPECT_EQ(m.gpu(m.coords(GpuId{g})).value(), g);
+  }
+}
+
+TEST(RankMapper, ScaleOutGroupsAreRailLocal) {
+  ParallelismConfig p;
+  p.tp = 4;
+  p.dp = 2;
+  p.pp = 2;
+  RankMapper m(p, 4);
+  // Every DP and PP group must connect GPUs of equal local rank (this is
+  // the property rail-optimized fabrics exploit, Fig. 1).
+  for (const auto& g : m.dp_groups()) EXPECT_TRUE(m.rail_local(g)) << g.name;
+  for (const auto& g : m.pp_groups()) EXPECT_TRUE(m.rail_local(g)) << g.name;
+  // TP groups live inside one node (scale-up domain).
+  for (const auto& g : m.tp_groups()) {
+    const int node = g.ranks.front().value() / 4;
+    for (GpuId r : g.ranks) EXPECT_EQ(r.value() / 4, node);
+  }
+}
+
+TEST(RankMapper, GroupSizesAndCounts) {
+  ParallelismConfig p;
+  p.tp = 2;
+  p.cp = 2;
+  p.dp = 4;
+  p.pp = 2;
+  p.ep = 2;
+  p.n_microbatches = 4;
+  RankMapper m(p, 4);
+  EXPECT_EQ(m.world_size(), 32);
+  EXPECT_EQ(m.tp_groups().size(), 16u);
+  EXPECT_EQ(m.cp_groups().size(), 16u);
+  EXPECT_EQ(m.dp_groups().size(), 8u);
+  EXPECT_EQ(m.pp_groups().size(), 16u);
+  EXPECT_EQ(m.ep_groups().size(), 16u);
+  for (const auto& g : m.tp_groups()) EXPECT_EQ(g.size(), 2);
+  for (const auto& g : m.dp_groups()) EXPECT_EQ(g.size(), 4);
+  for (const auto& g : m.ep_groups()) EXPECT_EQ(g.size(), 2);
+  // group_of finds the right group for every rank and dimension.
+  for (int g = 0; g < 32; ++g) {
+    for (auto dim : {collective::ParallelismDim::kTP,
+                     collective::ParallelismDim::kDP,
+                     collective::ParallelismDim::kPP,
+                     collective::ParallelismDim::kCP,
+                     collective::ParallelismDim::kEP}) {
+      EXPECT_TRUE(m.group_of(dim, GpuId{g}).contains(GpuId{g}));
+    }
+  }
+}
+
+TEST(CommVolume, PaperFig4TrafficSizes) {
+  // The exact volumes behind Fig. 4(b): 64 MiB PP Send/Recv, 957 MiB DP
+  // AllGather (per-rank shard input), 3829 MiB DP ReduceScatter input.
+  ParallelismConfig p;
+  p.tp = 4;
+  p.dp = 2;
+  p.pp = 2;
+  p.microbatch_size = 2;
+  CommVolumeModel vol(ModelConfig::llama3_8b(), p);
+
+  EXPECT_EQ(vol.pp_sendrecv_per_microbatch(), 64 * kMiB);
+
+  // Whole-stage FSDP volumes (16 layers + one embedding half per stage).
+  const Bytes ag_stage = 16 * vol.fsdp_allgather_per_layer() +
+                         vol.embedding_ag_extra(0);
+  const Bytes rs_stage = 16 * vol.fsdp_reducescatter_per_layer() +
+                         vol.embedding_rs_extra(0);
+  // AllGather per-rank input = total / dp.
+  EXPECT_NEAR(static_cast<double>(ag_stage / p.dp) / kMiB, 957.0, 5.0);
+  EXPECT_NEAR(static_cast<double>(rs_stage) / kMiB, 3829.0, 20.0);
+  EXPECT_LT(vol.sync_allreduce(), 1'000'000);  // the "<1MB" category
+}
+
+TEST(CommVolume, Table2Structure) {
+  const auto rows = parallelism_traits_table();
+  ASSERT_EQ(rows.size(), 7u);
+  EXPECT_EQ(rows[0].name, "DP");
+  EXPECT_EQ(rows[1].name, "FSDP");
+  EXPECT_EQ(rows[6].name, "EP");
+  EXPECT_NE(rows[6].communication.find("AllToAll"), std::string::npos);
+}
+
+TEST(CommVolume, ScalesWithDegrees) {
+  ParallelismConfig p;
+  p.tp = 2;
+  p.dp = 4;
+  p.pp = 2;
+  const auto model = ModelConfig::llama3_8b();
+  CommVolumeModel v2(model, p);
+  p.tp = 4;
+  CommVolumeModel v4(model, p);
+  EXPECT_EQ(v2.fsdp_allgather_per_layer(), 2 * v4.fsdp_allgather_per_layer());
+  EXPECT_EQ(v2.fsdp_reducescatter_per_layer(),
+            2 * v4.fsdp_reducescatter_per_layer());
+}
+
+TEST(CommVolume, MoEAllToAllScalesWithTopK) {
+  ParallelismConfig p;
+  p.dp = 8;
+  p.ep = 8;
+  const auto moe = ModelConfig::mixtral_8x7b();
+  CommVolumeModel vol(moe, p);
+  // top-2 routing sends each token's activation twice.
+  EXPECT_EQ(vol.ep_alltoall_per_layer(),
+            2 * vol.tokens_per_microbatch() * moe.hidden * moe.dtype_bytes);
+}
+
+TEST(Table1, AdvisorMatchesPaperRows) {
+  const auto rows = parallelism_rule_table();
+  ASSERT_EQ(rows.size(), 4u);
+  EXPECT_EQ(rows[0].practices, "TP or DP");
+  EXPECT_EQ(rows[1].practices, "TP & PP, TP & DP, or DP");
+  EXPECT_EQ(rows[2].practices, "DP & PP, or DP & TP");
+  EXPECT_EQ(rows[3].practices, "TP, DP & PP");
+  EXPECT_EQ(advise_parallelism(8'000'000'000, 8).model_size, "Small (<10B)");
+  EXPECT_EQ(advise_parallelism(405'000'000'000, 4096).compute, "N > 1024");
+}
+
+TEST(ComputeModel, BackwardCostsMoreThanForward) {
+  ParallelismConfig p;
+  p.tp = 4;
+  p.dp = 2;
+  p.pp = 2;
+  const auto m = ModelConfig::llama3_8b();
+  ComputeModel with_recompute(GpuSpec::a100(), 0.35, true);
+  ComputeModel without(GpuSpec::a100(), 0.35, false);
+  EXPECT_EQ(with_recompute.layer_bwd(m, p), 3 * with_recompute.layer_fwd(m, p));
+  EXPECT_EQ(without.layer_bwd(m, p), 2 * without.layer_fwd(m, p));
+}
+
+TEST(ComputeModel, TensorParallelismSpeedsUpLayers) {
+  const auto m = ModelConfig::llama3_8b();
+  ComputeModel cm;
+  ParallelismConfig p1;
+  ParallelismConfig p4;
+  p4.tp = 4;
+  EXPECT_GT(cm.layer_fwd(m, p1), 3 * cm.layer_fwd(m, p4));
+}
+
+TEST(ComputeModel, CalibratedStageBackwardIsHundredsOfMs) {
+  // The calibration target behind Fig. 4: one stage's cool-down backward
+  // (16 layers) takes O(100ms..1s) so the window before the ReduceScatter
+  // phase lands where the paper reports it.
+  ParallelismConfig p;
+  p.tp = 4;
+  p.dp = 2;
+  p.pp = 2;
+  p.microbatch_size = 2;
+  const auto m = ModelConfig::llama3_8b();
+  ComputeModel cm(GpuSpec::a100(), 0.35, true);
+  const TimeNs stage_bwd = 16 * cm.layer_bwd(m, p);
+  EXPECT_GT(stage_bwd, msecs(100));
+  EXPECT_LT(stage_bwd, secs(2));
+}
+
+TEST(ComputeModel, FasterGpusShortenCompute) {
+  ParallelismConfig p;
+  const auto m = ModelConfig::llama3_8b();
+  ComputeModel a100(GpuSpec::a100(), 0.4, false);
+  ComputeModel h100(GpuSpec::h100(), 0.4, false);
+  EXPECT_GT(a100.layer_fwd(m, p), 2 * h100.layer_fwd(m, p));
+}
+
+TEST(ComputeModel, HigherMfuIsFaster) {
+  ParallelismConfig p;
+  const auto m = ModelConfig::llama3_8b();
+  ComputeModel lo(GpuSpec::a100(), 0.2, false);
+  ComputeModel hi(GpuSpec::a100(), 0.4, false);
+  EXPECT_NEAR(static_cast<double>(lo.layer_fwd(m, p)),
+              2.0 * static_cast<double>(hi.layer_fwd(m, p)),
+              static_cast<double>(hi.layer_fwd(m, p)) * 0.01);
+}
+
+}  // namespace
+}  // namespace opus::workload
