@@ -3,6 +3,9 @@
 // and speculative-request effectiveness across latencies.
 #include <cstdio>
 
+#include <vector>
+
+#include "bench_common.h"
 #include "common/table.h"
 #include "core/experiment.h"
 
@@ -13,7 +16,10 @@ int main() {
   TextTable table({"Latency (ms)", "Provisioning", "Iter time", "Reconfigs",
                    "Ctrl cache hits", "Max ack wait", "Spec. req",
                    "Mispredictions"});
-  for (double latency : {15.0, 25.0, 100.0, 500.0}) {
+  const std::vector<double> latencies =
+      bench::smoke_mode() ? std::vector<double>{15.0}
+                          : std::vector<double>{15.0, 25.0, 100.0, 500.0};
+  for (double latency : latencies) {
     for (bool provisioning : {false, true}) {
       core::ExperimentConfig cfg = core::perlmutter_llama3_8b_config();
       cfg.rail_kind = net::RailKind::kPhotonic;

@@ -1,0 +1,16 @@
+// Shared helpers for the figure/table benches.
+#pragma once
+
+#include <cstdlib>
+
+namespace opus::bench {
+
+/// True when the bench runs under the `bench_smoke` CTest label
+/// (OPUS_BENCH_SMOKE=1): shrink sweeps to a tiny configuration so the smoke
+/// pass only checks that the bench still builds, runs, and exits 0.
+inline bool smoke_mode() {
+  const char* v = std::getenv("OPUS_BENCH_SMOKE");
+  return v != nullptr && v[0] == '1';
+}
+
+}  // namespace opus::bench

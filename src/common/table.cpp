@@ -81,7 +81,11 @@ std::string fmt_count(std::int64_t v) {
 }
 
 std::string fmt_dollars(double v) {
-  return "$" + fmt_count(static_cast<std::int64_t>(v + 0.5));
+  // Built via insert (not operator+) to dodge GCC 12's -Wrestrict false
+  // positive on inlined small-string concatenation.
+  std::string out = fmt_count(static_cast<std::int64_t>(v + 0.5));
+  out.insert(out.begin(), '$');
+  return out;
 }
 
 }  // namespace opus

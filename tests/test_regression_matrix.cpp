@@ -1,0 +1,499 @@
+// Cross-topology regression matrix.
+//
+// Drives the end-to-end Experiment/Simulator pipeline across the fabric
+// space the paper evaluates — electrical packet rails, Opus's demand-driven
+// OCS circuit planner, the TPUv4-style static photonic ring, and (at the
+// collective level) a RotorNet-style traffic-oblivious rotor — crossed with
+// the parallelism mixes of Tables 1/2 (DP/TP/PP traced shape, FSDP-only,
+// pipeline-heavy, context parallelism, MoE expert parallelism).
+//
+// Every cell asserts deterministic, seed-stable invariants:
+//   * completion and strictly positive iteration times;
+//   * monotone virtual time (iteration spans ordered, comm records causal
+//     and contained within their iteration);
+//   * conservation of communicated bytes (logical scale-out payload is a
+//     property of the workload, not the fabric; physical rail bytes match
+//     between electrical and Opus photonic; static rings pay a multi-hop
+//     forwarding tax, never a discount);
+//   * reconfiguration-latency accounting per Fig. 8 (dark time bracketed by
+//     per-port bounds, zero-latency photonic == electrical, monotone in the
+//     OCS delay);
+//   * inter-parallelism window counts bounded by Eq. 1.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "collective/executor.h"
+#include "collective/planner.h"
+#include "core/experiment.h"
+#include "core/opus_transport.h"
+#include "core/rotor.h"
+#include "trace/windows.h"
+
+namespace opus {
+namespace {
+
+using core::ExperimentConfig;
+using core::ExperimentResult;
+
+// ---------------------------------------------------------------------------
+// The matrix axes.
+// ---------------------------------------------------------------------------
+
+enum class Fabric {
+  kElectrical,  ///< packet-switched rails (baseline)
+  kOpus,        ///< photonic rails, demand-driven circuit planner
+  kStaticRing,  ///< photonic rails, fixed pre-job ring + multi-hop
+};
+
+const char* fabric_name(Fabric f) {
+  switch (f) {
+    case Fabric::kElectrical: return "Electrical";
+    case Fabric::kOpus: return "Opus";
+    case Fabric::kStaticRing: return "StaticRing";
+  }
+  return "?";
+}
+
+struct Mix {
+  const char* name;
+  int tp, cp, dp, pp, ep;
+  int n_microbatches;
+  int gpus_per_node;
+  bool moe;  ///< Mixtral-style expert-parallel workload
+};
+
+// Parallelism mixes following Tables 1/2: the §3.1 traced DP/TP/PP shape,
+// small-model FSDP, pipeline-heavy, context parallelism, and MoE with EP.
+const Mix kMixes[] = {
+    {"TracedTp4Dp2Pp2", 4, 1, 2, 2, 1, 4, 4, false},
+    {"FsdpDp4Tp2", 2, 1, 4, 1, 1, 2, 2, false},
+    {"PipelineTp2Dp2Pp4", 2, 1, 2, 4, 1, 4, 2, false},
+    {"ContextTp2Cp2Dp2", 2, 2, 2, 1, 1, 2, 4, false},
+    {"MoeEp4Dp4Tp2", 2, 1, 4, 1, 4, 2, 2, true},
+};
+
+ExperimentConfig matrix_config(const Mix& mix, Fabric fabric) {
+  ExperimentConfig cfg;
+  cfg.model = mix.moe ? workload::ModelConfig::mixtral_8x7b()
+                      : workload::ModelConfig::test_tiny();
+  cfg.model.n_layers = mix.moe ? 4 : 8;
+  cfg.parallelism.tp = mix.tp;
+  cfg.parallelism.cp = mix.cp;
+  cfg.parallelism.dp = mix.dp;
+  cfg.parallelism.pp = mix.pp;
+  cfg.parallelism.ep = mix.ep;
+  cfg.parallelism.n_microbatches = mix.n_microbatches;
+  cfg.parallelism.microbatch_size = 1;
+  cfg.gpus_per_node = mix.gpus_per_node;
+  cfg.iterations = 3;
+  cfg.record_compute_trace = false;
+  // Simulate TP traffic on the scale-up fabric (instead of folding it into
+  // compute) so the matrix exercises the NVLink path as well.
+  cfg.iteration.simulate_tp_comm = true;
+  cfg.ocs_reconfig_delay = msecs(1);
+  switch (fabric) {
+    case Fabric::kElectrical:
+      cfg.rail_kind = net::RailKind::kElectrical;
+      break;
+    case Fabric::kOpus:
+      cfg.rail_kind = net::RailKind::kPhotonic;
+      break;
+    case Fabric::kStaticRing:
+      cfg.rail_kind = net::RailKind::kPhotonic;
+      cfg.static_ring_topology = true;
+      break;
+  }
+  return cfg;
+}
+
+bool has_scale_out(const Mix& mix) {
+  const int nodes =
+      mix.tp * mix.cp * mix.dp * mix.pp / mix.gpus_per_node;
+  return nodes > 1 && (mix.dp > 1 || mix.pp > 1 || mix.cp > 1 || mix.ep > 1);
+}
+
+/// Total logical payload of the scale-out collectives of one iteration —
+/// a fabric-independent property of the workload.
+Bytes scale_out_payload(const ExperimentResult& r, int iteration) {
+  Bytes total = 0;
+  for (const auto& rec : r.recorder->scale_out_comms(iteration))
+    total += rec.payload;
+  return total;
+}
+
+// ---------------------------------------------------------------------------
+// Per-cell invariants: fabric x parallelism mix.
+// ---------------------------------------------------------------------------
+
+class TopologyMatrix
+    : public ::testing::TestWithParam<std::tuple<Fabric, int>> {
+ protected:
+  Fabric fabric() const { return std::get<0>(GetParam()); }
+  const Mix& mix() const { return kMixes[std::get<1>(GetParam())]; }
+};
+
+std::string matrix_param_name(
+    const ::testing::TestParamInfo<TopologyMatrix::ParamType>& info) {
+  return std::string(fabric_name(std::get<0>(info.param))) +
+         kMixes[std::get<1>(info.param)].name;
+}
+
+TEST_P(TopologyMatrix, CompletesWithMonotoneVirtualTime) {
+  const ExperimentConfig cfg = matrix_config(mix(), fabric());
+  const ExperimentResult r = core::run_experiment(cfg);
+
+  ASSERT_EQ(r.iteration_times.size(),
+            static_cast<std::size_t>(cfg.iterations));
+  for (TimeNs t : r.iteration_times) EXPECT_GT(t, 0);
+  EXPECT_GT(r.steady_iteration_time, 0);
+
+  // Iteration spans are ordered, non-overlapping, and match the reported
+  // per-iteration durations.
+  const auto& spans = r.recorder->iterations();
+  ASSERT_EQ(spans.size(), static_cast<std::size_t>(cfg.iterations));
+  TimeNs prev_end = 0;
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    EXPECT_EQ(spans[i].index, static_cast<int>(i));
+    EXPECT_GE(spans[i].t_start, prev_end);
+    EXPECT_GT(spans[i].t_end, spans[i].t_start);
+    EXPECT_EQ(spans[i].duration(), r.iteration_times[i]);
+    prev_end = spans[i].t_end;
+  }
+
+  // Every comm record is causal and contained in its iteration's span.
+  for (const auto& rec : r.recorder->comm_records()) {
+    ASSERT_GE(rec.iteration, 0);
+    ASSERT_LT(rec.iteration, cfg.iterations);
+    const auto& span = spans[static_cast<std::size_t>(rec.iteration)];
+    EXPECT_GE(rec.t_issue, span.t_start) << rec.group_name;
+    EXPECT_LE(rec.t_end, span.t_end) << rec.group_name;
+    EXPECT_GE(rec.t_end, rec.t_issue) << rec.group_name;
+    EXPECT_GT(rec.payload, 0) << rec.group_name;
+  }
+}
+
+TEST_P(TopologyMatrix, ByteAccountingIsConsistent) {
+  const ExperimentConfig cfg = matrix_config(mix(), fabric());
+  const ExperimentResult r = core::run_experiment(cfg);
+
+  EXPECT_GE(r.rail_bytes, 0);
+  EXPECT_GE(r.scale_up_bytes, 0);
+  EXPECT_GE(r.pxn_bytes, 0);
+  EXPECT_EQ(r.mgmt_bytes, 0) << "mgmt network is disabled in the matrix";
+  if (has_scale_out(mix())) {
+    EXPECT_GT(r.rail_bytes, 0);
+    for (int iter = 0; iter < cfg.iterations; ++iter)
+      EXPECT_GT(scale_out_payload(r, iter), 0);
+  }
+  if (mix().tp > 1) {
+    EXPECT_GT(r.scale_up_bytes, 0);
+  }
+  // Only static topologies forward traffic through intermediate GPUs.
+  if (fabric() != Fabric::kStaticRing) {
+    EXPECT_EQ(r.multihop_bytes, 0);
+  }
+}
+
+TEST_P(TopologyMatrix, ReconfigurationAccountingMatchesFabric) {
+  const ExperimentConfig cfg = matrix_config(mix(), fabric());
+  const ExperimentResult r = core::run_experiment(cfg);
+
+  if (fabric() != Fabric::kOpus) {
+    // Packet switches never reconfigure; the static ring is wired pre-job
+    // and held for the whole run.
+    EXPECT_EQ(r.ocs_reconfigurations, 0);
+    EXPECT_EQ(r.ocs_dark_time, 0);
+    EXPECT_EQ(r.controller.requests, 0);
+    return;
+  }
+  if (!has_scale_out(mix())) return;
+
+  EXPECT_GT(r.ocs_reconfigurations, 0);
+  EXPECT_GE(r.controller.requests, r.controller.reconfigurations);
+  EXPECT_LE(r.controller.satisfied_immediately, r.controller.requests);
+  EXPECT_GE(r.controller.total_wait, r.controller.max_wait);
+  EXPECT_GE(r.controller.max_wait, 0);
+
+  // Fig. 8 accounting: every reconfiguration darkens the touched port set
+  // (>= 2 ports, one circuit) for exactly the OCS delay; no reconfiguration
+  // can darken more than a whole rail.
+  const int ports_per_rail =
+      (cfg.parallelism.world_size() / cfg.gpus_per_node) * cfg.nic_ports;
+  const TimeNs delay = cfg.ocs_reconfig_delay;
+  EXPECT_GE(r.ocs_dark_time, 2 * delay);
+  EXPECT_LE(r.ocs_dark_time,
+            static_cast<TimeNs>(r.ocs_reconfigurations) * ports_per_rail *
+                delay);
+}
+
+TEST_P(TopologyMatrix, SeedStableAcrossRuns) {
+  const ExperimentConfig cfg = matrix_config(mix(), fabric());
+  const ExperimentResult a = core::run_experiment(cfg);
+  const ExperimentResult b = core::run_experiment(cfg);
+
+  EXPECT_EQ(a.iteration_times, b.iteration_times);
+  EXPECT_EQ(a.steady_iteration_time, b.steady_iteration_time);
+  EXPECT_EQ(a.ocs_reconfigurations, b.ocs_reconfigurations);
+  EXPECT_EQ(a.ocs_dark_time, b.ocs_dark_time);
+  EXPECT_EQ(a.controller.requests, b.controller.requests);
+  EXPECT_EQ(a.rail_bytes, b.rail_bytes);
+  EXPECT_EQ(a.scale_up_bytes, b.scale_up_bytes);
+  EXPECT_EQ(a.pxn_bytes, b.pxn_bytes);
+  EXPECT_EQ(a.multihop_bytes, b.multihop_bytes);
+  ASSERT_EQ(a.recorder->comm_records().size(),
+            b.recorder->comm_records().size());
+  for (std::size_t i = 0; i < a.recorder->comm_records().size(); ++i) {
+    const auto& ra = a.recorder->comm_records()[i];
+    const auto& rb = b.recorder->comm_records()[i];
+    EXPECT_EQ(ra.t_issue, rb.t_issue) << ra.group_name;
+    EXPECT_EQ(ra.t_end, rb.t_end) << ra.group_name;
+    EXPECT_EQ(ra.payload, rb.payload) << ra.group_name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, TopologyMatrix,
+    ::testing::Combine(::testing::Values(Fabric::kElectrical, Fabric::kOpus,
+                                         Fabric::kStaticRing),
+                       ::testing::Range(0, static_cast<int>(std::size(kMixes)))),
+    matrix_param_name);
+
+// ---------------------------------------------------------------------------
+// Cross-fabric conservation: the workload's logical traffic is invariant.
+// ---------------------------------------------------------------------------
+
+class CrossFabricConservation : public ::testing::TestWithParam<int> {};
+
+TEST_P(CrossFabricConservation, LogicalPayloadIndependentOfFabric) {
+  const Mix& mix = kMixes[GetParam()];
+  if (!has_scale_out(mix)) GTEST_SKIP() << "no scale-out traffic";
+
+  const auto electrical =
+      core::run_experiment(matrix_config(mix, Fabric::kElectrical));
+  const auto photonic = core::run_experiment(matrix_config(mix, Fabric::kOpus));
+  const auto ring =
+      core::run_experiment(matrix_config(mix, Fabric::kStaticRing));
+
+  // Logical bytes communicated per steady iteration are a property of the
+  // workload, not of the switching technology underneath.
+  const Bytes expected = scale_out_payload(electrical, 1);
+  ASSERT_GT(expected, 0);
+  EXPECT_EQ(scale_out_payload(photonic, 1), expected);
+  EXPECT_EQ(scale_out_payload(ring, 1), expected);
+
+  // Physically, electrical and Opus move the same bytes over the rails
+  // (circuits change connectivity, not volume) ...
+  EXPECT_EQ(photonic.rail_bytes, electrical.rail_bytes);
+  EXPECT_EQ(photonic.pxn_bytes, electrical.pxn_bytes);
+  EXPECT_EQ(photonic.scale_up_bytes, electrical.scale_up_bytes);
+  // ... while the static ring pays the §5 multi-hop forwarding tax: every
+  // non-neighbour hop re-sends bytes, so rails never carry less.
+  EXPECT_GE(ring.rail_bytes + ring.multihop_bytes, electrical.rail_bytes);
+}
+
+INSTANTIATE_TEST_SUITE_P(Mixes, CrossFabricConservation,
+                         ::testing::Range(0,
+                                          static_cast<int>(std::size(kMixes))),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return kMixes[info.param].name;
+                         });
+
+TEST(CrossFabricConservation, TracedShapeMultihopsOnStaticRing) {
+  // In the traced shape the PP groups connect nodes two ring positions
+  // apart, which a fixed ring can only serve by forwarding.
+  const auto ring = core::run_experiment(
+      matrix_config(kMixes[0], Fabric::kStaticRing));
+  EXPECT_GT(ring.multihop_bytes, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 8: reconfiguration-latency accounting on the Opus fabric.
+// ---------------------------------------------------------------------------
+
+TEST(ReconfigLatencyAccounting, DarkTimeScalesWithOcsDelay) {
+  ExperimentConfig cfg = matrix_config(kMixes[0], Fabric::kOpus);
+  cfg.ocs_reconfig_delay = 0;
+  const auto instant = core::run_experiment(cfg);
+  EXPECT_EQ(instant.ocs_dark_time, 0);
+  EXPECT_GT(instant.ocs_reconfigurations, 0);
+
+  TimeNs prev_time = 0;
+  TimeNs prev_dark = 0;
+  for (double ms : {1.0, 5.0}) {
+    cfg.ocs_reconfig_delay = msecs(ms);
+    const auto r = core::run_experiment(cfg);
+    EXPECT_GE(r.steady_iteration_time + msecs(1), prev_time)
+        << "iteration time must be monotone in OCS delay (" << ms << "ms)";
+    EXPECT_GT(r.ocs_dark_time, prev_dark)
+        << "dark time must grow with OCS delay (" << ms << "ms)";
+    prev_time = r.steady_iteration_time;
+    prev_dark = r.ocs_dark_time;
+  }
+}
+
+TEST(ReconfigLatencyAccounting, ZeroLatencyPhotonicMatchesElectrical) {
+  // Fig. 8's latency-0 bar: an instantly reconfigurable OCS fabric is the
+  // fully-connected baseline (up to control-plane round trips).
+  ExperimentConfig p = matrix_config(kMixes[0], Fabric::kOpus);
+  p.ocs_reconfig_delay = 0;
+  const auto photonic = core::run_experiment(p);
+  const auto electrical =
+      core::run_experiment(matrix_config(kMixes[0], Fabric::kElectrical));
+  const double ratio =
+      static_cast<double>(photonic.steady_iteration_time) /
+      static_cast<double>(electrical.steady_iteration_time);
+  EXPECT_NEAR(ratio, 1.0, 0.1) << "photonic/electrical = " << ratio;
+}
+
+// ---------------------------------------------------------------------------
+// Eq. 1: inter-parallelism window counts.
+// ---------------------------------------------------------------------------
+
+class WindowCountBound : public ::testing::TestWithParam<int> {};
+
+TEST_P(WindowCountBound, InterParallelismWindowsRespectEq1) {
+  const Mix& mix = kMixes[GetParam()];
+  if (!has_scale_out(mix)) GTEST_SKIP() << "no scale-out traffic";
+  ExperimentConfig cfg = matrix_config(mix, Fabric::kElectrical);
+  const auto r = core::run_experiment(cfg);
+
+  const std::int64_t bound = trace::window_count_estimate(
+      mix.pp, cfg.model.n_layers, mix.n_microbatches, mix.cp > 1, mix.ep > 1);
+  ASSERT_GT(bound, 0);
+
+  // Eq. 1 counts steady-state 1F1B windows; the simulated schedule adds a
+  // handful of warmup/cool-down phase transitions at iteration boundaries,
+  // so the observed count may exceed the estimate — but never by 2x (and a
+  // deep pipeline must produce at least some inter-parallelism windows).
+  for (int rail = 0; rail < cfg.gpus_per_node; ++rail) {
+    const auto comms = r.recorder->rail_comms(1, RailId{rail});
+    if (comms.empty()) continue;
+    const auto windows = trace::extract_windows(comms);
+    std::int64_t inter = 0;
+    for (const auto& w : windows)
+      if (w.before_dim != w.after_dim) ++inter;
+    EXPECT_LE(inter, 2 * bound) << "rail " << rail << ": Eq. 1 band violated";
+    if (mix.pp > 1) {
+      EXPECT_GT(inter, 0) << "rail " << rail
+                          << ": pipeline mixes must interleave dimensions";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Mixes, WindowCountBound,
+                         ::testing::Range(0,
+                                          static_cast<int>(std::size(kMixes))),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return kMixes[info.param].name;
+                         });
+
+// ---------------------------------------------------------------------------
+// Rotor leg: traffic-oblivious rotation versus demand-driven circuits at the
+// collective level (the rotor is not an end-to-end Experiment transport).
+// ---------------------------------------------------------------------------
+
+struct RotorCase {
+  collective::CollectiveType type;
+  const char* name;
+};
+
+const RotorCase kRotorCases[] = {
+    {collective::CollectiveType::kAllReduce, "AllReduce"},
+    {collective::CollectiveType::kAllGather, "AllGather"},
+    {collective::CollectiveType::kReduceScatter, "ReduceScatter"},
+    {collective::CollectiveType::kAllToAll, "AllToAll"},
+};
+
+struct RotorRun {
+  TimeNs duration = -1;
+  int rotations = 0;
+  int deferred = 0;
+};
+
+RotorRun run_rail_collective(bool rotor, collective::CollectiveType type,
+                             Bytes payload) {
+  const int nodes = 8;
+  sim::Simulator sim;
+  net::ClusterConfig ncfg;
+  ncfg.n_nodes = nodes;
+  ncfg.gpus_per_node = 2;
+  ncfg.nic_ports = 2;
+  ncfg.rail_kind = net::RailKind::kPhotonic;
+  ncfg.ocs_reconfig_delay = usecs(10);
+  net::Cluster cluster(sim, ncfg);
+
+  std::unique_ptr<collective::Transport> transport;
+  core::RotorTransport* rt = nullptr;
+  if (rotor) {
+    core::RotorTransport::Options opts;
+    opts.slot_time = usecs(100);
+    auto t = std::make_unique<core::RotorTransport>(sim, cluster, opts);
+    rt = t.get();
+    transport = std::move(t);
+  } else {
+    transport = std::make_unique<core::OpusTransport>(sim, cluster);
+  }
+
+  collective::CollectiveExecutor exec(sim, *transport);
+  collective::CommGroup g;
+  g.id = GroupId{1};
+  g.dim = collective::ParallelismDim::kDP;
+  for (int n = 0; n < nodes; ++n)
+    g.ranks.push_back(cluster.gpu_at(NodeId{n}, 0));
+  const auto algo = collective::choose_algorithm(type, nodes, payload, 2);
+  const auto sched = collective::plan_collective(type, algo, nodes, payload);
+
+  RotorRun out;
+  exec.run(g, sched, [&](const collective::CollectiveExecutor::Result& res) {
+    out.duration = res.duration();
+  });
+  sim.run();
+  if (rt != nullptr) {
+    out.rotations = rt->rotations();
+    out.deferred = rt->deferred_sends();
+  }
+  return out;
+}
+
+class RotorVsOpus : public ::testing::TestWithParam<int> {};
+
+TEST_P(RotorVsOpus, BothFabricsCompleteAndRotorNeverWins) {
+  const RotorCase& c = kRotorCases[GetParam()];
+  const Bytes payload = mib(8);
+  const RotorRun opus = run_rail_collective(false, c.type, payload);
+  const RotorRun rotor = run_rail_collective(true, c.type, payload);
+
+  ASSERT_GT(opus.duration, 0) << c.name;
+  ASSERT_GT(rotor.duration, 0) << c.name;
+  // Demand-driven circuits hold exactly what the collective needs; a rotor
+  // connects each ring edge only 1/(n-1) of the time. It can tie on its
+  // native AllToAll pattern but never beat Opus.
+  EXPECT_GE(rotor.duration, opus.duration) << c.name;
+  EXPECT_GT(rotor.rotations, 0) << c.name;
+}
+
+TEST_P(RotorVsOpus, RotorIsDeterministic) {
+  const RotorCase& c = kRotorCases[GetParam()];
+  const RotorRun a = run_rail_collective(true, c.type, mib(8));
+  const RotorRun b = run_rail_collective(true, c.type, mib(8));
+  EXPECT_EQ(a.duration, b.duration) << c.name;
+  EXPECT_EQ(a.rotations, b.rotations) << c.name;
+  EXPECT_EQ(a.deferred, b.deferred) << c.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Collectives, RotorVsOpus,
+                         ::testing::Range(0,
+                                          static_cast<int>(
+                                              std::size(kRotorCases))),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return kRotorCases[info.param].name;
+                         });
+
+}  // namespace
+}  // namespace opus
