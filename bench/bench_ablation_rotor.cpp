@@ -6,12 +6,14 @@
 #include <cstdio>
 
 #include <memory>
+#include <vector>
 
 #include "collective/executor.h"
 #include "collective/planner.h"
 #include "common/table.h"
 #include "core/opus_transport.h"
 #include "core/rotor.h"
+#include "core/sweep.h"
 
 namespace {
 
@@ -78,13 +80,25 @@ int main() {
       {CollectiveType::kReduceScatter, mib(64), "ReduceScatter"},
       {CollectiveType::kAllToAll, mib(64), "AllToAll"},
   };
-  for (const Case& c : cases) {
-    const TimeNs opus = run_collective(false, 8, ocs, slot, c.type, c.payload);
-    const TimeNs rotor = run_collective(true, 8, ocs, slot, c.type, c.payload);
-    table.add_row({c.name, format_bytes(c.payload), format_time(opus),
-                   format_time(rotor),
-                   fmt_double(static_cast<double>(rotor) /
-                                  static_cast<double>(opus),
+  // Every (case, fabric) run owns its own Simulator: fan the 2x grid across
+  // the sweep runner's thread pool (OPUS_SWEEP_THREADS overrides the width).
+  constexpr std::size_t n_cases = std::size(cases);
+  std::vector<TimeNs> opus_times(n_cases);
+  std::vector<TimeNs> rotor_times(n_cases);
+  core::parallel_for(2 * n_cases, core::sweep_thread_count(),
+                     [&](std::size_t i) {
+                       const Case& c = cases[i % n_cases];
+                       const bool rotor = i >= n_cases;
+                       const TimeNs t = run_collective(rotor, 8, ocs, slot,
+                                                       c.type, c.payload);
+                       (rotor ? rotor_times : opus_times)[i % n_cases] = t;
+                     });
+  for (std::size_t i = 0; i < n_cases; ++i) {
+    const Case& c = cases[i];
+    table.add_row({c.name, format_bytes(c.payload), format_time(opus_times[i]),
+                   format_time(rotor_times[i]),
+                   fmt_double(static_cast<double>(rotor_times[i]) /
+                                  static_cast<double>(opus_times[i]),
                               1) +
                        "x"});
   }

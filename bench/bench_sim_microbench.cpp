@@ -3,10 +3,13 @@
 // collective planning/verification.
 #include <benchmark/benchmark.h>
 
+#include <vector>
+
 #include "collective/planner.h"
 #include "collective/verifier.h"
 #include "net/cluster.h"
 #include "net/fluid.h"
+#include "net/ocs.h"
 #include "sim/simulator.h"
 
 namespace {
@@ -45,6 +48,41 @@ void BM_FluidMaxMinResolve(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * flows);
 }
 BENCHMARK(BM_FluidMaxMinResolve)->Arg(16)->Arg(64)->Arg(256);
+
+// Rotor-style reconfiguration churn: every round retargets a 64-port OCS to
+// a fresh perfect matching (net::round_robin_circuits — the rotor's own
+// rotation schedule), pushes one flow through each direction of every
+// circuit, and drains to quiescence. Each round introduces 32
+// never-before-seen port pairs, so a solver that iterates lifetime links
+// slows down linearly in the round count, while an active-set solver with
+// link retirement stays flat (the acceptance bar for the fluid hot-path
+// work: re-solve cost independent of retired links).
+void BM_FluidChurnResolve(benchmark::State& state) {
+  const int rounds = static_cast<int>(state.range(0));
+  constexpr int kPorts = 64;
+  double lifetime_links = 0.0;
+  for (auto _ : state) {
+    sim::Simulator sim;
+    net::FluidNetwork net(sim);
+    net::OpticalCircuitSwitch sw(sim, net, kPorts, Bandwidth::gbps(400), 0,
+                                 usecs(1), "churn");
+    for (int r = 0; r < rounds; ++r) {
+      const auto circuits = net::round_robin_circuits(kPorts, r);
+      sw.reconfigure(circuits, nullptr);
+      sim.run();
+      for (const auto& c : circuits) {
+        net.start_flow({sw.link(c.a, c.b)}, mib(4), 0, nullptr);
+        net.start_flow({sw.link(c.b, c.a)}, mib(4), 0, nullptr);
+      }
+      sim.run();
+    }
+    lifetime_links = static_cast<double>(net.link_count());
+    benchmark::DoNotOptimize(net.completed_flow_count());
+  }
+  state.counters["links"] = lifetime_links;
+  state.SetItemsProcessed(state.iterations() * rounds * kPorts);
+}
+BENCHMARK(BM_FluidChurnResolve)->Arg(4)->Arg(16)->Arg(63);
 
 void BM_OcsReconfigure(benchmark::State& state) {
   for (auto _ : state) {

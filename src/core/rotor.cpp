@@ -22,21 +22,7 @@ RotorTransport::RotorTransport(sim::Simulator& sim, net::Cluster& cluster,
 
 std::vector<std::pair<int, int>> RotorTransport::matching(int n,
                                                           int round) const {
-  // Circle method round-robin tournament. For odd n a virtual node (id n)
-  // gives its partner a bye.
-  const int m = n % 2 == 0 ? n : n + 1;
-  std::vector<std::pair<int, int>> pairs;
-  auto emit = [&](int a, int b) {
-    if (a < n && b < n) pairs.emplace_back(a, b);
-  };
-  // Fix player m-1; rotate the rest.
-  emit((round % (m - 1)), m - 1);
-  for (int i = 1; i < m / 2; ++i) {
-    const int a = (round + i) % (m - 1);
-    const int b = (round - i + (m - 1)) % (m - 1);
-    emit(a, b);
-  }
-  return pairs;
+  return net::round_robin_matching(n, round);
 }
 
 std::vector<net::CircuitRequest> RotorTransport::matching_circuits(

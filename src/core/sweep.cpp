@@ -1,0 +1,65 @@
+#include "core/sweep.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "common/error.h"
+
+namespace opus::core {
+
+int sweep_thread_count(const SweepOptions& opts) {
+  if (opts.threads > 0) return opts.threads;
+  if (const char* env = std::getenv("OPUS_SWEEP_THREADS")) {
+    const int n = std::atoi(env);
+    if (n > 0) return n;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+void parallel_for(std::size_t n, int threads,
+                  const std::function<void(std::size_t)>& fn) {
+  ensure(threads >= 1, "parallel_for: thread count must be >= 1");
+  if (n == 0) return;
+  const std::size_t workers =
+      std::min(static_cast<std::size_t>(threads), n);
+  if (workers == 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      try {
+        fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (std::size_t t = 0; t < workers; ++t) pool.emplace_back(worker);
+  for (std::thread& t : pool) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+std::vector<ExperimentResult> run_sweep(
+    const std::vector<ExperimentConfig>& cells, const SweepOptions& opts) {
+  std::vector<ExperimentResult> results(cells.size());
+  parallel_for(cells.size(), sweep_thread_count(opts),
+               [&](std::size_t i) { results[i] = run_experiment(cells[i]); });
+  return results;
+}
+
+}  // namespace opus::core

@@ -1,0 +1,45 @@
+// Parallel experiment-sweep runner.
+//
+// Every figure/table in the paper comes from sweeping run_experiment cells
+// (topologies x parallelism mixes x OCS technologies), and each cell owns its
+// own Simulator — the sweep is embarrassingly parallel. run_sweep fans the
+// cells across a thread pool; because nothing is shared between cells, the
+// per-cell results (and traces) are bit-identical regardless of thread count,
+// which tests/test_determinism.cpp pins.
+//
+// Thread-count knob, highest priority first:
+//   1. SweepOptions::threads (> 0),
+//   2. the OPUS_SWEEP_THREADS environment variable,
+//   3. std::thread::hardware_concurrency().
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "core/experiment.h"
+
+namespace opus::core {
+
+struct SweepOptions {
+  /// Worker threads; <= 0 defers to OPUS_SWEEP_THREADS, then the hardware.
+  int threads = 0;
+};
+
+/// The worker count `opts` resolves to (always >= 1).
+int sweep_thread_count(const SweepOptions& opts = {});
+
+/// Runs `fn(0) .. fn(n-1)` across `threads` workers (dynamic work stealing
+/// via a shared atomic cursor; inline when threads == 1 or n <= 1). `fn` must
+/// be safe to call concurrently for distinct indices. The first exception
+/// thrown by any job is rethrown here after all workers join.
+void parallel_for(std::size_t n, int threads,
+                  const std::function<void(std::size_t)>& fn);
+
+/// Runs every cell to completion and returns the results in cell order.
+/// Cells are independent full experiments; results are identical to calling
+/// run_experiment serially on each config.
+std::vector<ExperimentResult> run_sweep(
+    const std::vector<ExperimentConfig>& cells, const SweepOptions& opts = {});
+
+}  // namespace opus::core

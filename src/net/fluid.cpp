@@ -11,29 +11,78 @@ namespace {
 /// A flow is considered drained when fewer than this many bytes remain
 /// (absorbs floating-point error from rate integration).
 constexpr double kDrainEpsilonBytes = 1e-3;
+
+/// Cap on how far ahead a completion event may be scheduled. A near-stalled
+/// flow (huge remaining / tiny rate) would otherwise overflow the TimeNs
+/// cast — remaining/rate can exceed 2^63 ns long before the rate underflows
+/// to an exactly-zero "stalled" rate. ~29 simulated years: far beyond any
+/// training job, and small enough that one hop past kMaxSchedulableNs below
+/// cannot overflow.
+constexpr double kMaxCompletionHorizonNs = 9.0e17;
+
+/// Past this instant (~263 simulated years) no completion event is scheduled
+/// at all — every per-flow delta is capped at the horizon above, so this
+/// bound keeps now() + dt overflow-free even when a clamped event fires and
+/// reschedules repeatedly; flows simply count as stalled from here on.
+constexpr TimeNs kMaxSchedulableNs =
+    std::numeric_limits<TimeNs>::max() -
+    2 * static_cast<TimeNs>(kMaxCompletionHorizonNs);
 }  // namespace
 
 LinkId FluidNetwork::add_link(Bandwidth capacity, std::string name) {
   ensure(capacity.bits_per_sec >= 0.0, "link capacity must be non-negative");
+  if (!free_.empty()) {
+    const std::int32_t id = free_.back();
+    free_.pop_back();
+    const auto li = static_cast<std::size_t>(id);
+    links_[li] = Link{capacity, std::move(name)};
+    link_state_[li].retired = false;
+    return LinkId{id};
+  }
   links_.push_back(Link{capacity, std::move(name)});
+  link_state_.emplace_back();
+  link_epoch_.push_back(0);
+  cap_left_.push_back(0.0);
+  unfrozen_on_.push_back(0);
   return LinkId{static_cast<std::int32_t>(links_.size() - 1)};
 }
 
-Bandwidth FluidNetwork::capacity(LinkId link) const {
+void FluidNetwork::retire_link(LinkId link) {
+  check_live_link(link);
+  const auto li = static_cast<std::size_t>(link.value());
+  ensure(link_state_[li].flows.empty(),
+         "retire_link: link still carries active flows");
+  links_[li] = Link{};
+  link_state_[li].retired = true;
+  free_.push_back(link.value());
+  ++retired_total_;
+}
+
+void FluidNetwork::check_live_link(LinkId link) const {
   ensure(link.valid() && static_cast<std::size_t>(link.value()) < links_.size(),
          "invalid link id");
+  ensure(!link_state_[static_cast<std::size_t>(link.value())].retired,
+         "link id is retired");
+}
+
+bool FluidNetwork::link_retired(LinkId link) const {
+  ensure(link.valid() && static_cast<std::size_t>(link.value()) < links_.size(),
+         "invalid link id");
+  return link_state_[static_cast<std::size_t>(link.value())].retired;
+}
+
+Bandwidth FluidNetwork::capacity(LinkId link) const {
+  check_live_link(link);
   return links_[static_cast<std::size_t>(link.value())].capacity;
 }
 
 const std::string& FluidNetwork::link_name(LinkId link) const {
-  ensure(link.valid() && static_cast<std::size_t>(link.value()) < links_.size(),
-         "invalid link id");
+  check_live_link(link);
   return links_[static_cast<std::size_t>(link.value())].name;
 }
 
 void FluidNetwork::set_capacity(LinkId link, Bandwidth capacity) {
-  ensure(link.valid() && static_cast<std::size_t>(link.value()) < links_.size(),
-         "invalid link id");
+  check_live_link(link);
   ensure(capacity.bits_per_sec >= 0.0, "link capacity must be non-negative");
   advance_progress();
   links_[static_cast<std::size_t>(link.value())].capacity = capacity;
@@ -47,21 +96,27 @@ FlowId FluidNetwork::start_flow(std::vector<LinkId> path, Bytes bytes,
   ensure(extra_latency >= 0, "flow latency must be non-negative");
   std::unordered_set<LinkId> seen;
   for (LinkId l : path) {
-    ensure(l.valid() && static_cast<std::size_t>(l.value()) < links_.size(),
-           "flow path contains invalid link");
+    check_live_link(l);
     ensure(seen.insert(l).second, "flow path contains a duplicate link");
   }
   const FlowId id{next_flow_++};
   if (bytes == 0) {
-    // Pure-latency message (e.g. a control ack): no bandwidth consumed.
-    ++completed_;
-    if (on_complete) sim_.schedule_after(extra_latency, std::move(on_complete));
+    // Pure-latency message (e.g. a control ack): no bandwidth consumed. The
+    // completion is counted when it is *delivered*, not here — otherwise
+    // completed_flow_count() reads ahead of the observable callbacks.
+    sim_.schedule_after(extra_latency,
+                        [this, cb = std::move(on_complete)] {
+                          ++completed_;
+                          if (cb) cb();
+                        });
     return id;
   }
   ensure(!path.empty(), "non-empty flow requires a non-empty path");
   advance_progress();
-  flows_.emplace(id, Flow{std::move(path), static_cast<double>(bytes), 0.0,
-                          extra_latency, std::move(on_complete)});
+  const auto [it, inserted] = flows_.emplace(
+      id, Flow{std::move(path), static_cast<double>(bytes), 0.0, extra_latency,
+               std::move(on_complete)});
+  attach_to_links(id, it->second);
   recompute();
   return id;
 }
@@ -70,6 +125,7 @@ bool FluidNetwork::abort_flow(FlowId flow) {
   auto it = flows_.find(flow);
   if (it == flows_.end()) return false;
   advance_progress();
+  detach_from_links(flow, it->second);
   flows_.erase(it);
   recompute();
   return true;
@@ -92,21 +148,35 @@ Bytes FluidNetwork::flow_remaining(FlowId flow) const {
 }
 
 int FluidNetwork::active_flows_on(LinkId link) const {
-  int n = 0;
-  for (const auto& [id, f] : flows_) {
-    if (std::find(f.path.begin(), f.path.end(), link) != f.path.end()) ++n;
-  }
-  return n;
+  check_live_link(link);
+  return static_cast<int>(
+      link_state_[static_cast<std::size_t>(link.value())].flows.size());
 }
 
 double FluidNetwork::allocated_bps(LinkId link) const {
+  check_live_link(link);
   double bps = 0.0;
-  for (const auto& [id, f] : flows_) {
-    if (std::find(f.path.begin(), f.path.end(), link) != f.path.end()) {
-      bps += f.rate_bytes_per_ns * 8e9;
-    }
+  for (FlowId id :
+       link_state_[static_cast<std::size_t>(link.value())].flows) {
+    bps += flows_.at(id).rate_bytes_per_ns * 8e9;
   }
   return bps;
+}
+
+void FluidNetwork::attach_to_links(FlowId id, const Flow& f) {
+  for (LinkId l : f.path) {
+    link_state_[static_cast<std::size_t>(l.value())].flows.push_back(id);
+  }
+}
+
+void FluidNetwork::detach_from_links(FlowId id, const Flow& f) {
+  for (LinkId l : f.path) {
+    auto& on_link = link_state_[static_cast<std::size_t>(l.value())].flows;
+    const auto it = std::find(on_link.begin(), on_link.end(), id);
+    ensure(it != on_link.end(), "fluid: per-link flow index out of sync");
+    *it = on_link.back();
+    on_link.pop_back();
+  }
 }
 
 void FluidNetwork::advance_progress() {
@@ -123,51 +193,54 @@ void FluidNetwork::advance_progress() {
 
 void FluidNetwork::solve_max_min() {
   // Progressive filling: repeatedly saturate the most constrained link and
-  // freeze the flows crossing it at that link's fair share.
-  const std::size_t n_links = links_.size();
-  std::vector<double> cap_left(n_links);
-  std::vector<int> unfrozen_on(n_links, 0);
-  for (std::size_t l = 0; l < n_links; ++l) {
-    cap_left[l] = links_[l].capacity.bytes_per_ns();
+  // freeze the flows crossing it at that link's fair share. Only links
+  // crossed by at least one active flow participate; everything else —
+  // including the unbounded set of retired circuit links a reconfigurable
+  // fabric accretes — is never touched.
+  const std::uint64_t epoch = ++solve_epoch_;
+  touched_links_.clear();
+  for (auto& [id, f] : flows_) {
+    for (LinkId l : f.path) {
+      const auto li = static_cast<std::size_t>(l.value());
+      if (link_epoch_[li] != epoch) {
+        link_epoch_[li] = epoch;
+        cap_left_[li] = links_[li].capacity.bytes_per_ns();
+        unfrozen_on_[li] = 0;
+        touched_links_.push_back(li);
+      }
+      ++unfrozen_on_[li];
+    }
   }
+  // Lowest-index-first bottleneck tie-break, independent of flow hash order.
+  std::sort(touched_links_.begin(), touched_links_.end());
 
-  std::vector<Flow*> active;
-  active.reserve(flows_.size());
-  for (auto& [id, f] : flows_) active.push_back(&f);
-  std::vector<bool> frozen(active.size(), false);
-  for (const Flow* f : active) {
-    for (LinkId l : f->path) ++unfrozen_on[static_cast<std::size_t>(l.value())];
-  }
-
-  std::size_t remaining = active.size();
+  std::size_t remaining = flows_.size();
   while (remaining > 0) {
     double best_share = std::numeric_limits<double>::infinity();
-    std::size_t best_link = n_links;
-    for (std::size_t l = 0; l < n_links; ++l) {
-      if (unfrozen_on[l] <= 0) continue;
-      const double share = std::max(cap_left[l], 0.0) / unfrozen_on[l];
+    std::size_t best_link = links_.size();
+    for (std::size_t li : touched_links_) {
+      if (unfrozen_on_[li] <= 0) continue;
+      const double share = std::max(cap_left_[li], 0.0) / unfrozen_on_[li];
       if (share < best_share) {
         best_share = share;
-        best_link = l;
+        best_link = li;
       }
     }
-    ensure(best_link < n_links,
+    ensure(best_link < links_.size(),
            "max-min solve: unfrozen flow without a constraining link");
-    const LinkId bottleneck{static_cast<std::int32_t>(best_link)};
-    for (std::size_t i = 0; i < active.size(); ++i) {
-      if (frozen[i]) continue;
-      Flow* f = active[i];
-      if (std::find(f->path.begin(), f->path.end(), bottleneck) ==
-          f->path.end()) {
-        continue;
-      }
-      f->rate_bytes_per_ns = best_share;
-      frozen[i] = true;
+    // Freeze exactly the bottleneck's unfrozen flows via the per-link index
+    // (each flow is visited at most once per path link over the whole solve,
+    // never once per round).
+    for (FlowId fid : link_state_[best_link].flows) {
+      Flow& f = flows_.at(fid);
+      if (f.frozen_epoch == epoch) continue;
+      f.frozen_epoch = epoch;
+      f.rate_bytes_per_ns = best_share;
       --remaining;
-      for (LinkId l : f->path) {
+      for (LinkId l : f.path) {
         const auto li = static_cast<std::size_t>(l.value());
-        cap_left[li] -= best_share;
-        --unfrozen_on[li];
+        cap_left_[li] -= best_share;
+        --unfrozen_on_[li];
       }
     }
   }
@@ -178,13 +251,22 @@ void FluidNetwork::reschedule_completion_event() {
     sim_.cancel(completion_event_);
     completion_event_ = EventId{};
   }
+  if (sim_.now() >= kMaxSchedulableNs) return;  // beyond the modelled era
   TimeNs earliest = std::numeric_limits<TimeNs>::max();
   for (const auto& [id, f] : flows_) {
     if (f.rate_bytes_per_ns <= 0.0) continue;  // stalled (dark / zero-cap link)
     const double ns = f.remaining_bytes / f.rate_bytes_per_ns;
-    TimeNs t = sim_.now() + static_cast<TimeNs>(ns);
-    if (static_cast<double>(t - sim_.now()) < ns) ++t;  // round up
-    earliest = std::min(earliest, t);
+    TimeNs dt;
+    if (ns >= kMaxCompletionHorizonNs) {
+      // Near-stalled: clamp instead of overflowing the cast. If the event
+      // ever fires this far out, the flow is still undrained and simply
+      // reschedules; in practice a capacity restore or abort re-solves first.
+      dt = static_cast<TimeNs>(kMaxCompletionHorizonNs);
+    } else {
+      dt = static_cast<TimeNs>(ns);
+      if (static_cast<double>(dt) < ns) ++dt;  // round up
+    }
+    earliest = std::min(earliest, sim_.now() + dt);
   }
   if (earliest != std::numeric_limits<TimeNs>::max()) {
     completion_event_ =
@@ -205,19 +287,24 @@ void FluidNetwork::on_completion_event() {
     if (it->second.remaining_bytes <= kDrainEpsilonBytes) {
       done.emplace_back(it->second.extra_latency,
                         std::move(it->second.on_complete));
+      detach_from_links(it->first, it->second);
       it = flows_.erase(it);
-      ++completed_;
     } else {
       ++it;
     }
   }
   recompute();
+  // completed_flow_count() counts at delivery (drain + extra_latency), like
+  // the zero-byte path — never ahead of the observable callbacks.
   for (auto& [latency, cb] : done) {
-    if (!cb) continue;
     if (latency > 0) {
-      sim_.schedule_after(latency, std::move(cb));
+      sim_.schedule_after(latency, [this, cb = std::move(cb)] {
+        ++completed_;
+        if (cb) cb();
+      });
     } else {
-      cb();  // may start new flows; recompute happens inside start_flow
+      ++completed_;
+      if (cb) cb();  // may start new flows; recompute happens in start_flow
     }
   }
 }

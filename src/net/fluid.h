@@ -7,6 +7,13 @@
 // the standard first-order approximation used by flow-level datacenter
 // simulators and is exact for the dedicated point-to-point circuits of a
 // photonic rail.
+//
+// The solver scales with *active* state, not lifetime state: each re-solve
+// touches only the links crossed by at least one active flow (epoch-stamped
+// scratch arrays avoid per-solve clearing), per-link flow indices make
+// active_flows_on / allocated_bps O(1) / O(flows-on-link), and retired links
+// (dead circuits from OCS reconfiguration churn) go on a free list for id
+// reuse so the link table stays bounded under rotor-style fabrics.
 #pragma once
 
 #include <cstdint>
@@ -34,12 +41,26 @@ class FluidNetwork {
   FluidNetwork(const FluidNetwork&) = delete;
   FluidNetwork& operator=(const FluidNetwork&) = delete;
 
-  /// Adds a link with the given capacity; returns its id.
+  /// Adds a link with the given capacity; returns its id. Retired ids are
+  /// reused (most recently retired first), so callers must not hold a LinkId
+  /// across retire_link of that link.
   LinkId add_link(Bandwidth capacity, std::string name = {});
+
+  /// Retires an idle link: its id goes on the free list for reuse by a later
+  /// add_link. The link must carry no active flows.
+  void retire_link(LinkId link);
 
   Bandwidth capacity(LinkId link) const;
   const std::string& link_name(LinkId link) const;
+  /// Size of the link table, retired slots included (stable upper bound for
+  /// iterating link ids; retired slots reject all other operations).
   std::size_t link_count() const { return links_.size(); }
+  /// Links currently usable (link_count() minus retired slots).
+  std::size_t live_link_count() const { return links_.size() - free_.size(); }
+  /// Links retired over the network's lifetime (monotone; id reuse does not
+  /// decrement it).
+  std::uint64_t retired_link_count() const { return retired_total_; }
+  bool link_retired(LinkId link) const;
 
   /// Changes a link's capacity (used for failure injection / degradation
   /// tests). Active flows immediately re-share.
@@ -63,11 +84,14 @@ class FluidNetwork {
   bool flow_active(FlowId flow) const { return flows_.contains(flow); }
 
   std::size_t active_flow_count() const { return flows_.size(); }
-  /// Number of active flows whose path crosses `link`.
+  /// Number of active flows whose path crosses `link`. O(1).
   int active_flows_on(LinkId link) const;
   /// Sum of the current rates (bits/sec) of the flows crossing `link`.
   /// Never exceeds the link capacity (a max-min allocation invariant).
+  /// O(flows on the link).
   double allocated_bps(LinkId link) const;
+  /// Flows whose drain completed *and* whose completion was delivered
+  /// (zero-byte flows count when their latency elapses, not at start_flow).
   std::uint64_t completed_flow_count() const { return completed_; }
 
  private:
@@ -77,8 +101,23 @@ class FluidNetwork {
     double rate_bytes_per_ns = 0.0;
     TimeNs extra_latency = 0;
     std::function<void()> on_complete;
+    /// Solve epoch in which this flow's rate was frozen (solver scratch).
+    std::uint64_t frozen_epoch = 0;
   };
 
+  /// Per-link bookkeeping kept parallel to links_.
+  struct LinkState {
+    /// Ids of the active flows whose path crosses this link (unordered;
+    /// removal is swap-with-last).
+    std::vector<FlowId> flows;
+    bool retired = false;
+  };
+
+  void check_live_link(LinkId link) const;
+  /// Registers `id` on every link of its path.
+  void attach_to_links(FlowId id, const Flow& f);
+  /// Removes `id` from every link of its path.
+  void detach_from_links(FlowId id, const Flow& f);
   /// Charges progress for elapsed time since the last update.
   void advance_progress();
   /// Re-solves max-min fair rates and reschedules the completion event.
@@ -89,11 +128,24 @@ class FluidNetwork {
 
   sim::Simulator& sim_;
   std::vector<Link> links_;
+  std::vector<LinkState> link_state_;
+  /// Retired link ids available for reuse (LIFO for cache locality).
+  std::vector<std::int32_t> free_;
+  std::uint64_t retired_total_ = 0;
   std::unordered_map<FlowId, Flow> flows_;
   TimeNs last_update_ = 0;
   EventId completion_event_{};
   std::int32_t next_flow_ = 0;
   std::uint64_t completed_ = 0;
+
+  // Solver scratch, persistent across solves so a re-solve costs O(active
+  // path footprint), not O(lifetime links). A slot is valid only when its
+  // epoch stamp matches the current solve's epoch.
+  std::uint64_t solve_epoch_ = 0;
+  std::vector<std::uint64_t> link_epoch_;
+  std::vector<double> cap_left_;
+  std::vector<int> unfrozen_on_;
+  std::vector<std::size_t> touched_links_;
 };
 
 }  // namespace opus::net

@@ -7,6 +7,35 @@
 
 namespace opus::net {
 
+std::vector<std::pair<int, int>> round_robin_matching(int n, int round) {
+  ensure(n >= 2, "round_robin_matching requires at least two ids");
+  ensure(round >= 0, "round_robin_matching: round must be non-negative");
+  // Circle method round-robin tournament. For odd n a virtual id (== n)
+  // gives its partner a bye.
+  const int m = n % 2 == 0 ? n : n + 1;
+  std::vector<std::pair<int, int>> pairs;
+  pairs.reserve(static_cast<std::size_t>(m / 2));
+  auto emit = [&](int a, int b) {
+    if (a < n && b < n) pairs.emplace_back(a, b);
+  };
+  // Fix id m-1; rotate the rest.
+  emit(round % (m - 1), m - 1);
+  for (int i = 1; i < m / 2; ++i) {
+    emit((round + i) % (m - 1), (round - i + (m - 1)) % (m - 1));
+  }
+  return pairs;
+}
+
+std::vector<CircuitRequest> round_robin_circuits(int n_ports, int round) {
+  ensure(n_ports % 2 == 0, "round_robin_circuits requires an even port count");
+  std::vector<CircuitRequest> circuits;
+  circuits.reserve(static_cast<std::size_t>(n_ports / 2));
+  for (const auto& [a, b] : round_robin_matching(n_ports, round)) {
+    circuits.push_back({PortId{a}, PortId{b}});
+  }
+  return circuits;
+}
+
 OpticalCircuitSwitch::OpticalCircuitSwitch(sim::Simulator& sim,
                                            FluidNetwork& net, int n_ports,
                                            Bandwidth port_bw,
@@ -146,6 +175,36 @@ void OpticalCircuitSwitch::tear_down(PortId p) {
   if (q < 0) return;
   peer_[static_cast<std::size_t>(p.value())] = -1;
   peer_[static_cast<std::size_t>(q)] = -1;
+  dead_pairs_.push_back({std::min(p.value(), q), std::max(p.value(), q)});
+  prune_dead_circuits();
+}
+
+void OpticalCircuitSwitch::prune_dead_circuits() {
+  // Keep at most 2x n_ports dead circuits cached: bounded by the switch
+  // radix, never by the number of reconfigurations performed.
+  const auto cap = static_cast<std::size_t>(2 * n_ports());
+  std::size_t attempts = dead_pairs_.size();
+  while (dead_pairs_.size() > cap && attempts-- > 0) {
+    const auto key = dead_pairs_.front();
+    dead_pairs_.pop_front();
+    if (peer_[static_cast<std::size_t>(key.first)] == key.second) {
+      continue;  // re-established since; a future tear_down re-queues it
+    }
+    const auto it = links_.find(key);
+    if (it == links_.end()) continue;  // already retired via an older entry
+    if (net_.active_flows_on(it->second.first) > 0 ||
+        net_.active_flows_on(it->second.second) > 0) {
+      // Still draining (a force_circuits teardown has no quiescence check):
+      // never retire under traffic, but keep the entry queued so the links
+      // are reclaimed once the flows finish rather than leaked.
+      dead_pairs_.push_back(key);
+      continue;
+    }
+    net_.retire_link(it->second.first);
+    net_.retire_link(it->second.second);
+    stats_.links_retired += 2;
+    links_.erase(it);
+  }
 }
 
 void OpticalCircuitSwitch::force_circuits(
@@ -210,12 +269,15 @@ void OpticalCircuitSwitch::reconfigure(
 
   ++stats_.reconfigurations;
   stats_.circuits_established += static_cast<int>(circuits.size());
-  stats_.cumulative_port_dark_ns +=
-      reconfig_delay_ * static_cast<TimeNs>(touched.size());
+  // Capture the delay once and use it for both the dark-time charge and the
+  // port-up event: a set_reconfig_delay while this request is in flight must
+  // not desynchronize Fig. 8 accounting from the actual dark period.
+  const TimeNs delay = reconfig_delay_;
+  stats_.cumulative_port_dark_ns += delay * static_cast<TimeNs>(touched.size());
 
   // Copy the request; the new circuits come up together after the delay.
   sim_.schedule_after(
-      reconfig_delay_,
+      delay,
       [this, circuits, touched, cb = std::move(on_done)]() mutable {
         for (PortId p : touched) {
           dark_[static_cast<std::size_t>(p.value())] = false;

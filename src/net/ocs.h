@@ -10,6 +10,7 @@
 // reconfiguration (§5 "Reconfiguration granularity").
 #pragma once
 
+#include <deque>
 #include <functional>
 #include <map>
 #include <optional>
@@ -30,6 +31,15 @@ struct CircuitRequest {
   PortId b;
 };
 
+/// Circle-method round-robin tournament matching over ids 0..n-1: round `r`
+/// pairs every id exactly once (odd n: one id sits the round out). Shared by
+/// the rotor transport's rotation schedule and the churn benchmarks/tests,
+/// so they all exercise the same matching sequence.
+std::vector<std::pair<int, int>> round_robin_matching(int n, int round);
+
+/// The same matching expressed as OCS circuit requests (even `n_ports`).
+std::vector<CircuitRequest> round_robin_circuits(int n_ports, int round);
+
 /// MEMS/piezo/liquid-crystal-style optical circuit switch.
 class OpticalCircuitSwitch {
  public:
@@ -40,6 +50,8 @@ class OpticalCircuitSwitch {
     int circuits_established = 0;
     /// Sum over ports of time spent dark.
     TimeNs cumulative_port_dark_ns = 0;
+    /// Fluid links retired because their circuit stayed dead (churn cleanup).
+    int links_retired = 0;
   };
 
   /// `port_bw` is the per-direction bandwidth of a circuit (the NIC port
@@ -106,10 +118,15 @@ class OpticalCircuitSwitch {
   void check_port(PortId p) const;
   /// Cross-connects a<->b in the state tables (no timing).
   void establish(PortId a, PortId b);
-  /// Clears the circuit on `p` (and its peer), if any.
+  /// Clears the circuit on `p` (and its peer), if any, and queues the pair's
+  /// fluid links for retirement once the dead-circuit cache overflows.
   void tear_down(PortId p);
   /// Lazily creates (or fetches) the fluid link pair for an unordered pair.
   std::pair<LinkId, LinkId> link_pair(PortId a, PortId b);
+  /// Retires the fluid links of the oldest dead circuits beyond the cache
+  /// bound, so rotor-style reconfiguration churn cannot grow the fluid
+  /// network's solve set (or this switch's pair map) without bound.
+  void prune_dead_circuits();
 
   sim::Simulator& sim_;
   FluidNetwork& net_;
@@ -123,6 +140,11 @@ class OpticalCircuitSwitch {
   // Unordered port pair -> (link low->high, link high->low).
   std::map<std::pair<std::int32_t, std::int32_t>, std::pair<LinkId, LinkId>>
       links_;
+  // Recently torn-down pairs, oldest first. Keeping a bounded number of dead
+  // circuits cached preserves link identity for the common Opus pattern of
+  // re-establishing the same circuit a moment later; beyond the bound the
+  // oldest dead pairs lose their fluid links to FluidNetwork's free list.
+  std::deque<std::pair<std::int32_t, std::int32_t>> dead_pairs_;
   Stats stats_;
 };
 

@@ -6,9 +6,11 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <vector>
 
 #include "common/rng.h"
 #include "core/experiment.h"
+#include "core/sweep.h"
 
 namespace opus {
 namespace {
@@ -102,6 +104,30 @@ TEST(Determinism, StaticRingExperimentIsBitIdentical) {
   core::ExperimentConfig cfg = tiny_config(net::RailKind::kPhotonic);
   cfg.static_ring_topology = true;
   expect_bit_identical(core::run_experiment(cfg), core::run_experiment(cfg));
+}
+
+TEST(Determinism, SweepThreadCountDoesNotChangeAnyTrace) {
+  // Each sweep cell owns its Simulator, so fanning cells across threads
+  // must leave every per-cell trace bit-identical to a serial run — the
+  // contract that makes the parallel sweep runner safe for regression use.
+  std::vector<core::ExperimentConfig> cells;
+  cells.push_back(tiny_config(net::RailKind::kPhotonic));
+  cells.push_back(tiny_config(net::RailKind::kElectrical));
+  core::ExperimentConfig ring = tiny_config(net::RailKind::kPhotonic);
+  ring.static_ring_topology = true;
+  cells.push_back(ring);
+
+  core::SweepOptions serial;
+  serial.threads = 1;
+  core::SweepOptions threaded;
+  threaded.threads = 3;
+  const auto a = core::run_sweep(cells, serial);
+  const auto b = core::run_sweep(cells, threaded);
+  ASSERT_EQ(a.size(), cells.size());
+  ASSERT_EQ(b.size(), cells.size());
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    expect_bit_identical(a[i], b[i]);
+  }
 }
 
 TEST(Determinism, DispatchSeedActuallyChangesTheJitter) {

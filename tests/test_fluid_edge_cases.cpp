@@ -1,0 +1,246 @@
+// Fluid-solver edge cases: near-stalled flows (completion-event overflow
+// clamp), zero-byte completion accounting, dark links stalling and resuming,
+// bottleneck aborts redistributing rates, lazy-advance consistency of
+// flow_remaining across those transitions, and link retirement / id reuse.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "net/fluid.h"
+#include "sim/simulator.h"
+
+namespace opus::net {
+namespace {
+
+constexpr Bandwidth k100G = Bandwidth::gbps(100);
+
+class FluidEdgeTest : public ::testing::Test {
+ protected:
+  sim::Simulator sim;
+  FluidNetwork net{sim};
+};
+
+// ---------------------------------------------------------------------------
+// Near-stalled flows: remaining/rate can exceed 2^63 ns; the completion
+// event must clamp instead of overflowing the TimeNs cast.
+// ---------------------------------------------------------------------------
+
+TEST_F(FluidEdgeTest, NearStalledFlowClampsCompletionEvent) {
+  // 2 GiB over a 1 bps link: remaining/rate ~ 1.7e19 ns, beyond TimeNs
+  // range. Without the clamp the cast is UB (and scheduled a garbage time).
+  const LinkId slow = net.add_link(Bandwidth::bps(1.0));
+  TimeNs done = -1;
+  net.start_flow({slow}, gib(2), 0, [&] { done = sim.now(); });
+  EXPECT_GT(sim.pending_events(), 0u)
+      << "a positive-rate flow must keep a (clamped) completion event";
+  sim.run_until(msecs(1));
+  EXPECT_EQ(done, -1);
+  // The link recovers: the flow must complete at normal speed from here.
+  net.set_capacity(slow, k100G);
+  sim.run();
+  // 2 GiB at 12.5 GB/s from t=1ms (the 1 bps era moved a negligible
+  // fraction of a byte).
+  EXPECT_NEAR(static_cast<double>(done),
+              static_cast<double>(msecs(1)) +
+                  static_cast<double>(gib(2)) / 12.5,
+              10.0);
+}
+
+TEST_F(FluidEdgeTest, NearStalledFlowCanBeAborted) {
+  const LinkId slow = net.add_link(Bandwidth::bps(1.0));
+  bool fired = false;
+  const FlowId f = net.start_flow({slow}, gib(4), 0, [&] { fired = true; });
+  sim.run_until(usecs(10));
+  EXPECT_TRUE(net.abort_flow(f));
+  sim.run();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(net.active_flow_count(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Zero-byte flows: completed_flow_count() must not read ahead of the
+// observable completion callbacks.
+// ---------------------------------------------------------------------------
+
+TEST_F(FluidEdgeTest, ZeroByteCompletionCountsAtCallbackDelivery) {
+  TimeNs done = -1;
+  net.start_flow({}, 0, usecs(7), [&] { done = sim.now(); });
+  EXPECT_EQ(net.completed_flow_count(), 0u)
+      << "completion must not be counted before the callback fires";
+  sim.run_until(usecs(6));
+  EXPECT_EQ(net.completed_flow_count(), 0u);
+  sim.run();
+  EXPECT_EQ(done, usecs(7));
+  EXPECT_EQ(net.completed_flow_count(), 1u);
+}
+
+TEST_F(FluidEdgeTest, DrainedFlowWithLatencyCountsAtCallbackDelivery) {
+  const LinkId l = net.add_link(k100G);
+  TimeNs done = -1;
+  // Drains at 10ms; delivery (and the count) follows 5us later.
+  net.start_flow({l}, 125'000'000, usecs(5), [&] { done = sim.now(); });
+  sim.run_until(msecs(10));
+  EXPECT_EQ(net.active_flow_count(), 0u) << "drained at 10ms";
+  EXPECT_EQ(net.completed_flow_count(), 0u)
+      << "not yet delivered: must not be counted";
+  sim.run();
+  EXPECT_EQ(done, msecs(10) + usecs(5));
+  EXPECT_EQ(net.completed_flow_count(), 1u);
+}
+
+TEST_F(FluidEdgeTest, ZeroByteNullCallbackCountsAtDeliveryTime) {
+  net.start_flow({}, 0, usecs(3), nullptr);
+  EXPECT_EQ(net.completed_flow_count(), 0u);
+  sim.run();
+  EXPECT_EQ(net.completed_flow_count(), 1u);
+  EXPECT_EQ(sim.now(), usecs(3));
+}
+
+// ---------------------------------------------------------------------------
+// Dark (zero-capacity) links: flows may start stalled and resume later.
+// ---------------------------------------------------------------------------
+
+TEST_F(FluidEdgeTest, FlowStartedOnDarkLinkStallsThenResumes) {
+  const LinkId dark = net.add_link(Bandwidth::gbps(0));
+  TimeNs done = -1;
+  const FlowId f =
+      net.start_flow({dark}, 125'000'000, 0, [&] { done = sim.now(); });
+  EXPECT_EQ(net.flow_rate_bps(f), 0.0);
+  sim.run_until(msecs(30));
+  EXPECT_EQ(done, -1);
+  EXPECT_EQ(net.flow_remaining(f), 125'000'000)
+      << "a stalled flow must make no progress";
+  net.set_capacity(dark, k100G);
+  sim.run();
+  EXPECT_EQ(done, msecs(40));  // 30ms dark + 10ms at 12.5 GB/s
+}
+
+TEST_F(FluidEdgeTest, OnlyFlowsCrossingTheDarkLinkStall) {
+  const LinkId live = net.add_link(k100G);
+  const LinkId dark = net.add_link(Bandwidth::gbps(0));
+  TimeNs live_done = -1;
+  TimeNs dark_done = -1;
+  net.start_flow({live}, 125'000'000, 0, [&] { live_done = sim.now(); });
+  net.start_flow({live, dark}, 125'000'000, 0,
+                 [&] { dark_done = sim.now(); });
+  sim.run_until(msecs(20));
+  // The dark-path flow holds zero rate, so the live flow gets the whole
+  // link and finishes solo.
+  EXPECT_EQ(live_done, msecs(10));
+  EXPECT_EQ(dark_done, -1);
+  net.set_capacity(dark, k100G);
+  sim.run();
+  EXPECT_EQ(dark_done, msecs(30));
+}
+
+// ---------------------------------------------------------------------------
+// abort_flow on a bottleneck: survivors re-share immediately.
+// ---------------------------------------------------------------------------
+
+TEST_F(FluidEdgeTest, AbortOnBottleneckRedistributesRates) {
+  const LinkId l = net.add_link(Bandwidth::gbps(90));
+  const FlowId a = net.start_flow({l}, gib(1), 0, nullptr);
+  const FlowId b = net.start_flow({l}, gib(1), 0, nullptr);
+  const FlowId c = net.start_flow({l}, gib(1), 0, nullptr);
+  EXPECT_NEAR(net.flow_rate_bps(a), 30e9, 1e6);
+  EXPECT_NEAR(net.flow_rate_bps(b), 30e9, 1e6);
+  EXPECT_NEAR(net.flow_rate_bps(c), 30e9, 1e6);
+  sim.run_until(msecs(1));
+  EXPECT_TRUE(net.abort_flow(a));
+  EXPECT_NEAR(net.flow_rate_bps(b), 45e9, 1e6);
+  EXPECT_NEAR(net.flow_rate_bps(c), 45e9, 1e6);
+  EXPECT_NEAR(net.allocated_bps(l), 90e9, 1e6)
+      << "the freed share must be redistributed, not lost";
+  EXPECT_EQ(net.active_flows_on(l), 2);
+}
+
+// ---------------------------------------------------------------------------
+// flow_remaining lazy advance: consistent at arbitrary instants, across
+// stalls, aborts, and capacity changes.
+// ---------------------------------------------------------------------------
+
+TEST_F(FluidEdgeTest, FlowRemainingIsConsistentAcrossTransitions) {
+  const LinkId l = net.add_link(k100G);
+  const FlowId a = net.start_flow({l}, 125'000'000, 0, nullptr);
+  const FlowId b = net.start_flow({l}, 125'000'000, 0, nullptr);
+
+  // Mid-interval, no event has fired since start: lazily advanced.
+  sim.run_until(msecs(2));  // each at 6.25 GB/s for 2ms = 12.5 MB moved
+  EXPECT_NEAR(static_cast<double>(net.flow_remaining(a)), 112'500'000.0, 1e4);
+
+  // Abort the sibling: the survivor speeds up, remaining still consistent.
+  net.abort_flow(b);
+  EXPECT_NEAR(static_cast<double>(net.flow_remaining(a)), 112'500'000.0, 1e4);
+  sim.run_until(msecs(4));  // +2ms at 12.5 GB/s = 25 MB
+  EXPECT_NEAR(static_cast<double>(net.flow_remaining(a)), 87'500'000.0, 1e4);
+
+  // Stall: remaining must freeze, not drift.
+  net.set_capacity(l, Bandwidth::gbps(0));
+  sim.run_until(msecs(20));
+  EXPECT_NEAR(static_cast<double>(net.flow_remaining(a)), 87'500'000.0, 1e4);
+
+  // Resume at a quarter of the bandwidth: drains at 3.125 GB/s.
+  net.set_capacity(l, k100G / 4.0);
+  sim.run_until(msecs(24));
+  EXPECT_NEAR(static_cast<double>(net.flow_remaining(a)), 75'000'000.0, 1e4);
+  sim.run();
+  EXPECT_EQ(net.active_flow_count(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Link retirement and id reuse.
+// ---------------------------------------------------------------------------
+
+TEST_F(FluidEdgeTest, RetiredLinkIdsAreReused) {
+  const LinkId a = net.add_link(k100G, "a");
+  const LinkId b = net.add_link(k100G, "b");
+  EXPECT_EQ(net.link_count(), 2u);
+  EXPECT_EQ(net.live_link_count(), 2u);
+
+  net.retire_link(a);
+  EXPECT_EQ(net.link_count(), 2u) << "the table slot stays allocated";
+  EXPECT_EQ(net.live_link_count(), 1u);
+  EXPECT_EQ(net.retired_link_count(), 1u);
+  EXPECT_TRUE(net.link_retired(a));
+  EXPECT_FALSE(net.link_retired(b));
+
+  const LinkId c = net.add_link(Bandwidth::gbps(50), "c");
+  EXPECT_EQ(c, a) << "retired ids must be reused before the table grows";
+  EXPECT_EQ(net.link_count(), 2u);
+  EXPECT_EQ(net.live_link_count(), 2u);
+  EXPECT_EQ(net.capacity(c), Bandwidth::gbps(50));
+  EXPECT_EQ(net.link_name(c), "c");
+}
+
+TEST_F(FluidEdgeTest, RetiringALinkWithActiveFlowsThrows) {
+  const LinkId l = net.add_link(k100G);
+  net.start_flow({l}, gib(1), 0, nullptr);
+  EXPECT_THROW(net.retire_link(l), InvariantError);
+}
+
+TEST_F(FluidEdgeTest, OperationsOnRetiredLinksThrow) {
+  const LinkId l = net.add_link(k100G);
+  net.retire_link(l);
+  EXPECT_THROW(net.capacity(l), InvariantError);
+  EXPECT_THROW(net.set_capacity(l, k100G), InvariantError);
+  EXPECT_THROW(net.active_flows_on(l), InvariantError);
+  EXPECT_THROW(net.allocated_bps(l), InvariantError);
+  EXPECT_THROW(net.start_flow({l}, 100, 0, nullptr), InvariantError);
+  EXPECT_THROW(net.retire_link(l), InvariantError);
+}
+
+TEST_F(FluidEdgeTest, RetiredLinksDoNotAffectActiveSolves) {
+  // A pile of retired links must not slow down or perturb the solve for the
+  // flows that remain (the churn scenario, in miniature).
+  std::vector<LinkId> junk;
+  for (int i = 0; i < 64; ++i) junk.push_back(net.add_link(k100G));
+  const LinkId live = net.add_link(k100G);
+  for (LinkId l : junk) net.retire_link(l);
+  const FlowId a = net.start_flow({live}, gib(1), 0, nullptr);
+  const FlowId b = net.start_flow({live}, gib(1), 0, nullptr);
+  EXPECT_NEAR(net.flow_rate_bps(a), 50e9, 1e6);
+  EXPECT_NEAR(net.flow_rate_bps(b), 50e9, 1e6);
+  EXPECT_EQ(net.retired_link_count(), 64u);
+}
+
+}  // namespace
+}  // namespace opus::net

@@ -153,6 +153,63 @@ TEST_F(OcsTest, CircuitReuseKeepsLinkIdentity) {
       << "re-established circuits reuse their fluid links";
 }
 
+TEST_F(OcsTest, MidFlightDelayChangeKeepsAccountingAndDarknessInSync) {
+  // The in-flight reconfiguration captured a 15ms delay; changing the knob
+  // mid-flight must affect neither its dark-time charge nor when its ports
+  // come back up (Fig. 8 accounting == actual dark time).
+  TimeNs up_at = -1;
+  sw.reconfigure({{PortId{0}, PortId{1}}}, [&] { up_at = sim.now(); });
+  EXPECT_EQ(sw.stats().cumulative_port_dark_ns, 2 * msecs(15));
+  sim.run_until(msecs(5));
+  sw.set_reconfig_delay(msecs(1));
+  sim.run_until(msecs(6));
+  EXPECT_TRUE(sw.dark(PortId{0}))
+      << "shrinking the delay must not resurrect in-flight ports early";
+  sim.run();
+  EXPECT_EQ(up_at, msecs(15));
+  EXPECT_EQ(sw.stats().cumulative_port_dark_ns, 2 * msecs(15));
+
+  // The next reconfiguration picks up the new 1ms delay.
+  TimeNs up2 = -1;
+  sw.reconfigure({{PortId{2}, PortId{3}}}, [&] { up2 = sim.now(); });
+  sim.run();
+  EXPECT_EQ(up2, msecs(15) + msecs(1));
+  EXPECT_EQ(sw.stats().cumulative_port_dark_ns, 2 * msecs(15) + 2 * msecs(1));
+}
+
+TEST_F(OcsTest, ReconfigurationChurnRetiresDeadCircuitLinks) {
+  // Rotor-style round-robin matchings on all 8 ports (the same
+  // round_robin_circuits schedule the churn bench drives): every round
+  // tears down 4 circuits and establishes 4 never-seen pairs (period 7).
+  // Two full cycles create 28 distinct pairs; the dead-circuit cache
+  // (2x n_ports = 16 pairs) must retire the overflow and reuse the fluid
+  // link slots.
+  constexpr int kRot = 7;  // n_ports - 1
+  for (int r = 0; r < 2 * kRot; ++r) {
+    const auto circuits = round_robin_circuits(8, r);
+    ASSERT_EQ(circuits.size(), 4u);
+    sw.reconfigure(circuits, nullptr);
+    sim.run();
+    // Push one flow across each live circuit so the churn carries traffic.
+    TimeNs done = 0;
+    for (const CircuitRequest& c : circuits) {
+      net.start_flow({sw.link(c.a, c.b)}, 25'000'000, 0,
+                     [&done, this] { done = sim.now(); });
+    }
+    sim.run();
+    EXPECT_GT(done, 0);
+  }
+  EXPECT_GT(sw.stats().links_retired, 0)
+      << "churn beyond the dead-circuit cache must retire links";
+  EXPECT_EQ(net.retired_link_count(),
+            static_cast<std::uint64_t>(sw.stats().links_retired));
+  // Live state stays bounded by the radix (4 live + <=16 cached dead
+  // pairs), and id reuse keeps the table itself from growing one slot per
+  // lifetime pair (28 pairs would need 56 links without reuse).
+  EXPECT_LE(net.live_link_count(), 2u * (4u + 16u));
+  EXPECT_LT(net.link_count(), 56u);
+}
+
 // Parameterized: the dark period must equal the configured delay for any
 // technology (Table 3 spans 10 ns .. 120 s).
 class DarkPeriodSweep : public ::testing::TestWithParam<TimeNs> {};

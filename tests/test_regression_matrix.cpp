@@ -19,6 +19,13 @@
 //     per-port bounds, zero-latency photonic == electrical, monotone in the
 //     OCS delay);
 //   * inter-parallelism window counts bounded by Eq. 1.
+//
+// All standard cells execute once, up front, through core::run_sweep's
+// thread pool (each cell owns its own Simulator, so the fan-out is safe);
+// the per-cell TESTs then assert against the cached results. The
+// SeedStableAcrossRuns leg re-runs its cell serially and requires the
+// threaded and serial results to be bit-identical — the sweep-runner
+// determinism contract.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -30,9 +37,11 @@
 
 #include "collective/executor.h"
 #include "collective/planner.h"
+#include "common/error.h"
 #include "core/experiment.h"
 #include "core/opus_transport.h"
 #include "core/rotor.h"
+#include "core/sweep.h"
 #include "trace/windows.h"
 
 namespace opus {
@@ -112,6 +121,27 @@ ExperimentConfig matrix_config(const Mix& mix, Fabric fabric) {
   return cfg;
 }
 
+constexpr Fabric kFabrics[] = {Fabric::kElectrical, Fabric::kOpus,
+                               Fabric::kStaticRing};
+
+/// The cached result of one standard matrix cell. All cells run exactly once,
+/// in parallel, on first access.
+const ExperimentResult& matrix_result(Fabric fabric, int mix) {
+  static const std::vector<ExperimentResult> results = [] {
+    std::vector<ExperimentConfig> cells;
+    for (Fabric f : kFabrics) {
+      for (const Mix& m : kMixes) cells.push_back(matrix_config(m, f));
+    }
+    return core::run_sweep(cells);
+  }();
+  // Index by position in kFabrics (the cell-construction order), not by the
+  // enum's numeric value, so reordering either stays correct.
+  std::size_t fi = 0;
+  while (fi < std::size(kFabrics) && kFabrics[fi] != fabric) ++fi;
+  ensure(fi < std::size(kFabrics), "fabric missing from kFabrics");
+  return results[fi * std::size(kMixes) + static_cast<std::size_t>(mix)];
+}
+
 bool has_scale_out(const Mix& mix) {
   const int nodes =
       mix.tp * mix.cp * mix.dp * mix.pp / mix.gpus_per_node;
@@ -135,7 +165,11 @@ class TopologyMatrix
     : public ::testing::TestWithParam<std::tuple<Fabric, int>> {
  protected:
   Fabric fabric() const { return std::get<0>(GetParam()); }
-  const Mix& mix() const { return kMixes[std::get<1>(GetParam())]; }
+  int mix_index() const { return std::get<1>(GetParam()); }
+  const Mix& mix() const { return kMixes[mix_index()]; }
+  const ExperimentResult& result() const {
+    return matrix_result(fabric(), mix_index());
+  }
 };
 
 std::string matrix_param_name(
@@ -146,7 +180,7 @@ std::string matrix_param_name(
 
 TEST_P(TopologyMatrix, CompletesWithMonotoneVirtualTime) {
   const ExperimentConfig cfg = matrix_config(mix(), fabric());
-  const ExperimentResult r = core::run_experiment(cfg);
+  const ExperimentResult& r = result();
 
   ASSERT_EQ(r.iteration_times.size(),
             static_cast<std::size_t>(cfg.iterations));
@@ -180,7 +214,7 @@ TEST_P(TopologyMatrix, CompletesWithMonotoneVirtualTime) {
 
 TEST_P(TopologyMatrix, ByteAccountingIsConsistent) {
   const ExperimentConfig cfg = matrix_config(mix(), fabric());
-  const ExperimentResult r = core::run_experiment(cfg);
+  const ExperimentResult& r = result();
 
   EXPECT_GE(r.rail_bytes, 0);
   EXPECT_GE(r.scale_up_bytes, 0);
@@ -202,7 +236,7 @@ TEST_P(TopologyMatrix, ByteAccountingIsConsistent) {
 
 TEST_P(TopologyMatrix, ReconfigurationAccountingMatchesFabric) {
   const ExperimentConfig cfg = matrix_config(mix(), fabric());
-  const ExperimentResult r = core::run_experiment(cfg);
+  const ExperimentResult& r = result();
 
   if (fabric() != Fabric::kOpus) {
     // Packet switches never reconfigure; the static ring is wired pre-job
@@ -233,8 +267,10 @@ TEST_P(TopologyMatrix, ReconfigurationAccountingMatchesFabric) {
 }
 
 TEST_P(TopologyMatrix, SeedStableAcrossRuns) {
+  // `a` ran inside the threaded sweep; `b` runs serially here. Bit-identical
+  // traces regardless of sweep thread count is the determinism contract.
   const ExperimentConfig cfg = matrix_config(mix(), fabric());
-  const ExperimentResult a = core::run_experiment(cfg);
+  const ExperimentResult& a = result();
   const ExperimentResult b = core::run_experiment(cfg);
 
   EXPECT_EQ(a.iteration_times, b.iteration_times);
@@ -274,11 +310,9 @@ TEST_P(CrossFabricConservation, LogicalPayloadIndependentOfFabric) {
   const Mix& mix = kMixes[GetParam()];
   if (!has_scale_out(mix)) GTEST_SKIP() << "no scale-out traffic";
 
-  const auto electrical =
-      core::run_experiment(matrix_config(mix, Fabric::kElectrical));
-  const auto photonic = core::run_experiment(matrix_config(mix, Fabric::kOpus));
-  const auto ring =
-      core::run_experiment(matrix_config(mix, Fabric::kStaticRing));
+  const auto& electrical = matrix_result(Fabric::kElectrical, GetParam());
+  const auto& photonic = matrix_result(Fabric::kOpus, GetParam());
+  const auto& ring = matrix_result(Fabric::kStaticRing, GetParam());
 
   // Logical bytes communicated per steady iteration are a property of the
   // workload, not of the switching technology underneath.
@@ -307,8 +341,7 @@ INSTANTIATE_TEST_SUITE_P(Mixes, CrossFabricConservation,
 TEST(CrossFabricConservation, TracedShapeMultihopsOnStaticRing) {
   // In the traced shape the PP groups connect nodes two ring positions
   // apart, which a fixed ring can only serve by forwarding.
-  const auto ring = core::run_experiment(
-      matrix_config(kMixes[0], Fabric::kStaticRing));
+  const auto& ring = matrix_result(Fabric::kStaticRing, 0);
   EXPECT_GT(ring.multihop_bytes, 0);
 }
 
@@ -317,21 +350,27 @@ TEST(CrossFabricConservation, TracedShapeMultihopsOnStaticRing) {
 // ---------------------------------------------------------------------------
 
 TEST(ReconfigLatencyAccounting, DarkTimeScalesWithOcsDelay) {
-  ExperimentConfig cfg = matrix_config(kMixes[0], Fabric::kOpus);
-  cfg.ocs_reconfig_delay = 0;
-  const auto instant = core::run_experiment(cfg);
+  // The three delay points are independent cells: sweep them in parallel.
+  std::vector<ExperimentConfig> cells;
+  for (double ms : {0.0, 1.0, 5.0}) {
+    ExperimentConfig cfg = matrix_config(kMixes[0], Fabric::kOpus);
+    cfg.ocs_reconfig_delay = msecs(ms);
+    cells.push_back(cfg);
+  }
+  const auto results = core::run_sweep(cells);
+
+  const auto& instant = results[0];
   EXPECT_EQ(instant.ocs_dark_time, 0);
   EXPECT_GT(instant.ocs_reconfigurations, 0);
 
   TimeNs prev_time = 0;
   TimeNs prev_dark = 0;
-  for (double ms : {1.0, 5.0}) {
-    cfg.ocs_reconfig_delay = msecs(ms);
-    const auto r = core::run_experiment(cfg);
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    const auto& r = results[i];
     EXPECT_GE(r.steady_iteration_time + msecs(1), prev_time)
-        << "iteration time must be monotone in OCS delay (" << ms << "ms)";
+        << "iteration time must be monotone in OCS delay (cell " << i << ")";
     EXPECT_GT(r.ocs_dark_time, prev_dark)
-        << "dark time must grow with OCS delay (" << ms << "ms)";
+        << "dark time must grow with OCS delay (cell " << i << ")";
     prev_time = r.steady_iteration_time;
     prev_dark = r.ocs_dark_time;
   }
@@ -343,8 +382,7 @@ TEST(ReconfigLatencyAccounting, ZeroLatencyPhotonicMatchesElectrical) {
   ExperimentConfig p = matrix_config(kMixes[0], Fabric::kOpus);
   p.ocs_reconfig_delay = 0;
   const auto photonic = core::run_experiment(p);
-  const auto electrical =
-      core::run_experiment(matrix_config(kMixes[0], Fabric::kElectrical));
+  const auto& electrical = matrix_result(Fabric::kElectrical, 0);
   const double ratio =
       static_cast<double>(photonic.steady_iteration_time) /
       static_cast<double>(electrical.steady_iteration_time);
@@ -360,8 +398,8 @@ class WindowCountBound : public ::testing::TestWithParam<int> {};
 TEST_P(WindowCountBound, InterParallelismWindowsRespectEq1) {
   const Mix& mix = kMixes[GetParam()];
   if (!has_scale_out(mix)) GTEST_SKIP() << "no scale-out traffic";
-  ExperimentConfig cfg = matrix_config(mix, Fabric::kElectrical);
-  const auto r = core::run_experiment(cfg);
+  const ExperimentConfig cfg = matrix_config(mix, Fabric::kElectrical);
+  const auto& r = matrix_result(Fabric::kElectrical, GetParam());
 
   const std::int64_t bound = trace::window_count_estimate(
       mix.pp, cfg.model.n_layers, mix.n_microbatches, mix.cp > 1, mix.ep > 1);
@@ -392,6 +430,57 @@ INSTANTIATE_TEST_SUITE_P(Mixes, WindowCountBound,
                          [](const ::testing::TestParamInfo<int>& info) {
                            return kMixes[info.param].name;
                          });
+
+// ---------------------------------------------------------------------------
+// Large-scale leg: 128 nodes (Table-3 OCS radix territory), electrical and
+// Opus fabrics, swept at 1 and N threads — the active-state fluid solver is
+// what makes this tractable, and the traces must not depend on thread count.
+// ---------------------------------------------------------------------------
+
+TEST(LargeScaleMatrix, OneHundredTwentyEightNodeCellsAreThreadInvariant) {
+  Mix big{"Dp64Pp2At128Nodes", /*tp=*/1, /*cp=*/1, /*dp=*/64, /*pp=*/2,
+          /*ep=*/1, /*n_microbatches=*/4, /*gpus_per_node=*/1, /*moe=*/false};
+  std::vector<ExperimentConfig> cells;
+  for (Fabric f : {Fabric::kElectrical, Fabric::kOpus}) {
+    ExperimentConfig cfg = matrix_config(big, f);
+    cfg.model.n_layers = 4;
+    cfg.iterations = 2;
+    cells.push_back(cfg);
+  }
+  ASSERT_EQ(cells[0].parallelism.world_size() / cells[0].gpus_per_node, 128);
+
+  core::SweepOptions serial;
+  serial.threads = 1;
+  core::SweepOptions threaded;
+  threaded.threads = 4;
+  const auto a = core::run_sweep(cells, serial);
+  const auto b = core::run_sweep(cells, threaded);
+
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    for (TimeNs t : a[i].iteration_times) EXPECT_GT(t, 0);
+    EXPECT_GT(a[i].rail_bytes, 0);
+    EXPECT_EQ(a[i].multihop_bytes, 0);
+    // Bit-identical per-cell traces at 1 and 4 sweep threads.
+    EXPECT_EQ(a[i].iteration_times, b[i].iteration_times);
+    EXPECT_EQ(a[i].steady_iteration_time, b[i].steady_iteration_time);
+    EXPECT_EQ(a[i].ocs_reconfigurations, b[i].ocs_reconfigurations);
+    EXPECT_EQ(a[i].ocs_dark_time, b[i].ocs_dark_time);
+    EXPECT_EQ(a[i].rail_bytes, b[i].rail_bytes);
+    EXPECT_EQ(a[i].scale_up_bytes, b[i].scale_up_bytes);
+    EXPECT_EQ(a[i].pxn_bytes, b[i].pxn_bytes);
+    const auto& ca = a[i].recorder->comm_records();
+    const auto& cb = b[i].recorder->comm_records();
+    ASSERT_EQ(ca.size(), cb.size());
+    for (std::size_t k = 0; k < ca.size(); ++k) {
+      EXPECT_EQ(ca[k].t_issue, cb[k].t_issue) << ca[k].group_name;
+      EXPECT_EQ(ca[k].t_end, cb[k].t_end) << ca[k].group_name;
+      EXPECT_EQ(ca[k].payload, cb[k].payload) << ca[k].group_name;
+    }
+  }
+  // The Opus cell at 128 nodes must actually exercise the OCS control plane.
+  EXPECT_GT(a[1].ocs_reconfigurations, 0);
+}
 
 // ---------------------------------------------------------------------------
 // Rotor leg: traffic-oblivious rotation versus demand-driven circuits at the
