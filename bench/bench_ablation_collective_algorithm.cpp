@@ -14,19 +14,19 @@ namespace {
 using namespace opus;
 using namespace opus::collective;
 
-TimeNs run_collective(net::RailKind kind, CollectiveType type, Algorithm algo,
+TimeNs run_collective(net::FabricKind kind, CollectiveType type, Algorithm algo,
                       Bytes payload, TimeNs reconfig) {
   sim::Simulator sim;
   net::ClusterConfig cfg;
   cfg.n_nodes = 8;
   cfg.gpus_per_node = 2;
   cfg.nic_ports = 2;
-  cfg.rail_kind = kind;
+  cfg.fabric = kind;
   cfg.ocs_reconfig_delay = reconfig;
   net::Cluster cluster(sim, cfg);
 
   std::unique_ptr<Transport> transport;
-  if (kind == net::RailKind::kPhotonic) {
+  if (kind == net::FabricKind::kOpusPhotonic) {
     transport = std::make_unique<core::OpusTransport>(sim, cluster);
   } else {
     transport = std::make_unique<DirectTransport>(cluster);
@@ -71,9 +71,9 @@ int main() {
     TextTable table({"Algorithm", "Electrical rail", "Photonic rail",
                      "Photonic penalty"});
     for (const Algo& a : algos) {
-      const TimeNs e = run_collective(net::RailKind::kElectrical, a.type,
+      const TimeNs e = run_collective(net::FabricKind::kElectrical, a.type,
                                       a.algo, payload, 0);
-      const TimeNs p = run_collective(net::RailKind::kPhotonic, a.type, a.algo,
+      const TimeNs p = run_collective(net::FabricKind::kOpusPhotonic, a.type, a.algo,
                                       payload, msecs(15));
       table.add_row({a.name, format_time(e), format_time(p),
                      fmt_double(static_cast<double>(p) /

@@ -18,7 +18,7 @@ int main() {
     for (bool fine : {true, false}) {
       core::ExperimentConfig cfg = core::perlmutter_llama3_8b_config();
       cfg.parallelism.pp = pp;
-      cfg.rail_kind = net::RailKind::kPhotonic;
+      cfg.fabric = net::FabricKind::kOpusPhotonic;
       cfg.ocs_reconfig_delay = msecs(25);
       cfg.iterations = 3;
       cfg.record_compute_trace = false;
@@ -32,7 +32,7 @@ int main() {
       ncfg.n_nodes = cfg.parallelism.world_size() / cfg.gpus_per_node;
       ncfg.gpus_per_node = cfg.gpus_per_node;
       ncfg.nic_ports = cfg.nic_ports;
-      ncfg.rail_kind = net::RailKind::kPhotonic;
+      ncfg.fabric = net::FabricKind::kOpusPhotonic;
       ncfg.ocs_reconfig_delay = cfg.ocs_reconfig_delay;
       net::Cluster cluster(sim, ncfg);
       workload::RankMapper mapper(cfg.parallelism, cfg.gpus_per_node);

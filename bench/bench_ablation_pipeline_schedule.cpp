@@ -20,7 +20,7 @@ int main() {
                         workload::PipelineSchedule::kGpipe}) {
     core::ExperimentConfig cfg = core::perlmutter_llama3_8b_config();
     cfg.parallelism.pp = 4;  // deeper pipeline: the schedules diverge
-    cfg.rail_kind = net::RailKind::kPhotonic;
+    cfg.fabric = net::FabricKind::kOpusPhotonic;
     cfg.ocs_reconfig_delay = msecs(25);
     cfg.iteration.pipeline_schedule = schedule;
     cfg.iterations = 3;

@@ -15,7 +15,7 @@ int main() {
                    "Ctrl queued", "Notes"});
   for (int ports : {1, 2, 4}) {
     core::ExperimentConfig cfg = core::perlmutter_llama3_8b_config();
-    cfg.rail_kind = net::RailKind::kPhotonic;
+    cfg.fabric = net::FabricKind::kOpusPhotonic;
     cfg.nic_ports = ports;
     cfg.ocs_reconfig_delay = msecs(25);  // Piezo
     cfg.iterations = 3;

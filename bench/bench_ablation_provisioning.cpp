@@ -22,7 +22,7 @@ int main() {
   for (double latency : latencies) {
     for (bool provisioning : {false, true}) {
       core::ExperimentConfig cfg = core::perlmutter_llama3_8b_config();
-      cfg.rail_kind = net::RailKind::kPhotonic;
+      cfg.fabric = net::FabricKind::kOpusPhotonic;
       cfg.ocs_reconfig_delay = msecs(latency);
       cfg.provisioning = provisioning;
       cfg.iterations = 4;

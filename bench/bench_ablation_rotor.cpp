@@ -20,12 +20,15 @@ namespace {
 using namespace opus;
 using namespace opus::collective;
 
-net::ClusterConfig cluster_cfg(int nodes, TimeNs ocs_delay) {
+net::ClusterConfig cluster_cfg(net::FabricKind fabric, int nodes,
+                               TimeNs ocs_delay) {
   net::ClusterConfig cfg;
   cfg.n_nodes = nodes;
   cfg.gpus_per_node = 2;
   cfg.nic_ports = 2;
-  cfg.rail_kind = net::RailKind::kPhotonic;
+  cfg.fabric = fabric;
+  // Classic single-matching rotor (spread 1): the ablation isolates the
+  // oblivious-rotation penalty, not RotorNet's two-hop routing.
   cfg.ocs_reconfig_delay = ocs_delay;
   return cfg;
 }
@@ -33,7 +36,10 @@ net::ClusterConfig cluster_cfg(int nodes, TimeNs ocs_delay) {
 TimeNs run_collective(bool rotor, int nodes, TimeNs ocs_delay,
                       TimeNs slot_time, CollectiveType type, Bytes payload) {
   sim::Simulator sim;
-  net::Cluster cluster(sim, cluster_cfg(nodes, ocs_delay));
+  net::Cluster cluster(
+      sim, cluster_cfg(rotor ? net::FabricKind::kRotor
+                             : net::FabricKind::kOpusPhotonic,
+                       nodes, ocs_delay));
   std::unique_ptr<Transport> transport;
   if (rotor) {
     core::RotorTransport::Options opts;

@@ -28,15 +28,14 @@ int main() {
   };
 
   const auto electrical = run("Electrical rails", [](auto& cfg) {
-    cfg.rail_kind = net::RailKind::kElectrical;
+    cfg.fabric = net::FabricKind::kElectrical;
   });
   const auto opus = run("Opus (in-job reconfig)", [](auto& cfg) {
-    cfg.rail_kind = net::RailKind::kPhotonic;
+    cfg.fabric = net::FabricKind::kOpusPhotonic;
     cfg.ocs_reconfig_delay = msecs(15);
   });
   const auto ring = run("Static ring + multi-hop", [](auto& cfg) {
-    cfg.rail_kind = net::RailKind::kPhotonic;
-    cfg.static_ring_topology = true;
+    cfg.fabric = net::FabricKind::kStaticRing;
   });
 
   const double base = static_cast<double>(electrical.second.steady_iteration_time);

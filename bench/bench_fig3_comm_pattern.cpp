@@ -14,7 +14,7 @@ void run_case(const char* title, int pp, int dp) {
   core::ExperimentConfig cfg = core::perlmutter_llama3_8b_config();
   cfg.parallelism.pp = pp;
   cfg.parallelism.dp = dp;
-  cfg.rail_kind = net::RailKind::kElectrical;  // trace the traffic pattern
+  cfg.fabric = net::FabricKind::kElectrical;  // trace the traffic pattern
   cfg.iterations = 2;
   cfg.record_compute_trace = false;
 

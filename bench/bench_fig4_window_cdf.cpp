@@ -14,7 +14,7 @@ int main() {
   using namespace opus;
 
   core::ExperimentConfig cfg = core::perlmutter_llama3_8b_config();
-  cfg.rail_kind = net::RailKind::kElectrical;  // measure application windows
+  cfg.fabric = net::FabricKind::kElectrical;  // measure application windows
   cfg.iterations = 11;                          // 10 measured + warmup
   cfg.record_compute_trace = false;
   const auto result = core::run_experiment(cfg);

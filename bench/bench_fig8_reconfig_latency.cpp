@@ -25,7 +25,7 @@ int main() {
 
   auto run = [&](double latency_ms, bool provisioning) {
     core::ExperimentConfig cfg = core::perlmutter_llama3_8b_config();
-    cfg.rail_kind = net::RailKind::kPhotonic;
+    cfg.fabric = net::FabricKind::kOpusPhotonic;
     cfg.ocs_reconfig_delay = msecs(latency_ms);
     cfg.provisioning = provisioning;
     cfg.iterations = 4;  // iteration 0 profiles; report steady state

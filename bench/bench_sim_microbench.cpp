@@ -1,16 +1,19 @@
 // Google-benchmark microbenchmarks of the simulation substrates: event
-// engine throughput, fluid max-min re-solve cost, OCS reconfiguration, and
-// collective planning/verification.
+// engine throughput, fluid max-min re-solve cost, OCS reconfiguration,
+// iteration-engine event scaling, and collective planning/verification.
 #include <benchmark/benchmark.h>
 
 #include <vector>
 
 #include "collective/planner.h"
+#include "collective/transport.h"
 #include "collective/verifier.h"
 #include "net/cluster.h"
 #include "net/fluid.h"
 #include "net/ocs.h"
 #include "sim/simulator.h"
+#include "workload/engine.h"
+#include "workload/iteration.h"
 
 namespace {
 
@@ -83,6 +86,52 @@ void BM_FluidChurnResolve(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * rounds * kPorts);
 }
 BENCHMARK(BM_FluidChurnResolve)->Arg(4)->Arg(16)->Arg(63);
+
+// Iteration-engine event scaling: K compute spans chained back to back,
+// each spanning every GPU of an N-node world (the data-parallel
+// per-microbatch shape). The engine coalesces the parts of a span that
+// start together into ONE completion event, so the per-iteration event
+// count must track the number of active spans (K), not world size (N) —
+// the scaling ceiling the 512-node matrix leg leans on. The reported
+// `events_per_iter` counter is the acceptance metric: flat in N.
+void BM_EngineEventScaling(benchmark::State& state) {
+  const auto nodes = static_cast<int>(state.range(0));
+  constexpr int kSpans = 16;
+  double events_per_iter = 0.0;
+  for (auto _ : state) {
+    sim::Simulator sim;
+    net::ClusterConfig ncfg;
+    ncfg.fabric = net::FabricKind::kElectrical;
+    ncfg.n_nodes = nodes;
+    ncfg.gpus_per_node = 1;
+    net::Cluster cluster(sim, ncfg);
+    collective::DirectTransport transport(cluster);
+
+    workload::IterationDag dag;
+    for (int k = 0; k < kSpans; ++k) {
+      workload::Op op;
+      op.id = OpId{k};
+      op.kind = workload::OpKind::kCompute;
+      op.label = "span";
+      op.duration = usecs(100);
+      for (int g = 0; g < cluster.n_gpus(); ++g) op.gpus.push_back(GpuId{g});
+      if (k > 0) op.deps.push_back(OpId{k - 1});
+      dag.ops.push_back(std::move(op));
+    }
+
+    workload::IterationEngine::Options opts;
+    opts.dispatch_min = 0;
+    opts.dispatch_max = 0;
+    workload::IterationEngine engine(sim, cluster, transport, nullptr, opts);
+    engine.run_to_completion(dag, 1);
+    events_per_iter = static_cast<double>(sim.events_fired());
+    benchmark::DoNotOptimize(events_per_iter);
+  }
+  state.counters["events_per_iter"] = events_per_iter;
+  state.counters["spans"] = kSpans;
+  state.SetItemsProcessed(state.iterations() * kSpans);
+}
+BENCHMARK(BM_EngineEventScaling)->Arg(64)->Arg(256)->Arg(512);
 
 void BM_OcsReconfigure(benchmark::State& state) {
   for (auto _ : state) {

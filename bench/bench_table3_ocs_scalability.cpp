@@ -3,10 +3,12 @@
 // with bidirectional transceivers).
 //
 // Part 2 backs the table with simulation: end-to-end Opus experiment cells
-// at growing node counts (up to the 128-node leg of the regression matrix),
+// at growing node counts (up to the 512-node leg of the regression matrix),
 // fanned across a thread pool by core::run_sweep — each cell owns its own
 // Simulator, so the sweep parallelizes embarrassingly. Thread count comes
-// from OPUS_SWEEP_THREADS (default: hardware concurrency).
+// from OPUS_SWEEP_THREADS (default: hardware concurrency). Smoke mode
+// (OPUS_BENCH_SMOKE=1) keeps the 8-node warm-up AND the 512-node leg, so
+// CI's bench-smoke pass exercises paper scale on every run.
 #include <chrono>
 #include <cstdio>
 #include <vector>
@@ -33,7 +35,7 @@ core::ExperimentConfig scale_cell(int nodes) {
   cfg.gpus_per_node = 1;
   cfg.iterations = 2;
   cfg.record_compute_trace = false;
-  cfg.rail_kind = net::RailKind::kPhotonic;
+  cfg.fabric = net::FabricKind::kOpusPhotonic;
   cfg.ocs_reconfig_delay = msecs(1);
   return cfg;
 }
@@ -67,8 +69,9 @@ int main() {
   // Part 2: simulated scalability — one Opus cell per node count, swept in
   // parallel across the thread pool.
   const std::vector<int> node_counts =
-      opus::bench::smoke_mode() ? std::vector<int>{8}
-                                : std::vector<int>{8, 16, 32, 64, 128};
+      opus::bench::smoke_mode()
+          ? std::vector<int>{8, 512}
+          : std::vector<int>{8, 16, 32, 64, 128, 256, 512};
   std::vector<core::ExperimentConfig> cells;
   cells.reserve(node_counts.size());
   for (int n : node_counts) cells.push_back(scale_cell(n));

@@ -31,7 +31,7 @@ int main() {
   cfg.mfu = 0.25;
   cfg.iterations = 3;
   cfg.record_compute_trace = false;
-  cfg.rail_kind = net::RailKind::kPhotonic;
+  cfg.fabric = net::FabricKind::kOpusPhotonic;
   cfg.ocs_reconfig_delay = msecs(15);
 
   std::printf("== 5D parallelism on photonic rails ==\n");
@@ -47,7 +47,7 @@ int main() {
   const auto mems = core::run_experiment(cfg);
   cfg.ocs_reconfig_delay = msecs(0.01);  // RotorNet-class fast OCS
   const auto fast = core::run_experiment(cfg);
-  cfg.rail_kind = net::RailKind::kElectrical;
+  cfg.fabric = net::FabricKind::kElectrical;
   const auto electrical = core::run_experiment(cfg);
 
   TextTable table({"Metric", "Electrical", "Opus, 15ms MEMS",

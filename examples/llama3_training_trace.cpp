@@ -20,7 +20,7 @@ int main(int argc, char** argv) {
   core::ExperimentConfig cfg = core::perlmutter_llama3_8b_config();
   cfg.parallelism.pp = pp;
   cfg.parallelism.dp = dp;
-  cfg.rail_kind = net::RailKind::kElectrical;
+  cfg.fabric = net::FabricKind::kElectrical;
   cfg.iterations = 4;
   cfg.record_compute_trace = false;
   std::printf("tracing %s, %s on %d nodes of %d A100s...\n\n",

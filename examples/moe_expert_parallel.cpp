@@ -46,18 +46,18 @@ int main() {
 
   {
     core::ExperimentConfig cfg = base;
-    cfg.rail_kind = net::RailKind::kElectrical;
+    cfg.fabric = net::FabricKind::kElectrical;
     row("Electrical rails", core::run_experiment(cfg), cfg.iterations);
   }
   {
     core::ExperimentConfig cfg = base;
-    cfg.rail_kind = net::RailKind::kPhotonic;
+    cfg.fabric = net::FabricKind::kOpusPhotonic;
     cfg.ocs_reconfig_delay = msecs(0.01);  // RotorNet-class fast OCS
     row("Photonic, 10us OCS", core::run_experiment(cfg), cfg.iterations);
   }
   {
     core::ExperimentConfig cfg = base;
-    cfg.rail_kind = net::RailKind::kPhotonic;
+    cfg.fabric = net::FabricKind::kOpusPhotonic;
     cfg.ocs_reconfig_delay = msecs(15);  // 3D MEMS
     row("Photonic, 15ms OCS", core::run_experiment(cfg), cfg.iterations);
   }
@@ -65,7 +65,7 @@ int main() {
     // §5's escape hatch: offload the small, high-incast AllToAll slices to
     // the host packet-switched network.
     core::ExperimentConfig cfg = base;
-    cfg.rail_kind = net::RailKind::kPhotonic;
+    cfg.fabric = net::FabricKind::kOpusPhotonic;
     cfg.ocs_reconfig_delay = msecs(15);
     cfg.mgmt_bw = Bandwidth::gbps(100);
     cfg.mgmt_offload_threshold = mib(512);  // take the whole AllToAll

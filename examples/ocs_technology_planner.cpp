@@ -23,7 +23,7 @@ int main(int argc, char** argv) {
   // Baseline iteration time: fully-connected electrical rails on the
   // evaluation workload.
   core::ExperimentConfig cfg = core::perlmutter_llama3_8b_config();
-  cfg.rail_kind = net::RailKind::kElectrical;
+  cfg.fabric = net::FabricKind::kElectrical;
   cfg.iterations = 3;
   cfg.record_compute_trace = false;
   const double base =
@@ -39,7 +39,7 @@ int main(int argc, char** argv) {
     if (ocs.reconfig_ms <= 1000.0) {  // robotic switches are not in-job
       for (bool provisioning : {false, true}) {
         core::ExperimentConfig pcfg = core::perlmutter_llama3_8b_config();
-        pcfg.rail_kind = net::RailKind::kPhotonic;
+        pcfg.fabric = net::FabricKind::kOpusPhotonic;
         pcfg.ocs_reconfig_delay = ocs.reconfig_time();
         pcfg.provisioning = provisioning;
         pcfg.iterations = 3;

@@ -31,13 +31,13 @@ int main() {
   // 2. Photonic rails: each rail is an optical circuit switch with 15 ms
   //    (3D MEMS) reconfiguration; Opus provisions circuits between
   //    parallelism phases.
-  cfg.rail_kind = net::RailKind::kPhotonic;
+  cfg.fabric = net::FabricKind::kOpusPhotonic;
   cfg.ocs_reconfig_delay = msecs(15);
   cfg.provisioning = true;
   const auto photonic = core::run_experiment(cfg);
 
   // 3. Baseline: electrical packet-switched rails (full connectivity).
-  cfg.rail_kind = net::RailKind::kElectrical;
+  cfg.fabric = net::FabricKind::kElectrical;
   const auto electrical = core::run_experiment(cfg);
 
   std::printf("workload           : %s, %s\n", cfg.model.name.c_str(),

@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Fails if docs/ARCHITECTURE.md or docs/FIGURES.md references a repository
+# path (src/..., tests/..., bench/..., examples/..., scripts/..., *.md) that
+# no longer exists, so the architecture docs cannot silently rot as the
+# tree moves underneath them. Pure grep + filesystem checks; no build
+# needed. Run from anywhere inside the repo.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$repo_root"
+
+docs=(docs/ARCHITECTURE.md docs/FIGURES.md)
+status=0
+
+for doc in "${docs[@]}"; do
+  if [[ ! -f "$doc" ]]; then
+    echo "MISSING DOC: $doc" >&2
+    status=1
+    continue
+  fi
+  # Candidate references: path-shaped tokens rooted at a known top-level
+  # directory, plus bare markdown files like README.md / ROADMAP.md.
+  # Trailing punctuation from prose is stripped.
+  refs=$(grep -oE '(src|tests|bench|examples|scripts|docs)/[A-Za-z0-9_./-]+|[A-Z]+[A-Z_]*\.md' "$doc" \
+    | sed -e 's/[).,:;]*$//' | sort -u)
+  docdir="$(dirname "$doc")"
+  while IFS= read -r ref; do
+    [[ -z "$ref" ]] && continue
+    # Accept: the path itself (file or directory), the path relative to the
+    # doc's own directory (intra-docs links), or — for extensionless bench/
+    # example binaries quoted as build-tree paths — the source file that
+    # produces them.
+    if [[ -e "$ref" || -e "${ref%/}" || -e "$docdir/$ref" ||
+          -e "$ref.cpp" ]]; then
+      continue
+    fi
+    echo "$doc: stale reference '$ref'" >&2
+    status=1
+  done <<< "$refs"
+done
+
+if [[ $status -eq 0 ]]; then
+  echo "doc links OK (${docs[*]})"
+fi
+exit $status

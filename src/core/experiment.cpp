@@ -3,6 +3,7 @@
 #include <numeric>
 
 #include "common/error.h"
+#include "core/rotor.h"
 #include "core/static_ring.h"
 
 namespace opus::core {
@@ -39,10 +40,10 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   ncfg.nic_ports = config.nic_ports;
   ncfg.nic_total_bw = config.nic_total_bw;
   ncfg.nvlink_bw = config.nvlink_bw;
-  ncfg.rail_kind = config.rail_kind;
+  ncfg.fabric = config.fabric;
   ncfg.ocs_reconfig_delay = config.ocs_reconfig_delay;
   ncfg.mgmt_bw = config.mgmt_bw;
-  ncfg.allow_rail_multihop = config.static_ring_topology;
+  ncfg.rotor_port_spread = config.rotor_port_spread;
   net::Cluster cluster(sim, ncfg);
 
   workload::RankMapper mapper(config.parallelism, config.gpus_per_node);
@@ -58,19 +59,32 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
 
   std::unique_ptr<collective::Transport> transport;
   OpusTransport* opus = nullptr;
-  if (config.rail_kind == net::RailKind::kPhotonic &&
-      config.static_ring_topology) {
-    transport = std::make_unique<StaticRingTransport>(cluster);
-  } else if (config.rail_kind == net::RailKind::kPhotonic) {
-    OpusTransport::Options opts;
-    opts.provisioning = config.provisioning;
-    opts.mgmt_offload_threshold = config.mgmt_offload_threshold;
-    opts.pipeline_stages = config.parallelism.pp;
-    auto t = std::make_unique<OpusTransport>(sim, cluster, opts);
-    opus = t.get();
-    transport = std::move(t);
-  } else {
-    transport = std::make_unique<collective::DirectTransport>(cluster);
+  RotorTransport* rotor = nullptr;
+  switch (config.fabric) {
+    case net::FabricKind::kElectrical:
+      transport = std::make_unique<collective::DirectTransport>(cluster);
+      break;
+    case net::FabricKind::kOpusPhotonic: {
+      OpusTransport::Options opts;
+      opts.provisioning = config.provisioning;
+      opts.mgmt_offload_threshold = config.mgmt_offload_threshold;
+      opts.pipeline_stages = config.parallelism.pp;
+      auto t = std::make_unique<OpusTransport>(sim, cluster, opts);
+      opus = t.get();
+      transport = std::move(t);
+      break;
+    }
+    case net::FabricKind::kStaticRing:
+      transport = std::make_unique<StaticRingTransport>(cluster);
+      break;
+    case net::FabricKind::kRotor: {
+      RotorTransport::Options opts;
+      opts.slot_time = config.rotor_slot_time;
+      auto t = std::make_unique<RotorTransport>(sim, cluster, opts);
+      rotor = t.get();
+      transport = std::move(t);
+      break;
+    }
   }
 
   workload::IterationEngine engine(sim, cluster, *transport, recorder.get(),
@@ -90,12 +104,21 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
     result.steady_iteration_time = result.iteration_times.front();
   }
 
+  if (cluster.photonic()) {
+    // Fig. 8 accounting is a property of the rails, not the control plane:
+    // sum every rail's OCS stats so demand-driven (Opus) and oblivious
+    // (rotor) reconfiguration report through the same fields.
+    result.ocs_reconfigurations = cluster.total_ocs_reconfigurations();
+    result.ocs_dark_time = cluster.total_ocs_dark_time();
+  }
   if (opus != nullptr) {
-    result.ocs_reconfigurations = opus->total_ocs_reconfigurations();
-    result.ocs_dark_time = opus->total_dark_time();
     result.controller = opus->controller().stats();
     result.shim_speculative_requests = opus->shim().speculative_requests();
     result.shim_mispredictions = opus->shim().mispredictions();
+  }
+  if (rotor != nullptr) {
+    result.rotor_rotations = rotor->rotations();
+    result.rotor_deferred_sends = rotor->deferred_sends();
   }
   result.rail_bytes = cluster.bytes_on_route(net::Cluster::Route::kRail);
   result.scale_up_bytes = cluster.bytes_on_route(net::Cluster::Route::kScaleUp);

@@ -1,6 +1,14 @@
 // End-to-end experiment harness: build a cluster + workload, run N training
 // iterations, collect iteration times, traces, and reconfiguration
 // statistics. Shared by the tests, the examples, and every figure bench.
+//
+// The fabric axis of the paper's comparison set is one field:
+// ExperimentConfig::fabric (net::FabricKind) selects electrical packet
+// rails, Opus's demand-driven OCS, the static pre-job ring, or the
+// traffic-oblivious rotor — run_experiment builds the matching cluster and
+// transport and fills the fabric-specific accounting (OCS reconfigurations
+// and dark time for every photonic fabric, controller/shim stats for Opus,
+// rotation/deferral counts for the rotor) into ExperimentResult.
 #pragma once
 
 #include <memory>
@@ -25,10 +33,15 @@ struct ExperimentConfig {
   /// Scale-up domain size; world_size must be a whole number of nodes.
   int gpus_per_node = 4;
 
-  net::RailKind rail_kind = net::RailKind::kPhotonic;
-  /// Photonic only: wire a fixed pre-job ring per rail and never
-  /// reconfigure (TPUv4-style baseline); non-neighbour traffic multi-hops.
-  bool static_ring_topology = false;
+  /// The scale-out fabric under test — the paper's comparison axis.
+  net::FabricKind fabric = net::FabricKind::kOpusPhotonic;
+  /// kRotor only: how long each matching carries traffic before rotating.
+  TimeNs rotor_slot_time = msecs(1);
+  /// kRotor only: consecutive matchings striped across NIC ports (see
+  /// net::ClusterConfig::rotor_port_spread). The default of 2 gives
+  /// RotorNet-style direct-or-two-hop routing; 1 is the classic rotor that
+  /// waits for its matching.
+  int rotor_port_spread = 2;
   int nic_ports = 2;
   Bandwidth nic_total_bw = Bandwidth::gbps(400);
   Bandwidth nvlink_bw = Bandwidth::gbps(2400);
@@ -52,8 +65,15 @@ struct ExperimentResult {
   std::vector<TimeNs> iteration_times;
   /// Mean iteration time excluding iteration 0 (Opus profiles there).
   TimeNs steady_iteration_time = 0;
+  /// OCS reconfigurations and port-darkness time summed over all rails —
+  /// filled for every photonic fabric (Opus's demand-driven reconfigurations
+  /// and the rotor's rotations account dark time identically; a static ring
+  /// never reconfigures after t=0, so both stay 0).
   int ocs_reconfigurations = 0;
   TimeNs ocs_dark_time = 0;
+  /// kRotor only: rotation rounds completed / sends that had to wait.
+  int rotor_rotations = 0;
+  int rotor_deferred_sends = 0;
   OpusController::Stats controller;
   int shim_speculative_requests = 0;
   int shim_mispredictions = 0;

@@ -127,19 +127,11 @@ bool OpusTransport::hint_collective(
 }
 
 int OpusTransport::total_ocs_reconfigurations() const {
-  int total = 0;
-  for (int r = 0; r < cluster_.n_rails(); ++r) {
-    total += cluster_.ocs(RailId{r}).stats().reconfigurations;
-  }
-  return total;
+  return cluster_.total_ocs_reconfigurations();
 }
 
 TimeNs OpusTransport::total_dark_time() const {
-  TimeNs total = 0;
-  for (int r = 0; r < cluster_.n_rails(); ++r) {
-    total += cluster_.ocs(RailId{r}).stats().cumulative_port_dark_ns;
-  }
-  return total;
+  return cluster_.total_ocs_dark_time();
 }
 
 }  // namespace opus::core

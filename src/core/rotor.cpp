@@ -7,37 +7,16 @@ namespace opus::core {
 RotorTransport::RotorTransport(sim::Simulator& sim, net::Cluster& cluster,
                                Options options)
     : sim_(sim), cluster_(cluster), options_(options) {
-  ensure(cluster_.photonic(), "RotorTransport requires photonic rails");
-  ensure(cluster_.n_nodes() >= 2, "rotor needs at least two nodes");
+  ensure(cluster_.fabric() == net::FabricKind::kRotor,
+         "RotorTransport requires a FabricKind::kRotor cluster");
   ensure(options_.slot_time > 0, "rotor slot time must be positive");
-  const int m =
-      cluster_.n_nodes() % 2 == 0 ? cluster_.n_nodes() : cluster_.n_nodes() + 1;
-  n_rounds_ = m - 1;
+  n_rounds_ = cluster_.rotor_rounds();
+  // The cluster wired every rail to round 0 at construction; this transport
+  // only drives the rotation schedule from there.
   rails_.resize(static_cast<std::size_t>(cluster_.n_rails()));
   for (int rail = 0; rail < cluster_.n_rails(); ++rail) {
-    cluster_.ocs(RailId{rail}).force_circuits(matching_circuits(rail, 0));
     start_round(rail);
   }
-}
-
-std::vector<std::pair<int, int>> RotorTransport::matching(int n,
-                                                          int round) const {
-  return net::round_robin_matching(n, round);
-}
-
-std::vector<net::CircuitRequest> RotorTransport::matching_circuits(
-    int rail, int round) const {
-  std::vector<net::CircuitRequest> circuits;
-  for (const auto& [a, b] : matching(cluster_.n_nodes(), round)) {
-    const GpuId ga = cluster_.gpu_at(NodeId{a}, rail);
-    const GpuId gb = cluster_.gpu_at(NodeId{b}, rail);
-    // One peer per matching: stripe across every NIC port.
-    for (int p = 0; p < cluster_.config().nic_ports; ++p) {
-      circuits.push_back(
-          {cluster_.ocs_port(ga, p), cluster_.ocs_port(gb, p)});
-    }
-  }
-  return circuits;
 }
 
 int RotorTransport::current_round(RailId rail) const {
@@ -73,7 +52,8 @@ void RotorTransport::rotate(int rail) {
   const int next = (state.round + 1) % n_rounds_;
   ++rotations_;
   cluster_.ocs(RailId{rail}).reconfigure(
-      matching_circuits(rail, next), [this, rail, next] {
+      cluster_.rotor_matching_circuits(RailId{rail}, next),
+      [this, rail, next] {
         RailState& st = rails_[static_cast<std::size_t>(rail)];
         st.rotating = false;
         st.round = next;

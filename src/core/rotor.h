@@ -12,7 +12,16 @@
 // perfect matchings of its n nodes. Each matching stays up for `slot_time`,
 // then the rail reconfigures (paying the OCS delay) to the next one.
 // Rotation defers until in-flight transfers drain (guard bands). A send
-// waits until the live matching connects its pair.
+// waits until the live matching connects its pair — or, when the cluster's
+// rotor_port_spread stripes different matchings across the NIC ports,
+// forwards over at most two live hops (RotorNet's direct-or-Valiant
+// routing) and only waits when even that fails.
+//
+// The rotor is a first-class fabric: select it with FabricKind::kRotor in
+// ExperimentConfig and run_experiment builds the cluster (round-0 matchings
+// wired by net::Cluster), drives this transport, and folds the rails' dark
+// time and reconfiguration counts into ExperimentResult exactly as for the
+// Opus OCS fabric.
 #pragma once
 
 #include <deque>
@@ -32,6 +41,8 @@ class RotorTransport final : public collective::Transport {
     TimeNs slot_time = msecs(1);
   };
 
+  /// Requires a cluster built with FabricKind::kRotor (the cluster wires
+  /// the round-0 matchings and owns the port-spread policy).
   RotorTransport(sim::Simulator& sim, net::Cluster& cluster, Options options);
   RotorTransport(sim::Simulator& sim, net::Cluster& cluster)
       : RotorTransport(sim, cluster, Options{}) {}
@@ -80,10 +91,6 @@ class RotorTransport final : public collective::Transport {
     std::deque<PendingSend> waiting;
   };
 
-  /// Circle-method matching `round` for `n` nodes: node pairs.
-  std::vector<std::pair<int, int>> matching(int n, int round) const;
-  std::vector<net::CircuitRequest> matching_circuits(int rail,
-                                                     int round) const;
   void start_round(int rail);
   void on_slot_end(int rail);
   void rotate(int rail);

@@ -1,10 +1,26 @@
 #include "net/cluster.h"
 
+#include <algorithm>
 #include <string>
 
 #include "common/error.h"
 
 namespace opus::net {
+
+const char* fabric_name(FabricKind f) {
+  switch (f) {
+    case FabricKind::kElectrical: return "Electrical";
+    case FabricKind::kOpusPhotonic: return "Opus";
+    case FabricKind::kStaticRing: return "StaticRing";
+    case FabricKind::kRotor: return "Rotor";
+  }
+  return "?";
+}
+
+RailKind rail_kind_of(FabricKind f) {
+  return f == FabricKind::kElectrical ? RailKind::kElectrical
+                                      : RailKind::kPhotonic;
+}
 
 Cluster::Cluster(sim::Simulator& sim, ClusterConfig cfg)
     : sim_(sim), cfg_(cfg), net_(sim), route_bytes_(6, 0) {
@@ -14,6 +30,27 @@ Cluster::Cluster(sim::Simulator& sim, ClusterConfig cfg)
          "NIC supports 1, 2, or 4 logical ports (ConnectX-7 configurations)");
   ensure(cfg_.nic_total_bw.positive(), "NIC bandwidth must be positive");
   ensure(cfg_.nvlink_bw.positive(), "NVLink bandwidth must be positive");
+  ensure(cfg_.max_multihop_hops >= 0, "multi-hop cap must be non-negative");
+
+  // Fabric normalization: a fixed ring can only serve non-neighbours by
+  // forwarding, and a rotor whose ports spread across matchings forwards
+  // over the connected union instead of waiting (capped at RotorNet's
+  // direct-or-two-hop routing unless the caller chose otherwise).
+  if (cfg_.fabric == FabricKind::kStaticRing) {
+    cfg_.allow_rail_multihop = true;
+  }
+  if (cfg_.fabric == FabricKind::kRotor) {
+    ensure(cfg_.n_nodes >= 2, "a rotor fabric needs at least two nodes");
+    ensure(cfg_.rotor_port_spread >= 1, "rotor port spread must be >= 1");
+    cfg_.rotor_port_spread =
+        std::min({cfg_.rotor_port_spread, cfg_.nic_ports, rotor_rounds()});
+    if (cfg_.rotor_port_spread > 1) {
+      cfg_.allow_rail_multihop = true;
+      if (cfg_.max_multihop_hops == 0) cfg_.max_multihop_hops = 2;
+    }
+  } else {
+    cfg_.rotor_port_spread = 1;
+  }
 
   const int n = n_gpus();
   nvl_in_.reserve(static_cast<std::size_t>(n));
@@ -26,13 +63,33 @@ Cluster::Cluster(sim::Simulator& sim, ClusterConfig cfg)
   }
 
   const int rails = n_rails();
-  if (cfg_.rail_kind == RailKind::kPhotonic) {
+  if (photonic()) {
     rail_ocs_.reserve(static_cast<std::size_t>(rails));
     for (int r = 0; r < rails; ++r) {
       rail_ocs_.push_back(std::make_unique<OpticalCircuitSwitch>(
           sim_, net_, cfg_.n_nodes * cfg_.nic_ports, cfg_.port_bw(),
           cfg_.rail_latency, cfg_.ocs_reconfig_delay,
           "rail" + std::to_string(r)));
+    }
+    if (cfg_.fabric == FabricKind::kRotor) {
+      // Pre-job rotor wiring: every rail starts on rotation round 0. The
+      // RotorTransport advances the schedule from there. The dead-circuit
+      // cache is widened to the whole rotation cycle so each matching's
+      // fluid links are created once and reused every cycle instead of
+      // being retired and rebuilt ~n_ports at a time per rotation.
+      ensure(cfg_.n_nodes >= 2, "a rotor fabric needs at least two nodes");
+      // +2 rounds of slack: at steady state the cache holds one full cycle
+      // plus the round being torn down, and pruning must not evict the
+      // round about to be re-established.
+      const auto cycle_circuits =
+          static_cast<std::size_t>(rotor_rounds() + 2) *
+          static_cast<std::size_t>(cfg_.n_nodes * cfg_.nic_ports) / 2;
+      for (int r = 0; r < rails; ++r) {
+        rail_ocs_[static_cast<std::size_t>(r)]->set_dead_circuit_cache(
+            cycle_circuits);
+        rail_ocs_[static_cast<std::size_t>(r)]->force_circuits(
+            rotor_matching_circuits(RailId{r}, 0));
+      }
     }
   } else {
     rail_electrical_.reserve(static_cast<std::size_t>(rails));
@@ -95,6 +152,47 @@ const OpticalCircuitSwitch& Cluster::ocs(RailId rail) const {
   return *rail_ocs_[static_cast<std::size_t>(rail.value())];
 }
 
+int Cluster::total_ocs_reconfigurations() const {
+  int total = 0;
+  for (int r = 0; r < n_rails(); ++r) {
+    total += ocs(RailId{r}).stats().reconfigurations;
+  }
+  return total;
+}
+
+TimeNs Cluster::total_ocs_dark_time() const {
+  TimeNs total = 0;
+  for (int r = 0; r < n_rails(); ++r) {
+    total += ocs(RailId{r}).stats().cumulative_port_dark_ns;
+  }
+  return total;
+}
+
+int Cluster::rotor_rounds() const {
+  ensure(cfg_.fabric == FabricKind::kRotor, "rotor_rounds: not a rotor fabric");
+  const int m = cfg_.n_nodes % 2 == 0 ? cfg_.n_nodes : cfg_.n_nodes + 1;
+  return m - 1;
+}
+
+std::vector<CircuitRequest> Cluster::rotor_matching_circuits(RailId rail,
+                                                             int round) const {
+  ensure(cfg_.fabric == FabricKind::kRotor,
+         "rotor_matching_circuits: not a rotor fabric");
+  ensure(rail.valid() && rail.value() < n_rails(), "invalid rail");
+  const int rounds = rotor_rounds();
+  ensure(round >= 0 && round < rounds, "invalid rotor round");
+  std::vector<CircuitRequest> circuits;
+  for (int p = 0; p < cfg_.nic_ports; ++p) {
+    const int m = (round + p % cfg_.rotor_port_spread) % rounds;
+    for (const auto& [a, b] : round_robin_matching(cfg_.n_nodes, m)) {
+      const GpuId ga = gpu_at(NodeId{a}, rail.value());
+      const GpuId gb = gpu_at(NodeId{b}, rail.value());
+      circuits.push_back({ocs_port(ga, p), ocs_port(gb, p)});
+    }
+  }
+  return circuits;
+}
+
 Cluster::Route Cluster::route_for(GpuId src, GpuId dst) const {
   if (src == dst) return Route::kLoopback;
   if (same_node(src, dst)) return Route::kScaleUp;
@@ -118,15 +216,41 @@ std::vector<LinkId> Cluster::live_circuit_links(GpuId src, GpuId dst) const {
   return out;
 }
 
+bool Cluster::has_live_circuit(GpuId src, GpuId dst) const {
+  const RailId rail = rail_of(src);
+  const auto& sw = ocs(rail);
+  for (int p = 0; p < cfg_.nic_ports; ++p) {
+    const PortId from = ocs_port(src, p);
+    const auto peer = sw.peer(from);
+    if (!peer) continue;
+    if (gpu_of_ocs_port(rail, *peer) != dst) continue;
+    if (sw.connected(from, *peer)) return true;
+  }
+  return false;
+}
+
+GpuId Cluster::two_hop_via(GpuId src, GpuId dst) const {
+  const RailId rail = rail_of(src);
+  const auto& sw = ocs(rail);
+  for (int p = 0; p < cfg_.nic_ports; ++p) {
+    const PortId from = ocs_port(src, p);
+    const auto peer = sw.peer(from);
+    if (!peer || !sw.connected(from, *peer)) continue;
+    const GpuId via = gpu_of_ocs_port(rail, *peer);
+    if (via == dst || via == src) continue;
+    if (has_live_circuit(via, dst)) return via;
+  }
+  return GpuId{};
+}
+
 bool Cluster::rail_path_available(GpuId src, GpuId dst) const {
   ensure(local_rank(src) == local_rank(dst),
          "rail_path_available: GPUs are on different rails");
   if (!photonic()) return true;
-  if (!live_circuit_links(src, dst).empty()) return true;
-  if (cfg_.allow_rail_multihop) {
-    return rail_multihop_path(src, dst).size() >= 2;
-  }
-  return false;
+  if (has_live_circuit(src, dst)) return true;
+  if (!cfg_.allow_rail_multihop) return false;
+  if (cfg_.max_multihop_hops == 2) return two_hop_via(src, dst).valid();
+  return rail_multihop_path(src, dst).size() >= 2;
 }
 
 void Cluster::account(Route r, Bytes bytes) {
@@ -149,15 +273,27 @@ std::vector<GpuId> Cluster::rail_multihop_path(GpuId src, GpuId dst) const {
   ensure(photonic(), "rail_multihop_path: cluster has electrical rails");
   ensure(local_rank(src) == local_rank(dst),
          "rail_multihop_path: GPUs are on different rails");
+  if (cfg_.max_multihop_hops == 2) {
+    // Capped-forwarding fast path (the rotor): no O(n_nodes) BFS state.
+    if (has_live_circuit(src, dst)) return {src, dst};
+    const GpuId via = two_hop_via(src, dst);
+    if (via.valid()) return {src, via, dst};
+    return {};
+  }
   const RailId rail = rail_of(src);
   const auto& sw = ocs(rail);
-  // BFS over nodes through live circuits.
+  // BFS over nodes through live circuits, depth-limited when the fabric
+  // caps forwarding (rotor: direct-or-two-hop).
   const int n = cfg_.n_nodes;
   std::vector<int> prev(static_cast<std::size_t>(n), -2);  // -2 = unvisited
   std::vector<int> frontier{node_of(src).value()};
   prev[static_cast<std::size_t>(node_of(src).value())] = -1;
   const int target = node_of(dst).value();
+  int depth = 0;
   while (!frontier.empty() && prev[static_cast<std::size_t>(target)] == -2) {
+    if (cfg_.max_multihop_hops > 0 && ++depth > cfg_.max_multihop_hops) {
+      return {};
+    }
     std::vector<int> next;
     for (int node : frontier) {
       const GpuId g = gpu_at(NodeId{node}, rail.value());

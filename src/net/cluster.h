@@ -6,6 +6,18 @@
 // Rail r connects the local-rank-r GPU of every node (Fig. 1 of the paper).
 // Each GPU's NIC exposes `nic_ports` ports of nic_total_bw / nic_ports each
 // (ConnectX-7 style 1x400G / 2x200G / 4x100G logical port configurations).
+//
+// Fabric contract (FabricKind): the fabric names both the switching hardware
+// of the rails and the circuit discipline layered on top. kElectrical rails
+// are packet switches (always fully connected); the three photonic fabrics
+// share the same OCS hardware but differ in who reconfigures it and when:
+// Opus reconfigures on demand (the control plane in src/core), a static ring
+// is wired once pre-job and never again, and a rotor cycles through the
+// round-robin matchings obliviously. The Cluster wires any pre-job topology
+// the fabric requires (rotor round-0 matchings here; the static ring's
+// circuits are wired by core::StaticRingTransport) and normalizes the
+// multi-hop forwarding settings each fabric depends on — callers select a
+// FabricKind and get a consistent cluster.
 #pragma once
 
 #include <functional>
@@ -22,11 +34,32 @@
 
 namespace opus::net {
 
-/// How the scale-out rails are switched.
+/// How the scale-out rails are physically switched (derived from the
+/// fabric; see rail_kind_of).
 enum class RailKind {
   kElectrical,  ///< packet switches: full any-to-any within a rail
   kPhotonic,    ///< OCS: one-to-one circuits, reconfigurable
 };
+
+/// The end-to-end scale-out fabric: switching hardware plus the circuit
+/// discipline that decides which connections exist when. This is the single
+/// topology selector that flows from ExperimentConfig down to the cluster —
+/// one axis of the paper's comparison set (§3).
+enum class FabricKind {
+  kElectrical,    ///< packet-switched rails, no circuits (baseline)
+  kOpusPhotonic,  ///< OCS rails, demand-driven reconfiguration (the paper)
+  kStaticRing,    ///< OCS rails wired pre-job into a fixed ring; non-
+                  ///< neighbour traffic multi-hops (TPUv4-style, §3)
+  kRotor,         ///< OCS rails rotating through round-robin matchings,
+                  ///< traffic-oblivious (RotorNet-style, §3)
+};
+
+/// Stable display name ("Electrical", "Opus", "StaticRing", "Rotor").
+const char* fabric_name(FabricKind f);
+
+/// The switching hardware a fabric runs on: kElectrical for packet rails,
+/// kPhotonic for the three circuit-switched fabrics.
+RailKind rail_kind_of(FabricKind f);
 
 struct ClusterConfig {
   int n_nodes = 4;
@@ -45,7 +78,7 @@ struct ClusterConfig {
   /// Extra per-traversal latency of an electrical rail switch (OEO + ASIC).
   TimeNs electrical_hop_latency = usecs(1);
 
-  RailKind rail_kind = RailKind::kPhotonic;
+  FabricKind fabric = FabricKind::kOpusPhotonic;
   /// OCS technology reconfiguration latency (Table 3).
   TimeNs ocs_reconfig_delay = msecs(15);
 
@@ -58,8 +91,26 @@ struct ClusterConfig {
   /// intermediate GPUs of the same rail over live circuits (§5
   /// "multi-hopping through connected GPUs in the same rail"). Each hop is
   /// store-and-forward — the latency and bandwidth tax the paper warns
-  /// about. Off by default: Opus reconfigures instead.
+  /// about. Off by default for Opus (it reconfigures instead); the Cluster
+  /// constructor force-enables it for kStaticRing (a fixed ring cannot
+  /// serve non-neighbours any other way) and for kRotor when the port
+  /// spread makes forwarding paths exist (see rotor_port_spread).
   bool allow_rail_multihop = false;
+
+  /// Longest multi-hop forwarding path, in rail hops (0 = unbounded). The
+  /// rotor caps this at 2 (RotorNet-style direct-or-two-hop routing); the
+  /// static ring forwards arbitrarily far around the ring.
+  int max_multihop_hops = 0;
+
+  /// kRotor only: how many consecutive round-robin matchings are striped
+  /// across the NIC ports. 1 (classic) points every port of a node at the
+  /// same peer, so the live topology is a perfect matching and traffic
+  /// waits for its round. 2+ puts matching `round + p` on port `p`, so the
+  /// live topology is a union of matchings — connected — and non-matched
+  /// pairs can forward over at most max_multihop_hops hops instead of
+  /// waiting (RotorNet's direct-or-Valiant routing). Clamped to nic_ports
+  /// and to the number of rotor rounds.
+  int rotor_port_spread = 1;
 
   Bandwidth port_bw() const { return nic_total_bw / nic_ports; }
   int n_gpus() const { return n_nodes * gpus_per_node; }
@@ -102,8 +153,27 @@ class Cluster {
   /// Photonic only: the rail's OCS.
   OpticalCircuitSwitch& ocs(RailId rail);
   const OpticalCircuitSwitch& ocs(RailId rail) const;
-  bool photonic() const { return cfg_.rail_kind == RailKind::kPhotonic; }
+  /// Fig. 8 aggregates over all rails (photonic only): reconfigurations
+  /// that changed state, and the summed per-port darkness time. The same
+  /// accounting serves demand-driven (Opus) and oblivious (rotor) fabrics.
+  int total_ocs_reconfigurations() const;
+  TimeNs total_ocs_dark_time() const;
+  FabricKind fabric() const { return cfg_.fabric; }
+  bool photonic() const {
+    return rail_kind_of(cfg_.fabric) == RailKind::kPhotonic;
+  }
   bool has_mgmt_network() const { return mgmt_ != nullptr; }
+
+  /// kRotor: length of the rotation cycle — the n-1 (even n) or n (odd n)
+  /// circle-method rounds that together connect every node pair once.
+  int rotor_rounds() const;
+  /// kRotor: the circuit layout of rotation round `round` on `rail`. NIC
+  /// port p carries matching `round + (p % rotor_port_spread)`, so a spread
+  /// of 1 reproduces the classic single-matching rotor and a spread of 2+
+  /// keeps the rail connected for bounded multi-hop forwarding. The Cluster
+  /// constructor wires round 0; the RotorTransport drives the rotation.
+  std::vector<CircuitRequest> rotor_matching_circuits(RailId rail,
+                                                      int round) const;
 
   enum class Route { kLoopback, kScaleUp, kRail, kPxn, kMgmt, kRailMultiHop };
   /// The route class transfer() would use for src -> dst.
@@ -114,7 +184,8 @@ class Cluster {
   bool rail_path_available(GpuId src, GpuId dst) const;
 
   /// Photonic: shortest path of same-rail GPUs from src to dst over live
-  /// circuits (src and dst included). Empty when unreachable.
+  /// circuits (src and dst included). Empty when unreachable within
+  /// max_multihop_hops rail hops (0 = unbounded).
   std::vector<GpuId> rail_multihop_path(GpuId src, GpuId dst) const;
 
   /// Moves `bytes` from src to dst; `on_complete` fires at delivery.
@@ -141,6 +212,14 @@ class Cluster {
                          std::function<void()> on_complete);
   /// Live circuit links src -> dst on their shared rail (photonic).
   std::vector<LinkId> live_circuit_links(GpuId src, GpuId dst) const;
+  /// Allocation-free: true iff some live circuit connects src -> dst.
+  bool has_live_circuit(GpuId src, GpuId dst) const;
+  /// Two-hop fast path (max_multihop_hops == 2): the first intermediate GPU
+  /// (deterministic NIC-port order, matching the BFS discovery order) with
+  /// live circuits src -> via -> dst; invalid id when none. The rotor's
+  /// send/flush scans hit this on every waiting send, so it must not
+  /// allocate.
+  GpuId two_hop_via(GpuId src, GpuId dst) const;
   void account(Route r, Bytes bytes);
 
   sim::Simulator& sim_;

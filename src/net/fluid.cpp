@@ -217,30 +217,38 @@ void FluidNetwork::solve_max_min() {
   std::size_t remaining = flows_.size();
   while (remaining > 0) {
     double best_share = std::numeric_limits<double>::infinity();
-    std::size_t best_link = links_.size();
     for (std::size_t li : touched_links_) {
       if (unfrozen_on_[li] <= 0) continue;
       const double share = std::max(cap_left_[li], 0.0) / unfrozen_on_[li];
-      if (share < best_share) {
-        best_share = share;
-        best_link = li;
-      }
+      best_share = std::min(best_share, share);
     }
-    ensure(best_link < links_.size(),
+    ensure(best_share < std::numeric_limits<double>::infinity(),
            "max-min solve: unfrozen flow without a constraining link");
-    // Freeze exactly the bottleneck's unfrozen flows via the per-link index
-    // (each flow is visited at most once per path link over the whole solve,
-    // never once per round).
-    for (FlowId fid : link_state_[best_link].flows) {
-      Flow& f = flows_.at(fid);
-      if (f.frozen_epoch == epoch) continue;
-      f.frozen_epoch = epoch;
-      f.rate_bytes_per_ns = best_share;
-      --remaining;
-      for (LinkId l : f.path) {
-        const auto li = static_cast<std::size_t>(l.value());
-        cap_left_[li] -= best_share;
-        --unfrozen_on_[li];
+    // Freeze the whole bottleneck set this round, not one link per round:
+    // independent circuits at one identical fair share are the common case
+    // at scale (a 512-node collective puts ~1000 links there), and a
+    // one-link-per-round loop rescans every touched link each time —
+    // quadratic in active links. After freezing a minimum-share link no
+    // remaining link can sit below this round's minimum (freezing removes
+    // share*k capacity and k flows, which cannot lower a fair share), so a
+    // single sorted sweep freezing every link still at the minimum — at the
+    // link's own recomputed share, keeping cap_left_ non-negative under
+    // floating point — yields the same max-min allocation.
+    for (std::size_t li : touched_links_) {
+      if (unfrozen_on_[li] <= 0) continue;
+      const double share = std::max(cap_left_[li], 0.0) / unfrozen_on_[li];
+      if (share > best_share) continue;
+      for (FlowId fid : link_state_[li].flows) {
+        Flow& f = flows_.at(fid);
+        if (f.frozen_epoch == epoch) continue;
+        f.frozen_epoch = epoch;
+        f.rate_bytes_per_ns = share;
+        --remaining;
+        for (LinkId l : f.path) {
+          const auto lj = static_cast<std::size_t>(l.value());
+          cap_left_[lj] -= share;
+          --unfrozen_on_[lj];
+        }
       }
     }
   }

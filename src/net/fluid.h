@@ -13,7 +13,11 @@
 // scratch arrays avoid per-solve clearing), per-link flow indices make
 // active_flows_on / allocated_bps O(1) / O(flows-on-link), and retired links
 // (dead circuits from OCS reconfiguration churn) go on a free list for id
-// reuse so the link table stays bounded under rotor-style fabrics.
+// reuse so the link table stays bounded under rotor-style fabrics. Each
+// progressive-filling round freezes the whole bottleneck set (every link at
+// the round's minimum fair share), so N independent circuits at one
+// identical share — the shape of a large collective on photonic rails —
+// cost one round, not N.
 #pragma once
 
 #include <cstdint>

@@ -101,9 +101,8 @@ void OpticalCircuitSwitch::fail_port(PortId p) {
   ensure(!dark(p), "fail_port: port is mid-reconfiguration");
   const auto q = peer_[static_cast<std::size_t>(p.value())];
   if (q >= 0) {
-    const std::pair<std::int32_t, std::int32_t> key{std::min(p.value(), q),
-                                                    std::max(p.value(), q)};
-    const auto it = links_.find(key);
+    const auto it =
+        links_.find(pair_key(std::min(p.value(), q), std::max(p.value(), q)));
     if (it != links_.end()) {
       ensure(net_.active_flows_on(it->second.first) == 0 &&
                  net_.active_flows_on(it->second.second) == 0,
@@ -142,24 +141,23 @@ std::vector<PortId> OpticalCircuitSwitch::touched_ports(
 }
 
 std::pair<LinkId, LinkId> OpticalCircuitSwitch::link_pair(PortId a, PortId b) {
-  const std::pair<std::int32_t, std::int32_t> key{
-      std::min(a.value(), b.value()), std::max(a.value(), b.value())};
-  auto it = links_.find(key);
+  const std::int32_t lo = std::min(a.value(), b.value());
+  const std::int32_t hi = std::max(a.value(), b.value());
+  auto it = links_.find(pair_key(lo, hi));
   if (it == links_.end()) {
-    const std::string base = name_ + ":p" + std::to_string(key.first) + "-p" +
-                             std::to_string(key.second);
+    const std::string base =
+        name_ + ":p" + std::to_string(lo) + "-p" + std::to_string(hi);
     const LinkId fwd = net_.add_link(port_bw_, base + ":fwd");
     const LinkId rev = net_.add_link(port_bw_, base + ":rev");
-    it = links_.emplace(key, std::make_pair(fwd, rev)).first;
+    it = links_.emplace(pair_key(lo, hi), std::make_pair(fwd, rev)).first;
   }
   return it->second;
 }
 
 LinkId OpticalCircuitSwitch::link(PortId from, PortId to) const {
   ensure(connected(from, to), "OCS::link: no live circuit between ports");
-  const std::pair<std::int32_t, std::int32_t> key{
-      std::min(from.value(), to.value()), std::max(from.value(), to.value())};
-  const auto it = links_.find(key);
+  const auto it = links_.find(pair_key(std::min(from.value(), to.value()),
+                                       std::max(from.value(), to.value())));
   ensure(it != links_.end(), "OCS::link: circuit links missing");
   return from.value() < to.value() ? it->second.first : it->second.second;
 }
@@ -175,19 +173,34 @@ void OpticalCircuitSwitch::tear_down(PortId p) {
   if (q < 0) return;
   peer_[static_cast<std::size_t>(p.value())] = -1;
   peer_[static_cast<std::size_t>(q)] = -1;
-  dead_pairs_.push_back({std::min(p.value(), q), std::max(p.value(), q)});
+  const std::int32_t lo = std::min(p.value(), q);
+  const std::int32_t hi = std::max(p.value(), q);
+  if (queued_dead_.insert(pair_key(lo, hi)).second) {
+    dead_pairs_.push_back({lo, hi});
+    prune_dead_circuits();
+  }
+}
+
+void OpticalCircuitSwitch::set_dead_circuit_cache(std::size_t circuits) {
+  dead_cache_circuits_ = circuits;
   prune_dead_circuits();
 }
 
 void OpticalCircuitSwitch::prune_dead_circuits() {
-  // Keep at most 2x n_ports dead circuits cached: bounded by the switch
-  // radix, never by the number of reconfigurations performed.
-  const auto cap = static_cast<std::size_t>(2 * n_ports());
+  // Keep a bounded number of dead circuits cached: by default 2x the switch
+  // radix — bounded by hardware, never by the number of reconfigurations
+  // performed — unless a fabric with a known circuit working set (the
+  // rotor's full rotation cycle) raised the bound.
+  const auto cap = dead_cache_circuits_ != 0
+                       ? dead_cache_circuits_
+                       : static_cast<std::size_t>(2 * n_ports());
   std::size_t attempts = dead_pairs_.size();
   while (dead_pairs_.size() > cap && attempts-- > 0) {
-    const auto key = dead_pairs_.front();
+    const auto pair = dead_pairs_.front();
     dead_pairs_.pop_front();
-    if (peer_[static_cast<std::size_t>(key.first)] == key.second) {
+    const std::uint64_t key = pair_key(pair.first, pair.second);
+    queued_dead_.erase(key);
+    if (peer_[static_cast<std::size_t>(pair.first)] == pair.second) {
       continue;  // re-established since; a future tear_down re-queues it
     }
     const auto it = links_.find(key);
@@ -197,7 +210,8 @@ void OpticalCircuitSwitch::prune_dead_circuits() {
       // Still draining (a force_circuits teardown has no quiescence check):
       // never retire under traffic, but keep the entry queued so the links
       // are reclaimed once the flows finish rather than leaked.
-      dead_pairs_.push_back(key);
+      dead_pairs_.push_back(pair);
+      queued_dead_.insert(key);
       continue;
     }
     net_.retire_link(it->second.first);
@@ -248,19 +262,23 @@ void OpticalCircuitSwitch::reconfigure(
   }
   // Refuse to retarget a circuit that is actively carrying traffic; the Opus
   // controller guarantees quiescence (reconfigure only after the previous
-  // communication kernel finishes).
+  // communication kernel finishes). The diagnostic string is built only on
+  // failure — a rotor reconfigures whole rails tens of thousands of times,
+  // and eager message construction dominated those runs.
   for (PortId p : touched) {
     const auto q = peer_[static_cast<std::size_t>(p.value())];
     if (q < 0) continue;
-    const std::pair<std::int32_t, std::int32_t> key{std::min(p.value(), q),
-                                                    std::max(p.value(), q)};
-    const auto it = links_.find(key);
+    const std::int32_t lo = std::min(p.value(), q);
+    const std::int32_t hi = std::max(p.value(), q);
+    const auto it = links_.find(pair_key(lo, hi));
     if (it == links_.end()) continue;
-    ensure(net_.active_flows_on(it->second.first) == 0 &&
-               net_.active_flows_on(it->second.second) == 0,
-           "OCS reconfigure: circuit still carrying traffic (switch " +
-               name_ + ", ports " + std::to_string(key.first) + "<->" +
-               std::to_string(key.second) + ")");
+    if (net_.active_flows_on(it->second.first) != 0 ||
+        net_.active_flows_on(it->second.second) != 0) {
+      ensure(false,
+             "OCS reconfigure: circuit still carrying traffic (switch " +
+                 name_ + ", ports " + std::to_string(lo) + "<->" +
+                 std::to_string(hi) + ")");
+    }
   }
 
   // Tear down old circuits on the touched ports and go dark.

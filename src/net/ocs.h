@@ -10,11 +10,13 @@
 // reconfiguration (§5 "Reconfiguration granularity").
 #pragma once
 
+#include <cstdint>
 #include <deque>
 #include <functional>
-#include <map>
 #include <optional>
 #include <string>
+#include <unordered_map>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
@@ -104,6 +106,15 @@ class OpticalCircuitSwitch {
   /// initial topology (e.g. a pre-job configuration); counts no stats.
   void force_circuits(const std::vector<CircuitRequest>& circuits);
 
+  /// Overrides the dead-circuit cache bound (in circuits; 0 restores the
+  /// default of 2x the port count). A rotor fabric sets this to its whole
+  /// rotation cycle so every matching's fluid links are created exactly
+  /// once and reused each cycle — with the default bound, every rotation
+  /// would retire and recreate ~n_ports links, which profiling shows
+  /// dominates large-rotor runs. The active-state fluid solver's cost is
+  /// unaffected by cached-but-idle links; only memory is spent.
+  void set_dead_circuit_cache(std::size_t circuits);
+
   /// Set of ports a reconfiguration request would touch (new + old peers).
   std::vector<PortId> touched_ports(
       const std::vector<CircuitRequest>& circuits) const;
@@ -128,6 +139,12 @@ class OpticalCircuitSwitch {
   /// network's solve set (or this switch's pair map) without bound.
   void prune_dead_circuits();
 
+  /// Packed key for an unordered port pair (requires lo <= hi).
+  static constexpr std::uint64_t pair_key(std::int32_t lo, std::int32_t hi) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(lo)) << 32) |
+           static_cast<std::uint32_t>(hi);
+  }
+
   sim::Simulator& sim_;
   FluidNetwork& net_;
   Bandwidth port_bw_;
@@ -137,14 +154,21 @@ class OpticalCircuitSwitch {
   std::vector<std::int32_t> peer_;  // -1 = unconnected
   std::vector<bool> dark_;
   std::vector<bool> failed_;
-  // Unordered port pair -> (link low->high, link high->low).
-  std::map<std::pair<std::int32_t, std::int32_t>, std::pair<LinkId, LinkId>>
-      links_;
-  // Recently torn-down pairs, oldest first. Keeping a bounded number of dead
-  // circuits cached preserves link identity for the common Opus pattern of
-  // re-establishing the same circuit a moment later; beyond the bound the
-  // oldest dead pairs lose their fluid links to FluidNetwork's free list.
+  // Unordered port pair -> (link low->high, link high->low). Hashed on the
+  // packed pair: whole-rail reconfiguration (the rotor) performs ~1e8
+  // lookups per large run, where an ordered map's log-factor dominated.
+  std::unordered_map<std::uint64_t, std::pair<LinkId, LinkId>> links_;
+  // Recently torn-down pairs, oldest first, at most one entry per pair
+  // (queued_dead_ is the membership index — duplicate entries would let a
+  // pair be retired by its stalest entry while a fresher one still queues).
+  // Keeping a bounded number of dead circuits cached preserves link
+  // identity for the common Opus pattern of re-establishing the same
+  // circuit a moment later; beyond the bound the oldest dead pairs lose
+  // their fluid links to FluidNetwork's free list.
   std::deque<std::pair<std::int32_t, std::int32_t>> dead_pairs_;
+  std::unordered_set<std::uint64_t> queued_dead_;
+  /// Cache bound override in circuits (0 = default 2x n_ports).
+  std::size_t dead_cache_circuits_ = 0;
   Stats stats_;
 };
 

@@ -128,12 +128,51 @@ void IterationEngine::op_ready(OpId id) {
 void IterationEngine::start_compute(const Op& op) {
   parts_remaining_[static_cast<std::size_t>(op.id.value())] =
       static_cast<int>(op.gpus.size());
+  // Parts whose GPU is idle start now and share ONE completion event (the
+  // coalescing that keeps event count independent of how many GPUs a
+  // data-parallel op spans); parts behind a busy GPU queue up and complete
+  // on that GPU's own schedule.
+  std::vector<int> cohort;
+  cohort.reserve(op.gpus.size());
   for (GpuId g : op.gpus) {
-    gpu_queue_[static_cast<std::size_t>(g.value())].push_back(op.id);
-    if (!gpu_busy_[static_cast<std::size_t>(g.value())]) {
-      run_next_on_gpu(g.value());
+    if (gpu_busy_[static_cast<std::size_t>(g.value())]) {
+      gpu_queue_[static_cast<std::size_t>(g.value())].push_back(op.id);
+    } else {
+      gpu_busy_[static_cast<std::size_t>(g.value())] = true;
+      cohort.push_back(g.value());
     }
   }
+  if (cohort.empty()) return;
+  const TimeNs start = sim_.now();
+  sim_.schedule_after(
+      op.duration, [this, id = op.id, start, cohort = std::move(cohort)] {
+        finish_cohort(id, cohort, start);
+      });
+}
+
+void IterationEngine::record_compute_span(int gpu, OpId id, TimeNs start) {
+  if (!recorder_) return;
+  const Op& op = dag_->op(id);
+  trace::ComputeRecord rec;
+  rec.gpu = GpuId{gpu};
+  rec.t_start = start;
+  rec.t_end = sim_.now();
+  rec.label = op.label;
+  rec.pp_stage = op.pp_stage;
+  rec.microbatch = op.microbatch;
+  recorder_->record_compute(std::move(rec));
+}
+
+void IterationEngine::finish_cohort(OpId id, const std::vector<int>& gpus,
+                                    TimeNs start) {
+  for (int gpu : gpus) record_compute_span(gpu, id, start);
+  auto& parts = parts_remaining_[static_cast<std::size_t>(id.value())];
+  parts -= static_cast<int>(gpus.size());
+  const bool completed = parts == 0;
+  // Release the cohort's GPUs before completing the op: a dependent made
+  // ready by this completion then sees them idle and starts as one cohort.
+  for (int gpu : gpus) run_next_on_gpu(gpu);
+  if (completed) complete_op(id);
 }
 
 void IterationEngine::run_next_on_gpu(int gpu) {
@@ -148,26 +187,16 @@ void IterationEngine::run_next_on_gpu(int gpu) {
   const Op& op = dag_->op(id);
   const TimeNs start = sim_.now();
   sim_.schedule_after(op.duration, [this, gpu, id, start] {
-    if (recorder_) {
-      const Op& op = dag_->op(id);
-      trace::ComputeRecord rec;
-      rec.gpu = GpuId{gpu};
-      rec.t_start = start;
-      rec.t_end = sim_.now();
-      rec.label = op.label;
-      rec.pp_stage = op.pp_stage;
-      rec.microbatch = op.microbatch;
-      recorder_->record_compute(std::move(rec));
-    }
+    record_compute_span(gpu, id, start);
     gpu_finished_part(gpu, id);
   });
 }
 
 void IterationEngine::gpu_finished_part(int gpu, OpId id) {
-  if (--parts_remaining_[static_cast<std::size_t>(id.value())] == 0) {
-    complete_op(id);
-  }
+  const bool completed =
+      --parts_remaining_[static_cast<std::size_t>(id.value())] == 0;
   run_next_on_gpu(gpu);
+  if (completed) complete_op(id);
 }
 
 int IterationEngine::degree_budget(const collective::CommGroup& group) const {

@@ -2,10 +2,18 @@
 //
 // Compute ops occupy their GPUs (one op part per GPU at a time, FIFO);
 // collective ops run through the CollectiveExecutor over the injected
-// Transport (DirectTransport for electrical rails, OpusTransport for
-// photonic rails), so the same DAG drives both the baseline and the
-// photonic-rail experiments. Every communication-group execution and every
+// Transport (DirectTransport for electrical rails, Opus/static-ring/rotor
+// transports for the photonic fabrics), so the same DAG drives every fabric
+// in the comparison set. Every communication-group execution and every
 // compute span is recorded into the TraceRecorder.
+//
+// Event coalescing: the GPU parts of one compute op that start together
+// (all their GPUs idle at dispatch) share a single completion event — at
+// 512-way data parallelism a per-microbatch op is one event, not 512. Only
+// parts queued behind a busy GPU fall back to per-GPU completion events, so
+// the simulator's per-iteration event count grows with the number of active
+// spans in the DAG rather than with world size (the scaling ceiling after
+// the PR-2 fluid-solver work; pinned by BM_EngineEventScaling).
 #pragma once
 
 #include <deque>
@@ -63,8 +71,12 @@ class IterationEngine {
   void start_collective(const Op& op);
   TimeNs dispatch_latency(OpId id) const;
   void complete_op(OpId id);
+  /// Completion of the coalesced cohort of `op` parts that started together
+  /// at `start` on `gpus` (one simulator event for the whole cohort).
+  void finish_cohort(OpId id, const std::vector<int>& gpus, TimeNs start);
   void gpu_finished_part(int gpu, OpId id);
   void run_next_on_gpu(int gpu);
+  void record_compute_span(int gpu, OpId id, TimeNs start);
 
   /// Degree budget for algorithm choice on this group's fabric path:
   /// 0 (unconstrained) on scale-up or electrical rails; nic_ports on

@@ -24,7 +24,7 @@ struct HintFixture {
     cfg.n_nodes = 4;
     cfg.gpus_per_node = 2;
     cfg.nic_ports = 2;
-    cfg.rail_kind = net::RailKind::kPhotonic;
+    cfg.fabric = net::FabricKind::kOpusPhotonic;
     cfg.ocs_reconfig_delay = msecs(20);
     return cfg;
   }

@@ -21,7 +21,7 @@ net::ClusterConfig photonic_cfg(int nodes, int gpn, int ports) {
   cfg.n_nodes = nodes;
   cfg.gpus_per_node = gpn;
   cfg.nic_ports = ports;
-  cfg.rail_kind = net::RailKind::kPhotonic;
+  cfg.fabric = net::FabricKind::kOpusPhotonic;
   return cfg;
 }
 

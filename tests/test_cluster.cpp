@@ -8,21 +8,21 @@
 namespace opus::net {
 namespace {
 
-ClusterConfig base_config(RailKind kind) {
+ClusterConfig base_config(FabricKind kind) {
   ClusterConfig cfg;
   cfg.n_nodes = 4;
   cfg.gpus_per_node = 4;
   cfg.nic_ports = 2;
   cfg.nic_total_bw = Bandwidth::gbps(400);
   cfg.nvlink_bw = Bandwidth::gbps(2400);
-  cfg.rail_kind = kind;
+  cfg.fabric = kind;
   cfg.ocs_reconfig_delay = msecs(1);
   return cfg;
 }
 
 TEST(ClusterAddressing, NodeLocalRailMapping) {
   sim::Simulator sim;
-  Cluster c(sim, base_config(RailKind::kElectrical));
+  Cluster c(sim, base_config(FabricKind::kElectrical));
   EXPECT_EQ(c.n_gpus(), 16);
   EXPECT_EQ(c.n_rails(), 4);
   EXPECT_EQ(c.node_of(GpuId{0}).value(), 0);
@@ -36,7 +36,7 @@ TEST(ClusterAddressing, NodeLocalRailMapping) {
 
 TEST(ClusterAddressing, OcsPortMappingRoundTrips) {
   sim::Simulator sim;
-  Cluster c(sim, base_config(RailKind::kPhotonic));
+  Cluster c(sim, base_config(FabricKind::kOpusPhotonic));
   for (int node = 0; node < 4; ++node) {
     for (int local = 0; local < 4; ++local) {
       const GpuId g = c.gpu_at(NodeId{node}, local);
@@ -51,14 +51,14 @@ TEST(ClusterAddressing, OcsPortMappingRoundTrips) {
 
 TEST(ClusterAddressing, InvalidConfigsThrow) {
   sim::Simulator sim;
-  ClusterConfig bad = base_config(RailKind::kElectrical);
+  ClusterConfig bad = base_config(FabricKind::kElectrical);
   bad.nic_ports = 3;  // only 1/2/4 supported by ConnectX-7-style NICs
   EXPECT_THROW(Cluster(sim, bad), InvariantError);
 }
 
 TEST(ClusterRouting, RouteClassesMatchTopology) {
   sim::Simulator sim;
-  Cluster c(sim, base_config(RailKind::kElectrical));
+  Cluster c(sim, base_config(FabricKind::kElectrical));
   EXPECT_EQ(c.route_for(GpuId{3}, GpuId{3}), Cluster::Route::kLoopback);
   EXPECT_EQ(c.route_for(GpuId{0}, GpuId{3}), Cluster::Route::kScaleUp);
   EXPECT_EQ(c.route_for(GpuId{1}, GpuId{5}), Cluster::Route::kRail);
@@ -67,7 +67,7 @@ TEST(ClusterRouting, RouteClassesMatchTopology) {
 
 TEST(ClusterTransfer, ScaleUpUsesNvlinkBandwidth) {
   sim::Simulator sim;
-  Cluster c(sim, base_config(RailKind::kElectrical));
+  Cluster c(sim, base_config(FabricKind::kElectrical));
   TimeNs done = -1;
   // 300 MB at 2400 Gb/s (300 GB/s) = 1 ms, plus 2 us NVLink latency.
   c.transfer(GpuId{0}, GpuId{1}, 300'000'000, [&] { done = sim.now(); });
@@ -78,7 +78,7 @@ TEST(ClusterTransfer, ScaleUpUsesNvlinkBandwidth) {
 
 TEST(ClusterTransfer, ElectricalRailAlwaysAvailable) {
   sim::Simulator sim;
-  Cluster c(sim, base_config(RailKind::kElectrical));
+  Cluster c(sim, base_config(FabricKind::kElectrical));
   EXPECT_TRUE(c.rail_path_available(GpuId{1}, GpuId{13}));
   TimeNs done = -1;
   // 50 MB at 400 Gb/s = 1 ms + rail latency 2us + hop 1us.
@@ -90,7 +90,7 @@ TEST(ClusterTransfer, ElectricalRailAlwaysAvailable) {
 
 TEST(ClusterTransfer, PhotonicRailRequiresCircuit) {
   sim::Simulator sim;
-  Cluster c(sim, base_config(RailKind::kPhotonic));
+  Cluster c(sim, base_config(FabricKind::kOpusPhotonic));
   EXPECT_FALSE(c.rail_path_available(GpuId{0}, GpuId{4}));
   EXPECT_THROW(c.transfer(GpuId{0}, GpuId{4}, 1000, nullptr), InvariantError);
   // Establish a circuit: node0.port0 <-> node1.port1 on rail 0.
@@ -106,7 +106,7 @@ TEST(ClusterTransfer, PhotonicRailRequiresCircuit) {
 
 TEST(ClusterTransfer, PhotonicStripesAcrossParallelCircuits) {
   sim::Simulator sim;
-  Cluster c(sim, base_config(RailKind::kPhotonic));
+  Cluster c(sim, base_config(FabricKind::kOpusPhotonic));
   auto& sw = c.ocs(RailId{0});
   sw.force_circuits({{c.ocs_port(GpuId{0}, 0), c.ocs_port(GpuId{4}, 0)},
                      {c.ocs_port(GpuId{0}, 1), c.ocs_port(GpuId{4}, 1)}});
@@ -119,7 +119,7 @@ TEST(ClusterTransfer, PhotonicStripesAcrossParallelCircuits) {
 
 TEST(ClusterTransfer, PxnForwardsThroughBridgeGpu) {
   sim::Simulator sim;
-  Cluster c(sim, base_config(RailKind::kPhotonic));
+  Cluster c(sim, base_config(FabricKind::kOpusPhotonic));
   // dst = GPU 5 (node 1, local 1); src = GPU 0 (node 0, local 0).
   // Bridge = node 0, local 1 = GPU 1. Circuit on rail 1: node0 <-> node1.
   c.ocs(RailId{1}).force_circuits(
@@ -136,7 +136,7 @@ TEST(ClusterTransfer, PxnForwardsThroughBridgeGpu) {
 
 TEST(ClusterTransfer, LoopbackCompletesImmediately) {
   sim::Simulator sim;
-  Cluster c(sim, base_config(RailKind::kElectrical));
+  Cluster c(sim, base_config(FabricKind::kElectrical));
   TimeNs done = -1;
   c.transfer(GpuId{3}, GpuId{3}, 1'000'000, [&] { done = sim.now(); });
   sim.run();
@@ -145,12 +145,12 @@ TEST(ClusterTransfer, LoopbackCompletesImmediately) {
 
 TEST(ClusterTransfer, MgmtNetworkRequiresEnablement) {
   sim::Simulator sim;
-  Cluster without(sim, base_config(RailKind::kElectrical));
+  Cluster without(sim, base_config(FabricKind::kElectrical));
   EXPECT_FALSE(without.has_mgmt_network());
   EXPECT_THROW(without.transfer_mgmt(GpuId{0}, GpuId{4}, 100, nullptr),
                InvariantError);
 
-  ClusterConfig cfg = base_config(RailKind::kElectrical);
+  ClusterConfig cfg = base_config(FabricKind::kElectrical);
   cfg.mgmt_bw = Bandwidth::gbps(50);
   Cluster with(sim, cfg);
   EXPECT_TRUE(with.has_mgmt_network());
@@ -164,7 +164,7 @@ TEST(ClusterTransfer, MgmtNetworkRequiresEnablement) {
 
 TEST(ClusterTransfer, ElectricalIncastSharesDownlink) {
   sim::Simulator sim;
-  Cluster c(sim, base_config(RailKind::kElectrical));
+  Cluster c(sim, base_config(FabricKind::kElectrical));
   // GPUs 1, 5, 9 all send to GPU 13 over rail 1: the destination downlink
   // is the bottleneck, so each gets ~133 Gb/s.
   int completions = 0;

@@ -16,7 +16,7 @@ net::ClusterConfig electrical_cfg(int nodes, int gpn) {
   net::ClusterConfig cfg;
   cfg.n_nodes = nodes;
   cfg.gpus_per_node = gpn;
-  cfg.rail_kind = net::RailKind::kElectrical;
+  cfg.fabric = net::FabricKind::kElectrical;
   cfg.nic_total_bw = Bandwidth::gbps(400);
   cfg.rail_latency = usecs(2);
   cfg.electrical_hop_latency = usecs(1);

@@ -15,7 +15,7 @@
 namespace opus {
 namespace {
 
-core::ExperimentConfig tiny_config(net::RailKind kind) {
+core::ExperimentConfig tiny_config(net::FabricKind kind) {
   core::ExperimentConfig cfg;
   cfg.model = workload::ModelConfig::test_tiny();
   cfg.model.n_layers = 8;
@@ -26,7 +26,7 @@ core::ExperimentConfig tiny_config(net::RailKind kind) {
   cfg.parallelism.microbatch_size = 1;
   cfg.gpus_per_node = 4;
   cfg.iterations = 3;
-  cfg.rail_kind = kind;
+  cfg.fabric = kind;
   cfg.ocs_reconfig_delay = msecs(1);
   return cfg;
 }
@@ -46,6 +46,8 @@ void expect_bit_identical(const core::ExperimentResult& a,
   EXPECT_EQ(a.controller.max_wait, b.controller.max_wait);
   EXPECT_EQ(a.shim_speculative_requests, b.shim_speculative_requests);
   EXPECT_EQ(a.shim_mispredictions, b.shim_mispredictions);
+  EXPECT_EQ(a.rotor_rotations, b.rotor_rotations);
+  EXPECT_EQ(a.rotor_deferred_sends, b.rotor_deferred_sends);
   EXPECT_EQ(a.rail_bytes, b.rail_bytes);
   EXPECT_EQ(a.scale_up_bytes, b.scale_up_bytes);
   EXPECT_EQ(a.pxn_bytes, b.pxn_bytes);
@@ -91,19 +93,30 @@ void expect_bit_identical(const core::ExperimentResult& a,
 }
 
 TEST(Determinism, PhotonicExperimentIsBitIdentical) {
-  const core::ExperimentConfig cfg = tiny_config(net::RailKind::kPhotonic);
+  const core::ExperimentConfig cfg = tiny_config(net::FabricKind::kOpusPhotonic);
   expect_bit_identical(core::run_experiment(cfg), core::run_experiment(cfg));
 }
 
 TEST(Determinism, ElectricalExperimentIsBitIdentical) {
-  const core::ExperimentConfig cfg = tiny_config(net::RailKind::kElectrical);
+  const core::ExperimentConfig cfg = tiny_config(net::FabricKind::kElectrical);
   expect_bit_identical(core::run_experiment(cfg), core::run_experiment(cfg));
 }
 
 TEST(Determinism, StaticRingExperimentIsBitIdentical) {
-  core::ExperimentConfig cfg = tiny_config(net::RailKind::kPhotonic);
-  cfg.static_ring_topology = true;
+  const core::ExperimentConfig cfg = tiny_config(net::FabricKind::kStaticRing);
   expect_bit_identical(core::run_experiment(cfg), core::run_experiment(cfg));
+}
+
+TEST(Determinism, RotorExperimentIsBitIdentical) {
+  // The rotor's slot clock, drain guard bands, and two-hop forwarding all
+  // ride the simulator's FIFO tie-break, so the fabric must replay exactly.
+  const core::ExperimentConfig cfg = tiny_config(net::FabricKind::kRotor);
+  const auto a = core::run_experiment(cfg);
+  const auto b = core::run_experiment(cfg);
+  expect_bit_identical(a, b);
+  EXPECT_EQ(a.rotor_rotations, b.rotor_rotations);
+  EXPECT_EQ(a.rotor_deferred_sends, b.rotor_deferred_sends);
+  EXPECT_GT(a.rotor_rotations, 0) << "the workload must exercise rotation";
 }
 
 TEST(Determinism, SweepThreadCountDoesNotChangeAnyTrace) {
@@ -111,11 +124,10 @@ TEST(Determinism, SweepThreadCountDoesNotChangeAnyTrace) {
   // must leave every per-cell trace bit-identical to a serial run — the
   // contract that makes the parallel sweep runner safe for regression use.
   std::vector<core::ExperimentConfig> cells;
-  cells.push_back(tiny_config(net::RailKind::kPhotonic));
-  cells.push_back(tiny_config(net::RailKind::kElectrical));
-  core::ExperimentConfig ring = tiny_config(net::RailKind::kPhotonic);
-  ring.static_ring_topology = true;
-  cells.push_back(ring);
+  cells.push_back(tiny_config(net::FabricKind::kOpusPhotonic));
+  cells.push_back(tiny_config(net::FabricKind::kElectrical));
+  cells.push_back(tiny_config(net::FabricKind::kStaticRing));
+  cells.push_back(tiny_config(net::FabricKind::kRotor));
 
   core::SweepOptions serial;
   serial.threads = 1;
@@ -131,7 +143,7 @@ TEST(Determinism, SweepThreadCountDoesNotChangeAnyTrace) {
 }
 
 TEST(Determinism, DispatchSeedActuallyChangesTheJitter) {
-  core::ExperimentConfig cfg = tiny_config(net::RailKind::kElectrical);
+  core::ExperimentConfig cfg = tiny_config(net::FabricKind::kElectrical);
   const auto a = core::run_experiment(cfg);
   cfg.engine.seed = 43;
   const auto b = core::run_experiment(cfg);
@@ -148,7 +160,7 @@ TEST(Determinism, DispatchSeedActuallyChangesTheJitter) {
 }
 
 TEST(Determinism, DisablingJitterMakesSeedIrrelevant) {
-  core::ExperimentConfig cfg = tiny_config(net::RailKind::kElectrical);
+  core::ExperimentConfig cfg = tiny_config(net::FabricKind::kElectrical);
   cfg.engine.dispatch_min = 0;
   cfg.engine.dispatch_max = 0;
   const auto a = core::run_experiment(cfg);

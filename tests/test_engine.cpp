@@ -32,7 +32,7 @@ struct EngineFixture {
     net::ClusterConfig cfg;
     cfg.gpus_per_node = std::min(p.tp * p.cp, p.world_size());
     cfg.n_nodes = p.world_size() / cfg.gpus_per_node;
-    cfg.rail_kind = net::RailKind::kElectrical;
+    cfg.fabric = net::FabricKind::kElectrical;
     return cfg;
   }
 

@@ -12,15 +12,15 @@ using core::ExperimentConfig;
 using core::ExperimentResult;
 using core::perlmutter_llama3_8b_config;
 
-ExperimentConfig small_config(net::RailKind kind) {
+ExperimentConfig small_config(net::FabricKind kind) {
   ExperimentConfig cfg = perlmutter_llama3_8b_config();
-  cfg.rail_kind = kind;
+  cfg.fabric = kind;
   cfg.iterations = 2;
   return cfg;
 }
 
 TEST(Experiment, ElectricalBaselineRuns) {
-  ExperimentConfig cfg = small_config(net::RailKind::kElectrical);
+  ExperimentConfig cfg = small_config(net::FabricKind::kElectrical);
   const ExperimentResult r = core::run_experiment(cfg);
   ASSERT_EQ(r.iteration_times.size(), 2u);
   EXPECT_GT(r.iteration_times[0], 0);
@@ -29,7 +29,7 @@ TEST(Experiment, ElectricalBaselineRuns) {
 }
 
 TEST(Experiment, PhotonicRunsAndReconfigures) {
-  ExperimentConfig cfg = small_config(net::RailKind::kPhotonic);
+  ExperimentConfig cfg = small_config(net::FabricKind::kOpusPhotonic);
   const ExperimentResult r = core::run_experiment(cfg);
   ASSERT_EQ(r.iteration_times.size(), 2u);
   EXPECT_GT(r.ocs_reconfigurations, 0);
@@ -37,8 +37,8 @@ TEST(Experiment, PhotonicRunsAndReconfigures) {
 }
 
 TEST(Experiment, ZeroLatencyPhotonicMatchesElectricalClosely) {
-  ExperimentConfig e = small_config(net::RailKind::kElectrical);
-  ExperimentConfig p = small_config(net::RailKind::kPhotonic);
+  ExperimentConfig e = small_config(net::FabricKind::kElectrical);
+  ExperimentConfig p = small_config(net::FabricKind::kOpusPhotonic);
   p.ocs_reconfig_delay = 0;
   const auto re = core::run_experiment(e);
   const auto rp = core::run_experiment(p);
@@ -50,7 +50,7 @@ TEST(Experiment, ZeroLatencyPhotonicMatchesElectricalClosely) {
 }
 
 TEST(Experiment, ProvisioningReducesIterationTime) {
-  ExperimentConfig with = small_config(net::RailKind::kPhotonic);
+  ExperimentConfig with = small_config(net::FabricKind::kOpusPhotonic);
   with.ocs_reconfig_delay = msecs(100);
   with.provisioning = true;
   with.iterations = 3;
@@ -65,7 +65,7 @@ TEST(Experiment, ProvisioningReducesIterationTime) {
 TEST(Experiment, WindowStructureMatchesPaper) {
   // Fig. 4: >75% of inter-parallelism windows longer than 1 ms; the largest
   // average window precedes the ReduceScatter phase.
-  ExperimentConfig cfg = small_config(net::RailKind::kElectrical);
+  ExperimentConfig cfg = small_config(net::FabricKind::kElectrical);
   cfg.iterations = 3;
   const auto r = core::run_experiment(cfg);
   std::vector<trace::Window> windows;

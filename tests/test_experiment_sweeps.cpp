@@ -21,7 +21,7 @@ core::ExperimentConfig tiny_config(int tp, int dp, int pp) {
   cfg.gpus_per_node = std::min(tp, tp * dp * pp);
   cfg.iterations = 3;
   cfg.record_compute_trace = false;
-  cfg.rail_kind = net::RailKind::kPhotonic;
+  cfg.fabric = net::FabricKind::kOpusPhotonic;
   cfg.ocs_reconfig_delay = msecs(1);
   return cfg;
 }
@@ -151,7 +151,7 @@ TEST(ExperimentSweeps, MoEWithExpertParallelism) {
   cfg.parallelism.microbatch_size = 1;
   cfg.gpus_per_node = 2;
   cfg.iterations = 2;
-  cfg.rail_kind = net::RailKind::kPhotonic;
+  cfg.fabric = net::FabricKind::kOpusPhotonic;
   cfg.ocs_reconfig_delay = msecs(1);
   cfg.record_compute_trace = false;
   const auto r = core::run_experiment(cfg);

@@ -78,7 +78,7 @@ TEST(FailureInjection, DegradedNvlinkSlowsScaleUpTransfers) {
   net::ClusterConfig cfg;
   cfg.n_nodes = 1;
   cfg.gpus_per_node = 2;
-  cfg.rail_kind = net::RailKind::kElectrical;
+  cfg.fabric = net::FabricKind::kElectrical;
   net::Cluster c(sim, cfg);
   TimeNs healthy = -1;
   c.transfer(GpuId{0}, GpuId{1}, 300'000'000, [&] { healthy = sim.now(); });
@@ -105,7 +105,7 @@ TEST(FailureInjection, DarkRailCircuitStallsUntilRestored) {
   cfg.n_nodes = 2;
   cfg.gpus_per_node = 1;
   cfg.nic_ports = 2;
-  cfg.rail_kind = net::RailKind::kPhotonic;
+  cfg.fabric = net::FabricKind::kOpusPhotonic;
   net::Cluster c(sim, cfg);
   c.ocs(RailId{0}).force_circuits(
       {{c.ocs_port(GpuId{0}, 0), c.ocs_port(GpuId{1}, 1)}});
@@ -136,7 +136,7 @@ TEST(FailureInjection, TrainingSurvivesRailDegradation) {
   cfg.parallelism.microbatch_size = 1;
   cfg.gpus_per_node = 2;
   cfg.iterations = 3;
-  cfg.rail_kind = net::RailKind::kElectrical;
+  cfg.fabric = net::FabricKind::kElectrical;
   cfg.record_compute_trace = false;
   const auto healthy = core::run_experiment(cfg);
 

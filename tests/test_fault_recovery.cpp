@@ -20,7 +20,7 @@ net::ClusterConfig photonic_cfg(int nodes, int ports) {
   cfg.n_nodes = nodes;
   cfg.gpus_per_node = 2;
   cfg.nic_ports = ports;
-  cfg.rail_kind = net::RailKind::kPhotonic;
+  cfg.fabric = net::FabricKind::kOpusPhotonic;
   cfg.ocs_reconfig_delay = msecs(1);
   return cfg;
 }

@@ -15,7 +15,7 @@ net::ClusterConfig multihop_cfg(int nodes) {
   cfg.n_nodes = nodes;
   cfg.gpus_per_node = 2;
   cfg.nic_ports = 2;
-  cfg.rail_kind = net::RailKind::kPhotonic;
+  cfg.fabric = net::FabricKind::kOpusPhotonic;
   cfg.allow_rail_multihop = true;
   return cfg;
 }
@@ -169,11 +169,9 @@ TEST(StaticRing, EndToEndExperimentMatchesOpusClosely) {
   cfg.gpus_per_node = 2;
   cfg.iterations = 3;
   cfg.record_compute_trace = false;
-  cfg.rail_kind = net::RailKind::kPhotonic;
-
-  cfg.static_ring_topology = true;
+  cfg.fabric = net::FabricKind::kStaticRing;
   const auto ring = core::run_experiment(cfg);
-  cfg.static_ring_topology = false;
+  cfg.fabric = net::FabricKind::kOpusPhotonic;
   cfg.ocs_reconfig_delay = msecs(1);
   const auto opus = core::run_experiment(cfg);
 

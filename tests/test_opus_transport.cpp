@@ -23,7 +23,7 @@ net::ClusterConfig photonic_cfg(int nodes, int gpn, int ports,
   cfg.n_nodes = nodes;
   cfg.gpus_per_node = gpn;
   cfg.nic_ports = ports;
-  cfg.rail_kind = net::RailKind::kPhotonic;
+  cfg.fabric = net::FabricKind::kOpusPhotonic;
   cfg.ocs_reconfig_delay = reconfig;
   return cfg;
 }
@@ -234,7 +234,7 @@ TEST(OpusTransport, CollectiveDataIsVerifiableEndToEnd) {
 TEST(OpusTransport, RequiresPhotonicCluster) {
   sim::Simulator sim;
   net::ClusterConfig cfg = photonic_cfg(2, 2, 2);
-  cfg.rail_kind = net::RailKind::kElectrical;
+  cfg.fabric = net::FabricKind::kElectrical;
   net::Cluster cluster(sim, cfg);
   EXPECT_THROW(OpusTransport(sim, cluster), InvariantError);
 }

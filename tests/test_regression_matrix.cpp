@@ -1,11 +1,11 @@
 // Cross-topology regression matrix.
 //
-// Drives the end-to-end Experiment/Simulator pipeline across the fabric
-// space the paper evaluates — electrical packet rails, Opus's demand-driven
-// OCS circuit planner, the TPUv4-style static photonic ring, and (at the
-// collective level) a RotorNet-style traffic-oblivious rotor — crossed with
-// the parallelism mixes of Tables 1/2 (DP/TP/PP traced shape, FSDP-only,
-// pipeline-heavy, context parallelism, MoE expert parallelism).
+// Drives the end-to-end Experiment/Simulator pipeline across the full
+// fabric axis the paper evaluates — net::FabricKind: electrical packet
+// rails, Opus's demand-driven OCS circuit planner, the TPUv4-style static
+// photonic ring, and the RotorNet-style traffic-oblivious rotor — crossed
+// with the parallelism mixes of Tables 1/2 (DP/TP/PP traced shape,
+// FSDP-only, pipeline-heavy, context parallelism, MoE expert parallelism).
 //
 // Every cell asserts deterministic, seed-stable invariants:
 //   * completion and strictly positive iteration times;
@@ -13,8 +13,8 @@
 //     and contained within their iteration);
 //   * conservation of communicated bytes (logical scale-out payload is a
 //     property of the workload, not the fabric; physical rail bytes match
-//     between electrical and Opus photonic; static rings pay a multi-hop
-//     forwarding tax, never a discount);
+//     between electrical and Opus photonic; static rings and the rotor's
+//     two-hop forwarding pay a multi-hop tax, never a discount);
 //   * reconfiguration-latency accounting per Fig. 8 (dark time bracketed by
 //     per-port bounds, zero-latency photonic == electrical, monotone in the
 //     OCS delay);
@@ -54,20 +54,8 @@ using core::ExperimentResult;
 // The matrix axes.
 // ---------------------------------------------------------------------------
 
-enum class Fabric {
-  kElectrical,  ///< packet-switched rails (baseline)
-  kOpus,        ///< photonic rails, demand-driven circuit planner
-  kStaticRing,  ///< photonic rails, fixed pre-job ring + multi-hop
-};
-
-const char* fabric_name(Fabric f) {
-  switch (f) {
-    case Fabric::kElectrical: return "Electrical";
-    case Fabric::kOpus: return "Opus";
-    case Fabric::kStaticRing: return "StaticRing";
-  }
-  return "?";
-}
+using net::FabricKind;
+using net::fabric_name;
 
 struct Mix {
   const char* name;
@@ -87,7 +75,7 @@ const Mix kMixes[] = {
     {"MoeEp4Dp4Tp2", 2, 1, 4, 1, 4, 2, 2, true},
 };
 
-ExperimentConfig matrix_config(const Mix& mix, Fabric fabric) {
+ExperimentConfig matrix_config(const Mix& mix, FabricKind fabric) {
   ExperimentConfig cfg;
   cfg.model = mix.moe ? workload::ModelConfig::mixtral_8x7b()
                       : workload::ModelConfig::test_tiny();
@@ -106,30 +94,25 @@ ExperimentConfig matrix_config(const Mix& mix, Fabric fabric) {
   // compute) so the matrix exercises the NVLink path as well.
   cfg.iteration.simulate_tp_comm = true;
   cfg.ocs_reconfig_delay = msecs(1);
-  switch (fabric) {
-    case Fabric::kElectrical:
-      cfg.rail_kind = net::RailKind::kElectrical;
-      break;
-    case Fabric::kOpus:
-      cfg.rail_kind = net::RailKind::kPhotonic;
-      break;
-    case Fabric::kStaticRing:
-      cfg.rail_kind = net::RailKind::kPhotonic;
-      cfg.static_ring_topology = true;
-      break;
-  }
+  cfg.fabric = fabric;
+  // Rotor defaults: 1 ms slots, RotorNet-style port spread 2 (direct or
+  // two-hop forwarding) — the ExperimentConfig defaults, restated so a
+  // default change cannot silently reshape the matrix.
+  cfg.rotor_slot_time = msecs(1);
+  cfg.rotor_port_spread = 2;
   return cfg;
 }
 
-constexpr Fabric kFabrics[] = {Fabric::kElectrical, Fabric::kOpus,
-                               Fabric::kStaticRing};
+constexpr FabricKind kFabrics[] = {FabricKind::kElectrical,
+                                   FabricKind::kOpusPhotonic,
+                                   FabricKind::kStaticRing, FabricKind::kRotor};
 
 /// The cached result of one standard matrix cell. All cells run exactly once,
 /// in parallel, on first access.
-const ExperimentResult& matrix_result(Fabric fabric, int mix) {
+const ExperimentResult& matrix_result(FabricKind fabric, int mix) {
   static const std::vector<ExperimentResult> results = [] {
     std::vector<ExperimentConfig> cells;
-    for (Fabric f : kFabrics) {
+    for (FabricKind f : kFabrics) {
       for (const Mix& m : kMixes) cells.push_back(matrix_config(m, f));
     }
     return core::run_sweep(cells);
@@ -162,9 +145,9 @@ Bytes scale_out_payload(const ExperimentResult& r, int iteration) {
 // ---------------------------------------------------------------------------
 
 class TopologyMatrix
-    : public ::testing::TestWithParam<std::tuple<Fabric, int>> {
+    : public ::testing::TestWithParam<std::tuple<FabricKind, int>> {
  protected:
-  Fabric fabric() const { return std::get<0>(GetParam()); }
+  FabricKind fabric() const { return std::get<0>(GetParam()); }
   int mix_index() const { return std::get<1>(GetParam()); }
   const Mix& mix() const { return kMixes[mix_index()]; }
   const ExperimentResult& result() const {
@@ -228,8 +211,11 @@ TEST_P(TopologyMatrix, ByteAccountingIsConsistent) {
   if (mix().tp > 1) {
     EXPECT_GT(r.scale_up_bytes, 0);
   }
-  // Only static topologies forward traffic through intermediate GPUs.
-  if (fabric() != Fabric::kStaticRing) {
+  // Only fabrics with static or oblivious topologies forward traffic
+  // through intermediate GPUs; electrical rails are fully connected and
+  // Opus reconfigures instead of forwarding.
+  if (fabric() == FabricKind::kElectrical ||
+      fabric() == FabricKind::kOpusPhotonic) {
     EXPECT_EQ(r.multihop_bytes, 0);
   }
 }
@@ -238,7 +224,28 @@ TEST_P(TopologyMatrix, ReconfigurationAccountingMatchesFabric) {
   const ExperimentConfig cfg = matrix_config(mix(), fabric());
   const ExperimentResult& r = result();
 
-  if (fabric() != Fabric::kOpus) {
+  const int ports_per_rail =
+      (cfg.parallelism.world_size() / cfg.gpus_per_node) * cfg.nic_ports;
+  const TimeNs delay = cfg.ocs_reconfig_delay;
+
+  if (fabric() == FabricKind::kRotor) {
+    // The rotor reconfigures without a control plane: every rotation that
+    // changed circuits darkens the touched ports for the OCS delay, through
+    // exactly the same Fig. 8 accounting as Opus. (A cell whose pairs are
+    // all within two live hops never needs to rotate.)
+    EXPECT_EQ(r.controller.requests, 0);
+    EXPECT_GE(r.rotor_rotations, r.ocs_reconfigurations);
+    if (r.ocs_reconfigurations == 0) {
+      EXPECT_EQ(r.ocs_dark_time, 0);
+    } else {
+      EXPECT_GE(r.ocs_dark_time, 2 * delay);
+      EXPECT_LE(r.ocs_dark_time,
+                static_cast<TimeNs>(r.ocs_reconfigurations) * ports_per_rail *
+                    delay);
+    }
+    return;
+  }
+  if (fabric() != FabricKind::kOpusPhotonic) {
     // Packet switches never reconfigure; the static ring is wired pre-job
     // and held for the whole run.
     EXPECT_EQ(r.ocs_reconfigurations, 0);
@@ -257,9 +264,6 @@ TEST_P(TopologyMatrix, ReconfigurationAccountingMatchesFabric) {
   // Fig. 8 accounting: every reconfiguration darkens the touched port set
   // (>= 2 ports, one circuit) for exactly the OCS delay; no reconfiguration
   // can darken more than a whole rail.
-  const int ports_per_rail =
-      (cfg.parallelism.world_size() / cfg.gpus_per_node) * cfg.nic_ports;
-  const TimeNs delay = cfg.ocs_reconfig_delay;
   EXPECT_GE(r.ocs_dark_time, 2 * delay);
   EXPECT_LE(r.ocs_dark_time,
             static_cast<TimeNs>(r.ocs_reconfigurations) * ports_per_rail *
@@ -295,8 +299,10 @@ TEST_P(TopologyMatrix, SeedStableAcrossRuns) {
 
 INSTANTIATE_TEST_SUITE_P(
     Matrix, TopologyMatrix,
-    ::testing::Combine(::testing::Values(Fabric::kElectrical, Fabric::kOpus,
-                                         Fabric::kStaticRing),
+    ::testing::Combine(::testing::Values(FabricKind::kElectrical,
+                                         FabricKind::kOpusPhotonic,
+                                         FabricKind::kStaticRing,
+                                         FabricKind::kRotor),
                        ::testing::Range(0, static_cast<int>(std::size(kMixes)))),
     matrix_param_name);
 
@@ -310,9 +316,10 @@ TEST_P(CrossFabricConservation, LogicalPayloadIndependentOfFabric) {
   const Mix& mix = kMixes[GetParam()];
   if (!has_scale_out(mix)) GTEST_SKIP() << "no scale-out traffic";
 
-  const auto& electrical = matrix_result(Fabric::kElectrical, GetParam());
-  const auto& photonic = matrix_result(Fabric::kOpus, GetParam());
-  const auto& ring = matrix_result(Fabric::kStaticRing, GetParam());
+  const auto& electrical = matrix_result(FabricKind::kElectrical, GetParam());
+  const auto& photonic = matrix_result(FabricKind::kOpusPhotonic, GetParam());
+  const auto& ring = matrix_result(FabricKind::kStaticRing, GetParam());
+  const auto& rotor = matrix_result(FabricKind::kRotor, GetParam());
 
   // Logical bytes communicated per steady iteration are a property of the
   // workload, not of the switching technology underneath.
@@ -320,6 +327,7 @@ TEST_P(CrossFabricConservation, LogicalPayloadIndependentOfFabric) {
   ASSERT_GT(expected, 0);
   EXPECT_EQ(scale_out_payload(photonic, 1), expected);
   EXPECT_EQ(scale_out_payload(ring, 1), expected);
+  EXPECT_EQ(scale_out_payload(rotor, 1), expected);
 
   // Physically, electrical and Opus move the same bytes over the rails
   // (circuits change connectivity, not volume) ...
@@ -329,6 +337,14 @@ TEST_P(CrossFabricConservation, LogicalPayloadIndependentOfFabric) {
   // ... while the static ring pays the §5 multi-hop forwarding tax: every
   // non-neighbour hop re-sends bytes, so rails never carry less.
   EXPECT_GE(ring.rail_bytes + ring.multihop_bytes, electrical.rail_bytes);
+
+  // Rotor conservation: logical rail sends are identical to the other
+  // fabrics, and a forwarded send traverses exactly two live hops (the
+  // RotorNet direct-or-two-hop cap), so the physical rail bytes are the
+  // electrical baseline plus exactly one resend of every multi-hopped byte.
+  EXPECT_EQ(rotor.pxn_bytes, electrical.pxn_bytes);
+  EXPECT_EQ(rotor.scale_up_bytes, electrical.scale_up_bytes);
+  EXPECT_EQ(rotor.rail_bytes, electrical.rail_bytes + rotor.multihop_bytes);
 }
 
 INSTANTIATE_TEST_SUITE_P(Mixes, CrossFabricConservation,
@@ -341,8 +357,27 @@ INSTANTIATE_TEST_SUITE_P(Mixes, CrossFabricConservation,
 TEST(CrossFabricConservation, TracedShapeMultihopsOnStaticRing) {
   // In the traced shape the PP groups connect nodes two ring positions
   // apart, which a fixed ring can only serve by forwarding.
-  const auto& ring = matrix_result(Fabric::kStaticRing, 0);
+  const auto& ring = matrix_result(FabricKind::kStaticRing, 0);
   EXPECT_GT(ring.multihop_bytes, 0);
+}
+
+TEST(CrossFabricConservation, RotorForwardsTrafficAndConservesBytes) {
+  // With port spread 2 the rotor's live topology is a union of two
+  // matchings: collectives whose peers are in neither matching forward over
+  // two hops. Across the matrix some traffic must take that path (the
+  // forwarding tax is what distinguishes the rotor cells from Opus), and no
+  // mix may forward more than its own logical rail traffic (each logical
+  // send is forwarded at most once end to end).
+  Bytes total_forwarded = 0;
+  for (std::size_t m = 0; m < std::size(kMixes); ++m) {
+    if (!has_scale_out(kMixes[m])) continue;
+    const auto& rotor = matrix_result(FabricKind::kRotor, static_cast<int>(m));
+    const auto& electrical =
+        matrix_result(FabricKind::kElectrical, static_cast<int>(m));
+    EXPECT_LE(rotor.multihop_bytes, electrical.rail_bytes) << kMixes[m].name;
+    total_forwarded += rotor.multihop_bytes;
+  }
+  EXPECT_GT(total_forwarded, 0);
 }
 
 // ---------------------------------------------------------------------------
@@ -353,7 +388,7 @@ TEST(ReconfigLatencyAccounting, DarkTimeScalesWithOcsDelay) {
   // The three delay points are independent cells: sweep them in parallel.
   std::vector<ExperimentConfig> cells;
   for (double ms : {0.0, 1.0, 5.0}) {
-    ExperimentConfig cfg = matrix_config(kMixes[0], Fabric::kOpus);
+    ExperimentConfig cfg = matrix_config(kMixes[0], FabricKind::kOpusPhotonic);
     cfg.ocs_reconfig_delay = msecs(ms);
     cells.push_back(cfg);
   }
@@ -379,10 +414,10 @@ TEST(ReconfigLatencyAccounting, DarkTimeScalesWithOcsDelay) {
 TEST(ReconfigLatencyAccounting, ZeroLatencyPhotonicMatchesElectrical) {
   // Fig. 8's latency-0 bar: an instantly reconfigurable OCS fabric is the
   // fully-connected baseline (up to control-plane round trips).
-  ExperimentConfig p = matrix_config(kMixes[0], Fabric::kOpus);
+  ExperimentConfig p = matrix_config(kMixes[0], FabricKind::kOpusPhotonic);
   p.ocs_reconfig_delay = 0;
   const auto photonic = core::run_experiment(p);
-  const auto& electrical = matrix_result(Fabric::kElectrical, 0);
+  const auto& electrical = matrix_result(FabricKind::kElectrical, 0);
   const double ratio =
       static_cast<double>(photonic.steady_iteration_time) /
       static_cast<double>(electrical.steady_iteration_time);
@@ -398,8 +433,8 @@ class WindowCountBound : public ::testing::TestWithParam<int> {};
 TEST_P(WindowCountBound, InterParallelismWindowsRespectEq1) {
   const Mix& mix = kMixes[GetParam()];
   if (!has_scale_out(mix)) GTEST_SKIP() << "no scale-out traffic";
-  const ExperimentConfig cfg = matrix_config(mix, Fabric::kElectrical);
-  const auto& r = matrix_result(Fabric::kElectrical, GetParam());
+  const ExperimentConfig cfg = matrix_config(mix, FabricKind::kElectrical);
+  const auto& r = matrix_result(FabricKind::kElectrical, GetParam());
 
   const std::int64_t bound = trace::window_count_estimate(
       mix.pp, cfg.model.n_layers, mix.n_microbatches, mix.cp > 1, mix.ep > 1);
@@ -441,7 +476,7 @@ TEST(LargeScaleMatrix, OneHundredTwentyEightNodeCellsAreThreadInvariant) {
   Mix big{"Dp64Pp2At128Nodes", /*tp=*/1, /*cp=*/1, /*dp=*/64, /*pp=*/2,
           /*ep=*/1, /*n_microbatches=*/4, /*gpus_per_node=*/1, /*moe=*/false};
   std::vector<ExperimentConfig> cells;
-  for (Fabric f : {Fabric::kElectrical, Fabric::kOpus}) {
+  for (FabricKind f : {FabricKind::kElectrical, FabricKind::kOpusPhotonic}) {
     ExperimentConfig cfg = matrix_config(big, f);
     cfg.model.n_layers = 4;
     cfg.iterations = 2;
@@ -483,8 +518,11 @@ TEST(LargeScaleMatrix, OneHundredTwentyEightNodeCellsAreThreadInvariant) {
 }
 
 // ---------------------------------------------------------------------------
-// Rotor leg: traffic-oblivious rotation versus demand-driven circuits at the
-// collective level (the rotor is not an end-to-end Experiment transport).
+// Rotor collective-level leg: traffic-oblivious rotation versus demand-driven
+// circuits on a single collective, isolating the fabric from the workload
+// (the end-to-end rotor cells run in the TopologyMatrix above). Uses the
+// classic single-matching rotor (spread 1) so the penalty measured is pure
+// waiting, not forwarding.
 // ---------------------------------------------------------------------------
 
 struct RotorCase {
@@ -510,10 +548,11 @@ RotorRun run_rail_collective(bool rotor, collective::CollectiveType type,
   const int nodes = 8;
   sim::Simulator sim;
   net::ClusterConfig ncfg;
+  ncfg.fabric =
+      rotor ? net::FabricKind::kRotor : net::FabricKind::kOpusPhotonic;
   ncfg.n_nodes = nodes;
   ncfg.gpus_per_node = 2;
   ncfg.nic_ports = 2;
-  ncfg.rail_kind = net::RailKind::kPhotonic;
   ncfg.ocs_reconfig_delay = usecs(10);
   net::Cluster cluster(sim, ncfg);
 
@@ -583,6 +622,77 @@ INSTANTIATE_TEST_SUITE_P(Collectives, RotorVsOpus,
                          [](const ::testing::TestParamInfo<int>& info) {
                            return kRotorCases[info.param].name;
                          });
+
+// ---------------------------------------------------------------------------
+// 512-node multi-rail leg: all four fabrics at Table-3 radix scale (a
+// 1024-port rail OCS at 2 NIC ports per GPU). The engine's cohort-coalesced
+// completion events and the active-state fluid solver are what make this
+// tractable; the cells run through the threaded sweep runner.
+// ---------------------------------------------------------------------------
+
+TEST(LargeScaleMatrix, FiveHundredTwelveNodeMultiRailAllFourFabrics) {
+  // 512 nodes x 2 GPUs: TP=2 inside the scale-up domain, DP=64 x PP=8
+  // across the two rails.
+  Mix big{"Tp2Dp64Pp8At512Nodes", /*tp=*/2, /*cp=*/1, /*dp=*/64, /*pp=*/8,
+          /*ep=*/1, /*n_microbatches=*/8, /*gpus_per_node=*/2, /*moe=*/false};
+  std::vector<ExperimentConfig> cells;
+  for (FabricKind f : kFabrics) {
+    ExperimentConfig cfg = matrix_config(big, f);
+    cfg.model.n_layers = 8;
+    // One iteration keeps the slowest cells (static ring's ~64-hop
+    // forwarding, the rotor's ~50k rotations) inside a CI-friendly minute;
+    // every invariant asserted below is per-run, not per-steady-iteration.
+    cfg.iterations = 1;
+    cfg.iteration.simulate_tp_comm = false;  // keep the giant cells lean
+    cfg.rotor_slot_time = usecs(100);
+    cells.push_back(cfg);
+  }
+  ASSERT_EQ(cells[0].parallelism.world_size() / cells[0].gpus_per_node, 512);
+  const auto results = core::run_sweep(cells);
+
+  const auto& electrical = results[0];
+  const auto& opus = results[1];
+  const auto& ring = results[2];
+  const auto& rotor = results[3];
+
+  for (const auto& r : results) {
+    for (TimeNs t : r.iteration_times) EXPECT_GT(t, 0);
+    EXPECT_GT(r.rail_bytes, 0);
+    // TP communication is folded into compute in these lean cells, so the
+    // scale-up fabric carries only PXN bridging — which this rail-aligned
+    // shape never needs.
+    EXPECT_EQ(r.pxn_bytes, 0);
+  }
+
+  // Conservation at scale: same logical traffic on every fabric; the static
+  // ring and the rotor pay (only) their forwarding tax.
+  EXPECT_EQ(opus.rail_bytes, electrical.rail_bytes);
+  EXPECT_EQ(opus.multihop_bytes, 0);
+  EXPECT_EQ(electrical.multihop_bytes, 0);
+  EXPECT_GT(ring.multihop_bytes, 0);
+  EXPECT_GE(ring.rail_bytes + ring.multihop_bytes, electrical.rail_bytes);
+  EXPECT_GT(rotor.multihop_bytes, 0);
+  EXPECT_EQ(rotor.rail_bytes, electrical.rail_bytes + rotor.multihop_bytes);
+
+  // Reconfiguration/dark-time accounting at scale, per fabric contract.
+  const ExperimentConfig& cfg = cells[0];
+  const int ports_per_rail =
+      (cfg.parallelism.world_size() / cfg.gpus_per_node) * cfg.nic_ports;
+  EXPECT_EQ(electrical.ocs_reconfigurations, 0);
+  EXPECT_EQ(ring.ocs_reconfigurations, 0);
+  EXPECT_GT(opus.ocs_reconfigurations, 0);
+  EXPECT_GE(opus.ocs_dark_time, 2 * cfg.ocs_reconfig_delay);
+  EXPECT_LE(opus.ocs_dark_time,
+            static_cast<TimeNs>(opus.ocs_reconfigurations) * ports_per_rail *
+                cfg.ocs_reconfig_delay);
+  EXPECT_GE(rotor.rotor_rotations, rotor.ocs_reconfigurations);
+  if (rotor.ocs_reconfigurations > 0) {
+    EXPECT_GE(rotor.ocs_dark_time, 2 * cfg.ocs_reconfig_delay);
+    EXPECT_LE(rotor.ocs_dark_time,
+              static_cast<TimeNs>(rotor.ocs_reconfigurations) *
+                  ports_per_rail * cfg.ocs_reconfig_delay);
+  }
+}
 
 }  // namespace
 }  // namespace opus

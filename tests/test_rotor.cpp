@@ -20,7 +20,9 @@ net::ClusterConfig rotor_cfg(int nodes) {
   cfg.n_nodes = nodes;
   cfg.gpus_per_node = 2;
   cfg.nic_ports = 2;
-  cfg.rail_kind = net::RailKind::kPhotonic;
+  cfg.fabric = net::FabricKind::kRotor;
+  // rotor_port_spread stays 1: these tests pin the classic single-matching
+  // rotor (every port follows one matching; sends wait for their round).
   cfg.ocs_reconfig_delay = usecs(10);  // RotorNet-class switching
   return cfg;
 }
@@ -158,12 +160,55 @@ TEST(Rotor, RingAllReduceCompletesButSlowly) {
   EXPECT_GT(rotor_time, msecs(3));
 }
 
-TEST(Rotor, RequiresPhotonicRails) {
+TEST(Rotor, RequiresRotorFabricCluster) {
+  // The transport needs the cluster's pre-wired round-0 matchings and port
+  // spread, so any other fabric (even photonic) is rejected.
   sim::Simulator sim;
   net::ClusterConfig cfg = rotor_cfg(4);
-  cfg.rail_kind = net::RailKind::kElectrical;
+  cfg.fabric = net::FabricKind::kElectrical;
+  net::Cluster electrical(sim, cfg);
+  EXPECT_THROW(RotorTransport(sim, electrical), InvariantError);
+  cfg.fabric = net::FabricKind::kOpusPhotonic;
+  net::Cluster opus(sim, cfg);
+  EXPECT_THROW(RotorTransport(sim, opus), InvariantError);
+}
+
+TEST(Rotor, PortSpreadEnablesTwoHopForwarding) {
+  // RotorNet-style spread: port p follows matching round+p, so the live
+  // union of matchings is connected and a non-matched pair forwards over
+  // two live hops instead of waiting a rotation.
+  sim::Simulator sim;
+  net::ClusterConfig cfg = rotor_cfg(4);
+  cfg.rotor_port_spread = 2;
   net::Cluster cluster(sim, cfg);
-  EXPECT_THROW(RotorTransport(sim, cluster), InvariantError);
+  ASSERT_TRUE(cluster.config().allow_rail_multihop);
+  ASSERT_EQ(cluster.config().max_multihop_hops, 2);
+  RotorTransport rotor(sim, cluster);
+  // Round 0 matchings for 4 nodes: port 0 carries round 0 = (0,3),(1,2)
+  // and port 1 carries round 1 = (1,3),(0,2). Every pair is within two
+  // live hops of every other.
+  int reachable = 0;
+  for (int a = 0; a < 4; ++a) {
+    for (int b = a + 1; b < 4; ++b) {
+      if (cluster.rail_path_available(cluster.gpu_at(NodeId{a}, 0),
+                                      cluster.gpu_at(NodeId{b}, 0))) {
+        ++reachable;
+      }
+    }
+  }
+  EXPECT_EQ(reachable, 6);
+  // (0,1) is in neither live matching: the send completes without a single
+  // rotation, paying the multi-hop forwarding tax instead.
+  CommGroup g;
+  g.id = GroupId{1};
+  const GpuId src = cluster.gpu_at(NodeId{0}, 0);
+  const GpuId dst = cluster.gpu_at(NodeId{1}, 0);
+  ASSERT_EQ(cluster.rail_multihop_path(src, dst).size(), 3u);
+  TimeNs done = -1;
+  rotor.send(g, src, dst, 1000, [&] { done = sim.now(); });
+  sim.run_until(usecs(500));
+  EXPECT_GT(done, 0);
+  EXPECT_EQ(rotor.deferred_sends(), 0);
 }
 
 }  // namespace
