@@ -52,6 +52,38 @@ void BM_FluidMaxMinResolve(benchmark::State& state) {
 }
 BENCHMARK(BM_FluidMaxMinResolve)->Arg(16)->Arg(64)->Arg(256);
 
+// Flow-registry iteration cost: N long-lived flows held active while a
+// link's capacity flaps, so every tick is one full max-min re-solve over the
+// registry (the static-ring hot path in miniature: the 512-node cell does
+// 2.87M such solves). With the hash-map registry each re-solve iterated an
+// unordered_map and hashed a FlowId per per-link lookup; the dense
+// slot-indexed registry walks a contiguous active-slot index and resolves
+// every id with an array index. items/s = flow re-rates per second.
+void BM_FluidRegistryIteration(benchmark::State& state) {
+  const auto flows = static_cast<int>(state.range(0));
+  sim::Simulator sim;
+  net::FluidNetwork net(sim);
+  std::vector<LinkId> links;
+  for (int i = 0; i < 64; ++i) {
+    links.push_back(net.add_link(Bandwidth::gbps(400)));
+  }
+  for (int f = 0; f < flows; ++f) {
+    // Large enough that nothing drains while the clock stands still.
+    net.start_flow({links[static_cast<std::size_t>(f % 64)],
+                    links[static_cast<std::size_t>((f + 7) % 64)]},
+                   gib(64), 0, nullptr);
+  }
+  bool wide = false;
+  for (auto _ : state) {
+    wide = !wide;
+    net.set_capacity(links[0],
+                     wide ? Bandwidth::gbps(800) : Bandwidth::gbps(400));
+    benchmark::DoNotOptimize(net.active_flow_count());
+  }
+  state.SetItemsProcessed(state.iterations() * flows);
+}
+BENCHMARK(BM_FluidRegistryIteration)->Arg(64)->Arg(256)->Arg(1024);
+
 // Rotor-style reconfiguration churn: every round retargets a 64-port OCS to
 // a fresh perfect matching (net::round_robin_circuits — the rotor's own
 // rotation schedule), pushes one flow through each direction of every

@@ -2,7 +2,7 @@
 
 #include <algorithm>
 #include <limits>
-#include <unordered_set>
+#include <utility>
 
 #include "common/error.h"
 
@@ -23,7 +23,7 @@ constexpr double kMaxCompletionHorizonNs = 9.0e17;
 /// Past this instant (~263 simulated years) no completion event is scheduled
 /// at all — every per-flow delta is capped at the horizon above, so this
 /// bound keeps now() + dt overflow-free even when a clamped event fires and
-/// reschedules repeatedly; flows simply count as stalled from here on.
+/// re-projects repeatedly; flows simply count as stalled from here on.
 constexpr TimeNs kMaxSchedulableNs =
     std::numeric_limits<TimeNs>::max() -
     2 * static_cast<TimeNs>(kMaxCompletionHorizonNs);
@@ -36,10 +36,12 @@ LinkId FluidNetwork::add_link(Bandwidth capacity, std::string name) {
     free_.pop_back();
     const auto li = static_cast<std::size_t>(id);
     links_[li] = Link{capacity, std::move(name)};
+    cap_bytes_per_ns_[li] = capacity.bytes_per_ns();
     link_state_[li].retired = false;
     return LinkId{id};
   }
   links_.push_back(Link{capacity, std::move(name)});
+  cap_bytes_per_ns_.push_back(capacity.bytes_per_ns());
   link_state_.emplace_back();
   link_epoch_.push_back(0);
   cap_left_.push_back(0.0);
@@ -53,6 +55,7 @@ void FluidNetwork::retire_link(LinkId link) {
   ensure(link_state_[li].flows.empty(),
          "retire_link: link still carries active flows");
   links_[li] = Link{};
+  cap_bytes_per_ns_[li] = 0.0;
   link_state_[li].retired = true;
   free_.push_back(link.value());
   ++retired_total_;
@@ -84,9 +87,53 @@ const std::string& FluidNetwork::link_name(LinkId link) const {
 void FluidNetwork::set_capacity(LinkId link, Bandwidth capacity) {
   check_live_link(link);
   ensure(capacity.bits_per_sec >= 0.0, "link capacity must be non-negative");
-  advance_progress();
-  links_[static_cast<std::size_t>(link.value())].capacity = capacity;
+  const auto li = static_cast<std::size_t>(link.value());
+  links_[li].capacity = capacity;
+  cap_bytes_per_ns_[li] = capacity.bytes_per_ns();
   recompute();
+}
+
+FluidNetwork::Flow* FluidNetwork::find_flow(FlowId flow) {
+  // Issued generations are odd; even means default-constructed, integer-cast,
+  // or a slot observed free — never a live flow.
+  if ((flow.generation() & 1u) == 0u) return nullptr;
+  const std::uint32_t slot = flow.slot();
+  if (slot >= flows_.size()) return nullptr;
+  Flow& f = flows_[slot];
+  return f.generation == flow.generation() ? &f : nullptr;
+}
+
+const FluidNetwork::Flow* FluidNetwork::find_flow(FlowId flow) const {
+  return const_cast<FluidNetwork*>(this)->find_flow(flow);
+}
+
+std::uint32_t FluidNetwork::alloc_slot() {
+  std::uint32_t slot;
+  if (!flow_free_.empty()) {
+    slot = flow_free_.back();
+    flow_free_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(flows_.size());
+    flows_.emplace_back();
+  }
+  flows_[slot].generation += 1;  // even (free) -> odd (occupied)
+  ++active_count_;
+  return slot;
+}
+
+void FluidNetwork::release_slot(std::uint32_t slot) {
+  Flow& f = flows_[slot];
+  f.generation += 1;  // odd (occupied) -> even (free)
+  f.path.clear();     // keeps the buffer for the slot's next occupant
+  f.remaining_bytes = 0.0;
+  f.rate_bytes_per_ns = 0.0;
+  f.extra_latency = 0;
+  f.on_complete = nullptr;
+  f.frozen_epoch = 0;
+  f.projected_done = kNever;
+  f.latency_event = EventId{};
+  flow_free_.push_back(slot);
+  --active_count_;
 }
 
 FlowId FluidNetwork::start_flow(std::vector<LinkId> path, Bytes bytes,
@@ -94,56 +141,87 @@ FlowId FluidNetwork::start_flow(std::vector<LinkId> path, Bytes bytes,
                                 std::function<void()> on_complete) {
   ensure(bytes >= 0, "flow size must be non-negative");
   ensure(extra_latency >= 0, "flow latency must be non-negative");
-  std::unordered_set<LinkId> seen;
+  // Duplicate-link check on the solver's epoch-stamped link scratch: a fresh
+  // epoch makes every stamp stale, so there is nothing to clear and nothing
+  // to allocate (the next solve bumps the epoch again for its own use).
+  const std::uint64_t epoch = ++solve_epoch_;
   for (LinkId l : path) {
     check_live_link(l);
-    ensure(seen.insert(l).second, "flow path contains a duplicate link");
+    const auto li = static_cast<std::size_t>(l.value());
+    ensure(link_epoch_[li] != epoch, "flow path contains a duplicate link");
+    link_epoch_[li] = epoch;
   }
-  const FlowId id{next_flow_++};
+  const std::uint32_t slot = alloc_slot();
+  Flow& f = flows_[slot];
+  const FlowId id = FlowId::from_parts(slot, f.generation);
+  f.extra_latency = extra_latency;
+  f.on_complete = std::move(on_complete);
+  f.last_charged = sim_.now();
   if (bytes == 0) {
     // Pure-latency message (e.g. a control ack): no bandwidth consumed. The
     // completion is counted when it is *delivered*, not here — otherwise
-    // completed_flow_count() reads ahead of the observable callbacks.
-    sim_.schedule_after(extra_latency,
-                        [this, cb = std::move(on_complete)] {
-                          ++completed_;
-                          if (cb) cb();
-                        });
+    // completed_flow_count() reads ahead of the observable callbacks. The
+    // delivery event is kept on the slot so abort_flow can cancel it; only
+    // this callback or an abort ever release the slot, so the slot still
+    // belongs to this flow whenever the event fires.
+    f.latency_event = sim_.schedule_after(extra_latency, [this, slot] {
+      auto cb = std::move(flows_[slot].on_complete);
+      release_slot(slot);
+      ++completed_;
+      if (cb) cb();
+    });
     return id;
   }
   ensure(!path.empty(), "non-empty flow requires a non-empty path");
-  advance_progress();
-  const auto [it, inserted] = flows_.emplace(
-      id, Flow{std::move(path), static_cast<double>(bytes), 0.0, extra_latency,
-               std::move(on_complete)});
-  attach_to_links(id, it->second);
+  f.path = std::move(path);
+  f.remaining_bytes = static_cast<double>(bytes);
+  attach_to_links(id, f);
+  f.draining_pos = static_cast<std::uint32_t>(draining_.size());
+  draining_.push_back(slot);
   recompute();
   return id;
 }
 
 bool FluidNetwork::abort_flow(FlowId flow) {
-  auto it = flows_.find(flow);
-  if (it == flows_.end()) return false;
-  advance_progress();
-  detach_from_links(flow, it->second);
-  flows_.erase(it);
+  Flow* f = find_flow(flow);
+  if (f == nullptr) return false;
+  if (f->latency_event.valid()) {
+    // Pending zero-byte flow: cancel the delivery so the callback never
+    // fires (and the completion is never counted).
+    sim_.cancel(f->latency_event);
+    release_slot(flow.slot());
+    return true;
+  }
+  detach_from_links(flow, *f);
+  remove_from_draining(*f);
+  release_slot(flow.slot());
   recompute();
   return true;
 }
 
+void FluidNetwork::remove_from_draining(Flow& f) {
+  const std::uint32_t last_slot = draining_.back();
+  draining_[f.draining_pos] = last_slot;
+  flows_[last_slot].draining_pos = f.draining_pos;
+  draining_.pop_back();
+}
+
+bool FluidNetwork::flow_active(FlowId flow) const {
+  return find_flow(flow) != nullptr;
+}
+
 double FluidNetwork::flow_rate_bps(FlowId flow) const {
-  auto it = flows_.find(flow);
-  ensure(it != flows_.end(), "flow_rate_bps: flow not active");
-  return it->second.rate_bytes_per_ns * 8e9;
+  const Flow* f = find_flow(flow);
+  ensure(f != nullptr, "flow_rate_bps: flow not active");
+  return f->rate_bytes_per_ns * 8e9;
 }
 
 Bytes FluidNetwork::flow_remaining(FlowId flow) const {
-  auto it = flows_.find(flow);
-  ensure(it != flows_.end(), "flow_remaining: flow not active");
-  // Remaining is advanced lazily; account for time since last update.
-  const double elapsed = static_cast<double>(sim_.now() - last_update_);
-  const double rem =
-      it->second.remaining_bytes - it->second.rate_bytes_per_ns * elapsed;
+  const Flow* f = find_flow(flow);
+  ensure(f != nullptr, "flow_remaining: flow not active");
+  // Progress is charged lazily; account for time since the last charge.
+  const double elapsed = static_cast<double>(sim_.now() - f->last_charged);
+  const double rem = f->remaining_bytes - f->rate_bytes_per_ns * elapsed;
   return static_cast<Bytes>(std::max(rem, 0.0));
 }
 
@@ -155,12 +233,15 @@ int FluidNetwork::active_flows_on(LinkId link) const {
 
 double FluidNetwork::allocated_bps(LinkId link) const {
   check_live_link(link);
+  const auto li = static_cast<std::size_t>(link.value());
   double bps = 0.0;
-  for (FlowId id :
-       link_state_[static_cast<std::size_t>(link.value())].flows) {
-    bps += flows_.at(id).rate_bytes_per_ns * 8e9;
+  for (FlowId id : link_state_[li].flows) {
+    bps += flows_[id.slot()].rate_bytes_per_ns * 8e9;
   }
-  return bps;
+  // Bottleneck-set freezing recomputes each link's share independently, so
+  // the sum can overshoot capacity by floating-point slack; the documented
+  // invariant is "never exceeds capacity", so clamp.
+  return std::min(bps, links_[li].capacity.bits_per_sec);
 }
 
 void FluidNetwork::attach_to_links(FlowId id, const Flow& f) {
@@ -179,16 +260,43 @@ void FluidNetwork::detach_from_links(FlowId id, const Flow& f) {
   }
 }
 
-void FluidNetwork::advance_progress() {
-  const TimeNs now = sim_.now();
-  const double elapsed = static_cast<double>(now - last_update_);
+void FluidNetwork::charge_progress(Flow& f, TimeNs now) {
+  const double elapsed = static_cast<double>(now - f.last_charged);
   if (elapsed > 0.0) {
-    for (auto& [id, f] : flows_) {
-      f.remaining_bytes =
-          std::max(0.0, f.remaining_bytes - f.rate_bytes_per_ns * elapsed);
-    }
+    f.remaining_bytes =
+        std::max(0.0, f.remaining_bytes - f.rate_bytes_per_ns * elapsed);
   }
-  last_update_ = now;
+  f.last_charged = now;
+}
+
+TimeNs FluidNetwork::project_completion(const Flow& f, TimeNs now) const {
+  if (f.rate_bytes_per_ns <= 0.0) return kNever;  // stalled (dark link)
+  if (now >= kMaxSchedulableNs) return kNever;    // beyond the modelled era
+  const double ns = f.remaining_bytes / f.rate_bytes_per_ns;
+  TimeNs dt;
+  if (ns >= kMaxCompletionHorizonNs) {
+    // Near-stalled: clamp instead of overflowing the cast. If the event
+    // ever fires this far out, the flow is still undrained and simply
+    // re-projects; in practice a capacity restore or abort re-solves first.
+    dt = static_cast<TimeNs>(kMaxCompletionHorizonNs);
+  } else {
+    dt = static_cast<TimeNs>(ns);
+    if (static_cast<double>(dt) < ns) ++dt;  // round up
+  }
+  return now + dt;
+}
+
+void FluidNetwork::push_completion(TimeNs time, std::uint32_t slot,
+                                   std::uint32_t generation) {
+  completion_heap_.push_back({time, slot, generation});
+  std::push_heap(completion_heap_.begin(), completion_heap_.end(),
+                 std::greater<>{});
+}
+
+void FluidNetwork::pop_completion_top() {
+  std::pop_heap(completion_heap_.begin(), completion_heap_.end(),
+                std::greater<>{});
+  completion_heap_.pop_back();
 }
 
 void FluidNetwork::solve_max_min() {
@@ -198,23 +306,28 @@ void FluidNetwork::solve_max_min() {
   // including the unbounded set of retired circuit links a reconfigurable
   // fabric accretes — is never touched.
   const std::uint64_t epoch = ++solve_epoch_;
+  const TimeNs now = sim_.now();
   touched_links_.clear();
-  for (auto& [id, f] : flows_) {
-    for (LinkId l : f.path) {
+  // draining_ indexes exactly the byte-moving flows, so this scan touches no
+  // free slots and no pending zero-byte flows. Its order (insertion order,
+  // compacted by swap-with-last) is fully determined by the simulated event
+  // sequence, so the bottleneck sweep below needs no canonicalizing sort —
+  // with the hash-map registry this order depended on hashing and had to be
+  // sorted every solve, which profiled at ~30% of the 512-node ring cell.
+  for (const std::uint32_t slot : draining_) {
+    for (LinkId l : flows_[slot].path) {
       const auto li = static_cast<std::size_t>(l.value());
       if (link_epoch_[li] != epoch) {
         link_epoch_[li] = epoch;
-        cap_left_[li] = links_[li].capacity.bytes_per_ns();
+        cap_left_[li] = cap_bytes_per_ns_[li];
         unfrozen_on_[li] = 0;
         touched_links_.push_back(li);
       }
       ++unfrozen_on_[li];
     }
   }
-  // Lowest-index-first bottleneck tie-break, independent of flow hash order.
-  std::sort(touched_links_.begin(), touched_links_.end());
 
-  std::size_t remaining = flows_.size();
+  std::size_t remaining = draining_.size();
   while (remaining > 0) {
     double best_share = std::numeric_limits<double>::infinity();
     for (std::size_t li : touched_links_) {
@@ -231,18 +344,32 @@ void FluidNetwork::solve_max_min() {
     // quadratic in active links. After freezing a minimum-share link no
     // remaining link can sit below this round's minimum (freezing removes
     // share*k capacity and k flows, which cannot lower a fair share), so a
-    // single sorted sweep freezing every link still at the minimum — at the
-    // link's own recomputed share, keeping cap_left_ non-negative under
-    // floating point — yields the same max-min allocation.
+    // single sweep freezing every link still at the minimum — at the link's
+    // own recomputed share, keeping cap_left_ non-negative under floating
+    // point — yields the same max-min allocation in any sweep order; the
+    // deterministic touched order makes ties replay-stable.
     for (std::size_t li : touched_links_) {
       if (unfrozen_on_[li] <= 0) continue;
       const double share = std::max(cap_left_[li], 0.0) / unfrozen_on_[li];
       if (share > best_share) continue;
       for (FlowId fid : link_state_[li].flows) {
-        Flow& f = flows_.at(fid);
+        Flow& f = flows_[fid.slot()];
         if (f.frozen_epoch == epoch) continue;
         f.frozen_epoch = epoch;
-        f.rate_bytes_per_ns = share;
+        // Integrate progress at the outgoing rate before freezing the new
+        // one (per-flow lazy charging, fused into the solve's single pass).
+        charge_progress(f, now);
+        if (f.rate_bytes_per_ns != share) {
+          f.rate_bytes_per_ns = share;
+          // The projected drain instant moved: record it and feed the
+          // completion heap. An unchanged rate keeps an unchanged absolute
+          // projection, so steady flows push nothing and their existing
+          // heap entries stay valid.
+          f.projected_done = project_completion(f, now);
+          if (f.projected_done != kNever) {
+            push_completion(f.projected_done, fid.slot(), f.generation);
+          }
+        }
         --remaining;
         for (LinkId l : f.path) {
           const auto lj = static_cast<std::size_t>(l.value());
@@ -255,31 +382,36 @@ void FluidNetwork::solve_max_min() {
 }
 
 void FluidNetwork::reschedule_completion_event() {
+  // Lazy deletion: drop entries whose flow died (generation moved on) or
+  // whose projection was superseded by a rate change.
+  while (!completion_heap_.empty()) {
+    const CompletionEntry& top = completion_heap_.front();
+    const Flow& f = flows_[top.slot];
+    if (f.generation == top.generation && f.projected_done == top.time) break;
+    pop_completion_top();
+  }
+  // Churn bound: when stale entries dominate (rate flapping without event
+  // firings), rebuild the heap from the valid survivors.
+  if (completion_heap_.size() > 64 &&
+      completion_heap_.size() > 4 * draining_.size()) {
+    std::erase_if(completion_heap_, [this](const CompletionEntry& e) {
+      const Flow& f = flows_[e.slot];
+      return f.generation != e.generation || f.projected_done != e.time;
+    });
+    std::make_heap(completion_heap_.begin(), completion_heap_.end(),
+                   std::greater<>{});
+  }
+  const TimeNs earliest =
+      completion_heap_.empty() ? kNever : completion_heap_.front().time;
+  if (earliest == completion_event_time_) return;  // already pinned there
   if (completion_event_.valid()) {
     sim_.cancel(completion_event_);
     completion_event_ = EventId{};
   }
-  if (sim_.now() >= kMaxSchedulableNs) return;  // beyond the modelled era
-  TimeNs earliest = std::numeric_limits<TimeNs>::max();
-  for (const auto& [id, f] : flows_) {
-    if (f.rate_bytes_per_ns <= 0.0) continue;  // stalled (dark / zero-cap link)
-    const double ns = f.remaining_bytes / f.rate_bytes_per_ns;
-    TimeNs dt;
-    if (ns >= kMaxCompletionHorizonNs) {
-      // Near-stalled: clamp instead of overflowing the cast. If the event
-      // ever fires this far out, the flow is still undrained and simply
-      // reschedules; in practice a capacity restore or abort re-solves first.
-      dt = static_cast<TimeNs>(kMaxCompletionHorizonNs);
-    } else {
-      dt = static_cast<TimeNs>(ns);
-      if (static_cast<double>(dt) < ns) ++dt;  // round up
-    }
-    earliest = std::min(earliest, sim_.now() + dt);
-  }
-  if (earliest != std::numeric_limits<TimeNs>::max()) {
-    completion_event_ =
-        sim_.schedule_at(earliest, [this] { on_completion_event(); });
-  }
+  completion_event_time_ = earliest;
+  if (earliest == kNever) return;
+  completion_event_ =
+      sim_.schedule_at(earliest, [this] { on_completion_event(); });
 }
 
 void FluidNetwork::recompute() {
@@ -289,16 +421,35 @@ void FluidNetwork::recompute() {
 
 void FluidNetwork::on_completion_event() {
   completion_event_ = EventId{};
-  advance_progress();
+  completion_event_time_ = kNever;
+  const TimeNs now = sim_.now();
   std::vector<std::pair<TimeNs, std::function<void()>>> done;
-  for (auto it = flows_.begin(); it != flows_.end();) {
-    if (it->second.remaining_bytes <= kDrainEpsilonBytes) {
-      done.emplace_back(it->second.extra_latency,
-                        std::move(it->second.on_complete));
-      detach_from_links(it->first, it->second);
-      it = flows_.erase(it);
+  // Pop every due entry; equal-instant completions leave the min-heap in
+  // slot order, so callback delivery is deterministic.
+  while (!completion_heap_.empty()) {
+    const CompletionEntry top = completion_heap_.front();
+    Flow& f = flows_[top.slot];
+    if (f.generation != top.generation || f.projected_done != top.time) {
+      pop_completion_top();  // stale (lazy deletion)
+      continue;
+    }
+    if (top.time > now) break;
+    pop_completion_top();
+    charge_progress(f, now);
+    if (f.remaining_bytes <= kDrainEpsilonBytes) {
+      done.emplace_back(f.extra_latency, std::move(f.on_complete));
+      detach_from_links(FlowId::from_parts(top.slot, f.generation), f);
+      remove_from_draining(f);
+      release_slot(top.slot);
     } else {
-      ++it;
+      // Horizon-clamped (near-stalled) or rounding-edge firing: not drained
+      // yet. Re-project from the charged state so the flow keeps a live
+      // completion entry (project_completion never returns `now` for an
+      // undrained flow, so this cannot loop).
+      f.projected_done = project_completion(f, now);
+      if (f.projected_done != kNever) {
+        push_completion(f.projected_done, top.slot, f.generation);
+      }
     }
   }
   recompute();

@@ -18,12 +18,25 @@
 // the round's minimum fair share), so N independent circuits at one
 // identical share — the shape of a large collective on photonic rails —
 // cost one round, not N.
+//
+// Flows live in a dense slot-indexed registry: a contiguous std::vector with
+// a LIFO free list, addressed by generation-stamped FlowIds (slot index +
+// reuse generation packed into 64 bits). Every hot-path lookup is an array
+// index, the solve iterates a contiguous vector, and a stale id — held
+// across the completion or abort of its flow — is detected by its generation
+// instead of silently aliasing the slot's next occupant. Progress charging
+// is per-flow and lazy (each flow integrates its previous rate exactly when
+// the solve freezes its next one), and the earliest completion is tracked by
+// a lazy-deletion min-heap of projected drain instants: entries are
+// invalidated by generation/projection mismatch and only flows whose rate
+// actually changed push new entries, so rescheduling after churn no longer
+// rescans the registry.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "common/ids.h"
@@ -73,32 +86,49 @@ class FluidNetwork {
   /// Starts a flow of `bytes` over `path` (ordered, duplicate-free link ids).
   /// `on_complete` fires once the flow has drained and `extra_latency` has
   /// elapsed (propagation + per-hop fixed latency, applied once).
-  /// A zero-byte flow completes after `extra_latency` alone.
+  /// A zero-byte flow completes after `extra_latency` alone; it stays
+  /// flow_active (and abortable) until that delivery.
   FlowId start_flow(std::vector<LinkId> path, Bytes bytes, TimeNs extra_latency,
                     std::function<void()> on_complete);
 
-  /// Aborts an in-flight flow; its completion callback never fires.
-  /// Returns false if the flow already completed or never existed.
+  /// Aborts an in-flight flow; its completion callback never fires. Pending
+  /// zero-byte (pure-latency) flows are in flight until delivery and abort
+  /// like any other. Returns false if the flow already completed (a drained
+  /// flow counts as completed even while its extra_latency delivery is
+  /// pending), was already aborted, or never existed — stale ids whose slot
+  /// was since reused are rejected by their generation stamp.
   bool abort_flow(FlowId flow);
 
-  /// Current rate of an active flow in bits/sec (0 for stalled flows).
+  /// Current rate of an active flow in bits/sec (0 for stalled flows and
+  /// pending zero-byte flows).
   double flow_rate_bps(FlowId flow) const;
   /// Bytes not yet drained for an active flow.
   Bytes flow_remaining(FlowId flow) const;
-  bool flow_active(FlowId flow) const { return flows_.contains(flow); }
+  /// True while the flow occupies a registry slot: draining, or a zero-byte
+  /// flow whose latency has not yet elapsed. Stale and foreign ids are false.
+  bool flow_active(FlowId flow) const;
 
-  std::size_t active_flow_count() const { return flows_.size(); }
+  /// Flows currently occupying registry slots (draining + pending zero-byte).
+  std::size_t active_flow_count() const { return active_count_; }
   /// Number of active flows whose path crosses `link`. O(1).
   int active_flows_on(LinkId link) const;
   /// Sum of the current rates (bits/sec) of the flows crossing `link`.
-  /// Never exceeds the link capacity (a max-min allocation invariant).
-  /// O(flows on the link).
+  /// Never exceeds the link capacity (a max-min allocation invariant; the
+  /// sum is clamped so bottleneck-set freezing cannot overshoot by
+  /// floating-point slack). O(flows on the link).
   double allocated_bps(LinkId link) const;
   /// Flows whose drain completed *and* whose completion was delivered
   /// (zero-byte flows count when their latency elapses, not at start_flow).
   std::uint64_t completed_flow_count() const { return completed_; }
 
  private:
+  /// Sentinel projection for flows with no completion in sight (stalled on a
+  /// dark link, or beyond the schedulable era).
+  static constexpr TimeNs kNever = std::numeric_limits<TimeNs>::max();
+
+  /// One registry slot. `generation` is odd while the slot is occupied and
+  /// even while it sits on the free list; a FlowId is live iff it carries
+  /// the slot's current (odd) generation.
   struct Flow {
     std::vector<LinkId> path;
     double remaining_bytes = 0.0;
@@ -107,6 +137,33 @@ class FluidNetwork {
     std::function<void()> on_complete;
     /// Solve epoch in which this flow's rate was frozen (solver scratch).
     std::uint64_t frozen_epoch = 0;
+    std::uint32_t generation = 0;
+    /// Position of this slot in draining_ while the flow moves bytes
+    /// (swap-with-last removal keeps the index dense).
+    std::uint32_t draining_pos = 0;
+    /// Instant up to which remaining_bytes is integrated (per-flow lazy
+    /// progress: charged when the solve freezes a new rate, at completion
+    /// processing, and — without mutation — on flow_remaining queries).
+    TimeNs last_charged = 0;
+    /// Projected drain instant at the current rate (kNever when stalled).
+    /// The completion heap's validity check compares against this.
+    TimeNs projected_done = kNever;
+    /// Zero-byte flows: the scheduled delivery event, cancellable by abort.
+    EventId latency_event{};
+  };
+
+  /// Lazy-deletion min-heap entry: valid iff the slot still holds generation
+  /// `generation` and still projects completion at exactly `time`.
+  struct CompletionEntry {
+    TimeNs time;
+    std::uint32_t slot;
+    std::uint32_t generation;
+    /// Min-heap on (time, slot): equal-instant completions pop in slot
+    /// order, keeping callback delivery deterministic.
+    friend bool operator>(const CompletionEntry& a, const CompletionEntry& b) {
+      if (a.time != b.time) return a.time > b.time;
+      return a.slot > b.slot;
+    }
   };
 
   /// Per-link bookkeeping kept parallel to links_.
@@ -118,33 +175,69 @@ class FluidNetwork {
   };
 
   void check_live_link(LinkId link) const;
+  /// The slot behind a live id; nullptr for stale, foreign, or invalid ids.
+  Flow* find_flow(FlowId flow);
+  const Flow* find_flow(FlowId flow) const;
+  /// Pops a slot off the free list (or grows the registry) and stamps its
+  /// occupied generation. The returned slot's Flow is in released state.
+  std::uint32_t alloc_slot();
+  /// Stamps the slot free (generation becomes even) and drops its payload.
+  void release_slot(std::uint32_t slot);
   /// Registers `id` on every link of its path.
   void attach_to_links(FlowId id, const Flow& f);
   /// Removes `id` from every link of its path.
   void detach_from_links(FlowId id, const Flow& f);
-  /// Charges progress for elapsed time since the last update.
-  void advance_progress();
+  /// Integrates progress at the current rate since last_charged.
+  void charge_progress(Flow& f, TimeNs now);
+  /// Absolute drain instant of `f` at its current rate, rounded up and
+  /// clamped to the completion horizon; kNever when stalled.
+  TimeNs project_completion(const Flow& f, TimeNs now) const;
+  /// Pushes a completion-heap entry / pops the heap's top entry.
+  void push_completion(TimeNs time, std::uint32_t slot,
+                       std::uint32_t generation);
+  void pop_completion_top();
   /// Re-solves max-min fair rates and reschedules the completion event.
   void recompute();
   void solve_max_min();
+  /// Drops stale heap entries, compacts a bloated heap, and (re)schedules
+  /// the single completion event at the heap's earliest valid instant.
   void reschedule_completion_event();
   void on_completion_event();
+
+  /// Removes a slot from draining_ (swap-with-last).
+  void remove_from_draining(Flow& f);
 
   sim::Simulator& sim_;
   std::vector<Link> links_;
   std::vector<LinkState> link_state_;
+  /// links_[i].capacity.bytes_per_ns(), cached so the solve's per-touched-
+  /// link reset skips the division.
+  std::vector<double> cap_bytes_per_ns_;
   /// Retired link ids available for reuse (LIFO for cache locality).
   std::vector<std::int32_t> free_;
   std::uint64_t retired_total_ = 0;
-  std::unordered_map<FlowId, Flow> flows_;
-  TimeNs last_update_ = 0;
+
+  /// The flow registry: dense slot array + LIFO free list. Slots are never
+  /// removed, so peak concurrency bounds the vector; holes wait on the free
+  /// list with an even generation.
+  std::vector<Flow> flows_;
+  std::vector<std::uint32_t> flow_free_;
+  std::size_t active_count_ = 0;  ///< occupied slots
+  /// Slots of the flows currently moving bytes (zero-byte flows excluded) —
+  /// the exact set the solve iterates, order maintained by swap-with-last.
+  std::vector<std::uint32_t> draining_;
+
+  /// Earliest-completion tracking: lazy-deletion min-heap over projected
+  /// drain instants (see CompletionEntry).
+  std::vector<CompletionEntry> completion_heap_;
   EventId completion_event_{};
-  std::int32_t next_flow_ = 0;
+  TimeNs completion_event_time_ = kNever;
   std::uint64_t completed_ = 0;
 
   // Solver scratch, persistent across solves so a re-solve costs O(active
   // path footprint), not O(lifetime links). A slot is valid only when its
-  // epoch stamp matches the current solve's epoch.
+  // epoch stamp matches the current solve's epoch. start_flow borrows the
+  // same epoch counter + link stamps for its duplicate-link check.
   std::uint64_t solve_epoch_ = 0;
   std::vector<std::uint64_t> link_epoch_;
   std::vector<double> cap_left_;

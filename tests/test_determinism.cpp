@@ -6,11 +6,14 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "common/rng.h"
 #include "core/experiment.h"
 #include "core/sweep.h"
+#include "net/fluid.h"
+#include "sim/simulator.h"
 
 namespace opus {
 namespace {
@@ -167,6 +170,57 @@ TEST(Determinism, DisablingJitterMakesSeedIrrelevant) {
   cfg.engine.seed = 1234567;
   const auto b = core::run_experiment(cfg);
   expect_bit_identical(a, b);
+}
+
+// ---------------------------------------------------------------------------
+// The fluid flow registry itself: the dense slot store recycles slots and
+// the completion heap breaks equal-instant ties by slot, so a scripted churn
+// of starts, aborts, simultaneous completions, and zero-byte deliveries must
+// replay with a bit-identical completion log — the registry-level contract
+// under the experiment-level legs above.
+// ---------------------------------------------------------------------------
+
+TEST(Determinism, FluidRegistryChurnReplayIsBitIdentical) {
+  auto run = [] {
+    sim::Simulator sim;
+    net::FluidNetwork fluid(sim);
+    std::vector<std::pair<TimeNs, int>> log;  // (completion instant, tag)
+    std::vector<LinkId> links;
+    for (int l = 0; l < 8; ++l) {
+      links.push_back(fluid.add_link(Bandwidth::gbps(100)));
+    }
+    std::vector<FlowId> flows;
+    // Waves of equal-size flows over overlapping two-link paths: whole
+    // cohorts drain at the same instant, exercising equal-time heap pops.
+    for (int wave = 0; wave < 6; ++wave) {
+      sim.schedule_at(wave * usecs(10), [&, wave] {
+        for (int f = 0; f < 16; ++f) {
+          const int tag = wave * 100 + f;
+          flows.push_back(fluid.start_flow(
+              {links[static_cast<std::size_t>(f % 8)],
+               links[static_cast<std::size_t>((f + 3) % 8)]},
+              1'000'000, 0, [&log, tag, &sim] {
+                log.emplace_back(sim.now(), tag);
+              }));
+        }
+        // Zero-byte control messages interleave with the draining flows.
+        flows.push_back(fluid.start_flow({}, 0, usecs(7), [&log, wave, &sim] {
+          log.emplace_back(sim.now(), 1000 + wave);
+        }));
+        // Abort a handful mid-flight: slots recycle between waves.
+        for (int k = 0; k < 5 && !flows.empty(); ++k) {
+          fluid.abort_flow(flows[flows.size() - 1 - k * 2 % flows.size()]);
+        }
+      });
+    }
+    sim.run();
+    EXPECT_EQ(fluid.active_flow_count(), 0u);
+    return log;
+  };
+  const auto a = run();
+  const auto b = run();
+  ASSERT_FALSE(a.empty());
+  EXPECT_EQ(a, b) << "registry churn must replay bit-identically";
 }
 
 // ---------------------------------------------------------------------------

@@ -1,7 +1,9 @@
 // Fluid-solver edge cases: near-stalled flows (completion-event overflow
-// clamp), zero-byte completion accounting, dark links stalling and resuming,
-// bottleneck aborts redistributing rates, lazy-advance consistency of
-// flow_remaining across those transitions, and link retirement / id reuse.
+// clamp), zero-byte lifecycle (delivery accounting, abortability while the
+// latency pends), dark links stalling and resuming, bottleneck aborts
+// redistributing rates, lazy-advance consistency of flow_remaining across
+// those transitions, link retirement / id reuse, and the flow registry's
+// slot reuse + stale-generation rejection.
 #include <gtest/gtest.h>
 
 #include "common/error.h"
@@ -93,6 +95,38 @@ TEST_F(FluidEdgeTest, ZeroByteNullCallbackCountsAtDeliveryTime) {
   sim.run();
   EXPECT_EQ(net.completed_flow_count(), 1u);
   EXPECT_EQ(sim.now(), usecs(3));
+}
+
+TEST_F(FluidEdgeTest, ZeroByteFlowIsActiveUntilDelivery) {
+  const FlowId f = net.start_flow({}, 0, usecs(5), nullptr);
+  EXPECT_TRUE(net.flow_active(f)) << "in flight while the latency pends";
+  EXPECT_EQ(net.active_flow_count(), 1u);
+  EXPECT_EQ(net.flow_rate_bps(f), 0.0) << "consumes no bandwidth";
+  EXPECT_EQ(net.flow_remaining(f), 0);
+  sim.run();
+  EXPECT_FALSE(net.flow_active(f));
+  EXPECT_EQ(net.active_flow_count(), 0u);
+  EXPECT_EQ(net.completed_flow_count(), 1u);
+}
+
+TEST_F(FluidEdgeTest, AbortedZeroByteFlowNeverFiresItsCallback) {
+  bool fired = false;
+  const FlowId f = net.start_flow({}, 0, usecs(5), [&] { fired = true; });
+  EXPECT_TRUE(net.abort_flow(f)) << "a pending zero-byte flow is abortable";
+  EXPECT_FALSE(net.flow_active(f));
+  EXPECT_EQ(net.active_flow_count(), 0u);
+  EXPECT_FALSE(net.abort_flow(f)) << "second abort must report already-gone";
+  sim.run();
+  EXPECT_FALSE(fired) << "an aborted flow's callback must never fire";
+  EXPECT_EQ(net.completed_flow_count(), 0u)
+      << "an aborted delivery must not be counted as completed";
+}
+
+TEST_F(FluidEdgeTest, ZeroByteAbortAfterDeliveryReturnsFalse) {
+  const FlowId f = net.start_flow({}, 0, usecs(3), nullptr);
+  sim.run();
+  EXPECT_EQ(net.completed_flow_count(), 1u);
+  EXPECT_FALSE(net.abort_flow(f)) << "already delivered";
 }
 
 // ---------------------------------------------------------------------------
@@ -226,6 +260,72 @@ TEST_F(FluidEdgeTest, OperationsOnRetiredLinksThrow) {
   EXPECT_THROW(net.allocated_bps(l), InvariantError);
   EXPECT_THROW(net.start_flow({l}, 100, 0, nullptr), InvariantError);
   EXPECT_THROW(net.retire_link(l), InvariantError);
+}
+
+// ---------------------------------------------------------------------------
+// Flow-registry slot reuse and stale-generation rejection: a FlowId held
+// across the end of its flow must be detected, never alias the slot's next
+// occupant.
+// ---------------------------------------------------------------------------
+
+TEST_F(FluidEdgeTest, AbortedSlotIsReusedAndStaleIdsAreRejected) {
+  const LinkId l = net.add_link(k100G);
+  const FlowId a = net.start_flow({l}, gib(1), 0, nullptr);
+  EXPECT_TRUE(net.abort_flow(a));
+  const FlowId b = net.start_flow({l}, gib(1), 0, nullptr);
+  EXPECT_EQ(b.slot(), a.slot()) << "freed slots must be reused (LIFO)";
+  EXPECT_NE(a, b) << "the reused slot must carry a fresh generation";
+  EXPECT_TRUE(net.flow_active(b));
+  EXPECT_FALSE(net.flow_active(a)) << "stale id must not alias the new flow";
+  EXPECT_FALSE(net.abort_flow(a)) << "stale abort must not kill the new flow";
+  EXPECT_TRUE(net.flow_active(b)) << "the new flow must have survived";
+  EXPECT_THROW(net.flow_rate_bps(a), InvariantError);
+  EXPECT_THROW(net.flow_remaining(a), InvariantError);
+  EXPECT_NEAR(net.flow_rate_bps(b), 100e9, 1e6);
+}
+
+TEST_F(FluidEdgeTest, CompletedSlotIsReusedAndStaleIdsAreRejected) {
+  const LinkId l = net.add_link(k100G);
+  const FlowId a = net.start_flow({l}, 125'000'000, 0, nullptr);
+  sim.run();
+  EXPECT_FALSE(net.flow_active(a)) << "completed";
+  EXPECT_FALSE(net.abort_flow(a));
+  const FlowId b = net.start_flow({l}, 125'000'000, 0, nullptr);
+  EXPECT_EQ(b.slot(), a.slot());
+  EXPECT_NE(a.generation(), b.generation());
+  EXPECT_FALSE(net.flow_active(a));
+  EXPECT_TRUE(net.flow_active(b));
+  sim.run();
+  EXPECT_EQ(net.completed_flow_count(), 2u);
+}
+
+TEST_F(FluidEdgeTest, RawAndDefaultFlowIdsAreNeverActive) {
+  const LinkId l = net.add_link(k100G);
+  net.start_flow({l}, gib(1), 0, nullptr);
+  // Issued generations are odd; raw integers carry generation 0 and a
+  // default id carries no generation at all — none may match a live slot.
+  EXPECT_FALSE(net.flow_active(FlowId{}));
+  EXPECT_FALSE(net.flow_active(FlowId{0}));
+  EXPECT_FALSE(net.flow_active(FlowId{123}));
+  EXPECT_FALSE(net.abort_flow(FlowId{0}));
+  EXPECT_THROW(net.flow_rate_bps(FlowId{0}), InvariantError);
+  EXPECT_EQ(net.active_flow_count(), 1u) << "the live flow must be untouched";
+}
+
+TEST_F(FluidEdgeTest, ChurnReusesSlotsInsteadOfGrowingTheRegistry) {
+  // Start/complete many flows serially: the registry must stay at peak
+  // concurrency (one slot here), not accrete a slot per lifetime flow.
+  const LinkId l = net.add_link(k100G);
+  std::vector<FlowId> seen;
+  for (int i = 0; i < 32; ++i) {
+    seen.push_back(net.start_flow({l}, 1'000'000, 0, nullptr));
+    sim.run();
+  }
+  for (const FlowId f : seen) {
+    EXPECT_EQ(f.slot(), seen.front().slot()) << "serial churn reuses one slot";
+    EXPECT_FALSE(net.flow_active(f));
+  }
+  EXPECT_EQ(net.completed_flow_count(), 32u);
 }
 
 TEST_F(FluidEdgeTest, RetiredLinksDoNotAffectActiveSolves) {
