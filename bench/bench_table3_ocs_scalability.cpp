@@ -9,6 +9,8 @@
 // from OPUS_SWEEP_THREADS (default: hardware concurrency). Smoke mode
 // (OPUS_BENCH_SMOKE=1) keeps the 8-node warm-up AND the 512-node leg, so
 // CI's bench-smoke pass exercises paper scale on every run.
+// OPUS_SWEEP_SHARD=i/N fans the scaling cells across processes (each prints
+// its own rows; merge with scripts/merge_sweep_tables.py).
 #include <chrono>
 #include <cstdio>
 #include <vector>
@@ -77,8 +79,11 @@ int main() {
   for (int n : node_counts) cells.push_back(scale_cell(n));
 
   const int threads = core::sweep_thread_count();
+  const core::SweepShard shard = core::sweep_shard();
+  core::SweepOptions sweep_opts;
+  sweep_opts.use_shard = true;
   const auto wall_start = std::chrono::steady_clock::now();
-  const auto results = core::run_sweep(cells);
+  const auto results = core::run_sweep(cells, sweep_opts);
   const double wall_ms =
       std::chrono::duration<double, std::milli>(
           std::chrono::steady_clock::now() - wall_start)
@@ -89,13 +94,18 @@ int main() {
               threads);
   TextTable sim_table({"Nodes", "Steady iter", "OCS reconfigs", "Dark time"});
   for (std::size_t i = 0; i < results.size(); ++i) {
+    if (!shard.owns(i)) continue;  // another process's cell
     sim_table.add_row({fmt_count(node_counts[i]),
                        format_time(results[i].steady_iteration_time),
                        fmt_count(results[i].ocs_reconfigurations),
                        format_time(results[i].ocs_dark_time)});
   }
   std::printf("%s\n", sim_table.render().c_str());
-  std::printf("sweep wall time: %.1f ms for %zu cells\n", wall_ms,
-              cells.size());
+  std::size_t owned = 0;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (shard.owns(i)) ++owned;
+  }
+  std::printf("sweep wall time: %.1f ms for %zu of %zu cells\n", wall_ms,
+              owned, cells.size());
   return 0;
 }

@@ -1,7 +1,10 @@
-// Domain example: size and price a GPU-backend network. Compares fat-tree,
-// rail-optimized, and Opus photonic rails for a target cluster and prints
-// the full bill of materials with power draw (the Fig. 7 methodology as an
-// interactive tool).
+// Domain example: size and price a GPU-backend network. Covers every
+// net::FabricKind in the simulator's comparison set — electrical
+// rail-optimized packet rails, Opus's demand-driven OCS, the static pre-job
+// ring (robotic patch-panel OCS), and the RotorNet-style rotor (fast OCS) —
+// plus the classic fat-tree reference, and prints the full bill of
+// materials with power draw (the Fig. 7 methodology as an interactive
+// tool).
 //
 //   ./build/examples/fabric_cost_planner [n_gpus] [gpus_per_node]
 #include <cstdio>
@@ -9,6 +12,27 @@
 
 #include "common/table.h"
 #include "costmodel/fabric_cost.h"
+#include "net/cluster.h"
+
+namespace {
+
+opus::costmodel::FabricCost cost_of(opus::net::FabricKind kind, int n_gpus,
+                                    const opus::costmodel::CostParams& p) {
+  using namespace opus::costmodel;
+  switch (kind) {
+    case opus::net::FabricKind::kElectrical:
+      return rail_optimized_fabric(n_gpus, p);
+    case opus::net::FabricKind::kOpusPhotonic:
+      return opus_fabric(n_gpus, p);
+    case opus::net::FabricKind::kStaticRing:
+      return static_ring_fabric(n_gpus, p);
+    case opus::net::FabricKind::kRotor:
+      return rotor_fabric(n_gpus, p);
+  }
+  return rail_optimized_fabric(n_gpus, p);
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace opus;
@@ -21,11 +45,12 @@ int main(int argc, char** argv) {
   std::printf("== Fabric planner: %d GPUs, %d per scale-up domain ==\n\n",
               n_gpus, params.gpus_per_node);
 
-  const FabricCost fabrics[] = {
-      fat_tree_fabric(n_gpus, params),
-      rail_optimized_fabric(n_gpus, params),
-      opus_fabric(n_gpus, params),
-  };
+  // The fat-tree reference plus all four simulator fabrics (FabricKind).
+  std::vector<FabricCost> fabrics;
+  fabrics.push_back(fat_tree_fabric(n_gpus, params));
+  for (net::FabricKind kind : net::kAllFabrics) {
+    fabrics.push_back(cost_of(kind, n_gpus, params));
+  }
 
   TextTable table({"Fabric", "Switches", "OCS", "Optics", "Capex",
                    "Power", "$/GPU", "W/GPU"});
@@ -39,25 +64,38 @@ int main(int argc, char** argv) {
   }
   std::printf("%s\n", table.render().c_str());
 
-  const double cost_save = cost_saving(fabrics[2], fabrics[1]);
-  const double power_save = power_saving(fabrics[2], fabrics[1]);
+  const FabricCost rail_electrical =
+      cost_of(net::FabricKind::kElectrical, n_gpus, params);
+  const FabricCost opus_rails =
+      cost_of(net::FabricKind::kOpusPhotonic, n_gpus, params);
+  const double cost_save = cost_saving(opus_rails, rail_electrical);
+  const double power_save = power_saving(opus_rails, rail_electrical);
   std::printf(
       "Opus saves %.1f%% capex and %.1f%% power versus the rail-optimized\n"
-      "fabric at this scale. Yearly energy at $0.10/kWh: fat-tree %s,\n"
-      "rail-optimized %s, Opus %s.\n",
-      100 * cost_save, 100 * power_save,
-      fmt_dollars(fabrics[0].total_power_w() / 1000 * 24 * 365 * 0.10).c_str(),
-      fmt_dollars(fabrics[1].total_power_w() / 1000 * 24 * 365 * 0.10).c_str(),
-      fmt_dollars(fabrics[2].total_power_w() / 1000 * 24 * 365 * 0.10).c_str());
+      "electrical fabric at this scale. The static ring and rotor share\n"
+      "Opus's passive rail hardware (no switch ASICs, no OEO) but differ in\n"
+      "OCS technology: robotic patching for the never-reconfigured ring,\n"
+      "microsecond-class switching for the rotor — their capex gap is the\n"
+      "price of reconfiguration speed; their performance gap is what\n"
+      "bench_ablation_rotor, bench_ablation_static_topology, and\n"
+      "bench_fleet_multitenant measure.\n",
+      100 * cost_save, 100 * power_save);
 
-  // Check the scale limit of the chosen OCS (Table 3).
-  const std::int64_t max_gpus = opus_max_gpus(params.ocs, params.gpus_per_node);
-  if (n_gpus > max_gpus) {
-    std::printf(
-        "\nWARNING: %d GPUs exceeds one %s OCS per rail (max %lld GPUs);\n"
-        "the model provisions %d OCS chassis per rail instead.\n",
-        n_gpus, params.ocs.technology.c_str(),
-        static_cast<long long>(max_gpus), fabrics[2].n_ocs / params.gpus_per_node);
+  // Check the scale limit of each photonic fabric's OCS (Table 3). The
+  // priced technology rides in FabricCost::ocs_technology, so no fabric
+  // needs its spec re-derived here.
+  for (const FabricCost& f : fabrics) {
+    if (f.n_ocs == 0) continue;
+    const OcsSpec& ocs = ocs_by_technology(f.ocs_technology);
+    const std::int64_t max_gpus = opus_max_gpus(ocs, params.gpus_per_node);
+    if (n_gpus > max_gpus) {
+      std::printf(
+          "\nNOTE: %s — %d GPUs exceeds one %s OCS per rail (max %lld "
+          "GPUs);\nthe model provisions %d OCS chassis per rail instead.\n",
+          f.fabric.c_str(), n_gpus, ocs.technology.c_str(),
+          static_cast<long long>(max_gpus),
+          f.n_ocs / params.gpus_per_node);
+    }
   }
   return 0;
 }

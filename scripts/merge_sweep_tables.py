@@ -1,0 +1,148 @@
+#!/usr/bin/env python3
+"""Merge the tables emitted by sharded sweep runs into one.
+
+Process-level sweep sharding (OPUS_SWEEP_SHARD=i/N, see core/sweep.h) lets
+N processes each run every N-th cell of a bench sweep and print only their
+own table rows. This script stitches the per-shard outputs back into a
+single output, so figure regeneration can fan out across machines:
+
+    OPUS_SWEEP_SHARD=0/2 ./build/bench/bench_fleet_multitenant > shard0.txt
+    OPUS_SWEEP_SHARD=1/2 ./build/bench/bench_fleet_multitenant > shard1.txt
+    scripts/merge_sweep_tables.py shard0.txt shard1.txt
+
+Handles both formats the benches emit:
+  - aligned text tables (common/table TextTable::render(): a header line, a
+    dashed separator, then rows) — EVERY table in the file is merged with
+    its counterpart from the other shards (bench_table3 prints a static
+    catalog table before its sharded scaling table), and columns are
+    re-aligned after merging;
+  - CSV (TextTable::to_csv()) with --csv: the first file's header, then
+    every file's data rows, interleaved like the text mode.
+
+Because shard i owns cells i, i+N, i+2N, …, each shard's rows appear in
+increasing cell order; with the shard files passed in index order, a
+round-robin interleave of their rows reconstructs the unsharded cell
+order. Tables some shards print identically (unsharded preambles like the
+Table-3 catalog) are detected by identical rows and passed through once.
+Non-table text (banners, narrative) is taken from the first file only.
+"""
+
+import argparse
+import re
+import sys
+
+SEPARATOR = re.compile(r"^-{3,}\s*$")
+
+
+def split_columns(line):
+    """Columns of one aligned-table line (2+ spaces between columns)."""
+    return re.split(r"\s{2,}", line.rstrip())
+
+
+def parse_text_tables(lines):
+    """All aligned tables in the file: [(start, end, header, rows)]."""
+    tables = []
+    i = 0
+    while i < len(lines):
+        if i + 1 < len(lines) and SEPARATOR.match(lines[i + 1]) and \
+                lines[i].strip():
+            header = split_columns(lines[i])
+            rows = []
+            j = i + 2
+            while j < len(lines) and lines[j].strip():
+                rows.append(split_columns(lines[j]))
+                j += 1
+            tables.append((i, j, header, rows))
+            i = j
+        else:
+            i += 1
+    return tables
+
+
+def interleave(row_lists):
+    """Round-robin across the shards: cell order for stride ownership."""
+    out = []
+    for k in range(max(len(r) for r in row_lists)):
+        for rows in row_lists:
+            if k < len(rows):
+                out.append(rows[k])
+    return out
+
+
+def render(header, rows):
+    widths = [len(c) for c in header]
+    for row in rows:
+        for k, cell in enumerate(row):
+            if k < len(widths):
+                widths[k] = max(widths[k], len(cell))
+            else:
+                widths.append(len(cell))
+
+    def fmt(cells):
+        return "  ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+
+    out = [fmt(header), "-" * (sum(widths) + 2 * (len(widths) - 1))]
+    out.extend(fmt(r) for r in rows)
+    return out
+
+
+def merge_text(files):
+    per_file = [parse_text_tables(lines) for lines in files]
+    n_tables = len(per_file[0])
+    for path_tables in per_file[1:]:
+        if len(path_tables) != n_tables:
+            raise SystemExit(
+                f"shard outputs disagree on table count: "
+                f"{len(path_tables)} vs {n_tables}")
+
+    out = []
+    cursor = 0  # position in files[0]; non-table text comes from it alone
+    for t in range(n_tables):
+        start, end, header, _ = per_file[0][t]
+        out.extend(files[0][cursor:start])
+        cursor = end
+        row_lists = []
+        for tables in per_file:
+            if tables[t][2] != header:
+                raise SystemExit(
+                    f"header mismatch in table {t}: {tables[t][2]} vs "
+                    f"{header}")
+            row_lists.append(tables[t][3])
+        if all(rows == row_lists[0] for rows in row_lists[1:]):
+            merged = row_lists[0]  # unsharded preamble table: pass through
+        else:
+            merged = interleave(row_lists)
+        out.extend(render(header, merged))
+    out.extend(files[0][cursor:])
+    return out
+
+
+def merge_csv(files):
+    header = files[0][0] if files[0] else ""
+    for lines in files:
+        if lines and lines[0] != header:
+            raise SystemExit(f"CSV header mismatch: {lines[0]!r}")
+    row_lists = [[l for l in lines[1:] if l.strip()] for lines in files]
+    return [header] + interleave(row_lists)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("shards", nargs="+", help="per-shard output files, "
+                    "in shard-index order")
+    ap.add_argument("--csv", action="store_true",
+                    help="inputs are CSV (TextTable::to_csv()) instead of "
+                    "aligned text tables")
+    args = ap.parse_args()
+
+    files = []
+    for path in args.shards:
+        with open(path, encoding="utf-8") as f:
+            files.append(f.read().splitlines())
+
+    merged = merge_csv(files) if args.csv else merge_text(files)
+    sys.stdout.write("\n".join(merged) + "\n")
+
+
+if __name__ == "__main__":
+    main()

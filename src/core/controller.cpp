@@ -27,6 +27,11 @@ GroupId OpusController::port_owner(RailId rail, PortId port) const {
   return ports[static_cast<std::size_t>(port.value())];
 }
 
+void OpusController::retire() {
+  retired_ = true;
+  queue_.clear();
+}
+
 void OpusController::group_activity(GroupId group, int delta) {
   active_[group] += delta;
   ensure(active_[group] >= 0, "controller: negative group activity");
@@ -128,6 +133,10 @@ void OpusController::request(GroupId group,
                              const std::vector<RailCircuits>& layout,
                              std::function<void()> on_ack) {
   ensure(group.valid(), "controller: request requires a valid group");
+  if (retired_) {
+    if (on_ack) on_ack();
+    return;
+  }
   ++stats_.requests;
   Job job;
   job.group = group;
@@ -138,6 +147,10 @@ void OpusController::request(GroupId group,
   // configurations still pay it (the shim->controller->ack path), except
   // when it is configured to zero.
   auto enqueue = [this](Job j) {
+    if (retired_) {  // retired while the request was on the control RTT
+      if (j.on_ack) j.on_ack();
+      return;
+    }
     queue_.push_back(std::move(j));
     pump();
   };

@@ -70,6 +70,13 @@ class OpusController {
   /// preempting a group's ports while it has kernels in flight.
   void group_activity(GroupId group, int delta);
 
+  /// Permanently retires the controller (tenant teardown): queued jobs are
+  /// dropped and future requests are ignored (acked immediately so no caller
+  /// hangs). Keeps a finished tenant's speculative provisioning from
+  /// reconfiguring ports after its node range has been recycled. Idempotent.
+  void retire();
+  bool retired() const { return retired_; }
+
   const Stats& stats() const { return stats_; }
   /// Current owner of a rail port (invalid GroupId when free).
   GroupId port_owner(RailId rail, PortId port) const;
@@ -99,6 +106,7 @@ class OpusController {
   std::map<GroupId, int> active_;  ///< in-flight collectives per group
   std::deque<Job> queue_;
   bool pumping_ = false;
+  bool retired_ = false;
 };
 
 }  // namespace opus::core

@@ -26,16 +26,18 @@ ExperimentConfig perlmutter_llama3_8b_config() {
   return cfg;
 }
 
-ExperimentResult run_experiment(const ExperimentConfig& config) {
+net::ClusterConfig cluster_config_for(const ExperimentConfig& config) {
   config.parallelism.validate();
   const int world = config.parallelism.world_size();
   ensure(world % config.gpus_per_node == 0,
          "experiment: world size must fill whole nodes");
+  return cluster_config_for(config, world / config.gpus_per_node);
+}
 
-  sim::Simulator sim;
-
+net::ClusterConfig cluster_config_for(const ExperimentConfig& config,
+                                      int n_nodes) {
   net::ClusterConfig ncfg;
-  ncfg.n_nodes = world / config.gpus_per_node;
+  ncfg.n_nodes = n_nodes;
   ncfg.gpus_per_node = config.gpus_per_node;
   ncfg.nic_ports = config.nic_ports;
   ncfg.nic_total_bw = config.nic_total_bw;
@@ -44,25 +46,46 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   ncfg.ocs_reconfig_delay = config.ocs_reconfig_delay;
   ncfg.mgmt_bw = config.mgmt_bw;
   ncfg.rotor_port_spread = config.rotor_port_spread;
-  net::Cluster cluster(sim, ncfg);
+  return ncfg;
+}
+
+void Tenant::shutdown_transport() {
+  if (opus != nullptr) opus->shutdown();
+  if (rotor != nullptr) rotor->shutdown();
+}
+
+Tenant build_tenant(sim::Simulator& sim, net::Cluster& cluster,
+                    const ExperimentConfig& config, net::NodeSpan span) {
+  config.parallelism.validate();
+  ensure(config.gpus_per_node == cluster.gpus_per_node(),
+         "tenant: scale-up domain size must match the cluster");
+  const int world = config.parallelism.world_size();
+  ensure(world % config.gpus_per_node == 0,
+         "tenant: world size must fill whole nodes");
+  ensure(world / config.gpus_per_node == span.count,
+         "tenant: node span must hold exactly the job's world size");
+  ensure(span.first >= 0 && span.end() <= cluster.n_nodes(),
+         "tenant: node span out of cluster range");
+
+  Tenant tenant;
+  tenant.span = span;
 
   workload::RankMapper mapper(config.parallelism, config.gpus_per_node);
   workload::ComputeModel compute(config.gpu, config.mfu,
                                  config.activation_recompute);
   workload::IterationOptions iter_opts = config.iteration;
   iter_opts.nvlink_bw = config.nvlink_bw;
-  const workload::IterationDag dag = workload::build_training_iteration(
+  tenant.dag = workload::build_training_iteration(
       config.model, config.parallelism, mapper, compute, iter_opts);
+  workload::offset_dag_gpus(tenant.dag,
+                            span.first * config.gpus_per_node);
 
-  auto recorder =
+  tenant.recorder =
       std::make_shared<trace::TraceRecorder>(config.record_compute_trace);
 
-  std::unique_ptr<collective::Transport> transport;
-  OpusTransport* opus = nullptr;
-  RotorTransport* rotor = nullptr;
-  switch (config.fabric) {
+  switch (cluster.fabric()) {
     case net::FabricKind::kElectrical:
-      transport = std::make_unique<collective::DirectTransport>(cluster);
+      tenant.transport = std::make_unique<collective::DirectTransport>(cluster);
       break;
     case net::FabricKind::kOpusPhotonic: {
       OpusTransport::Options opts;
@@ -70,29 +93,41 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
       opts.mgmt_offload_threshold = config.mgmt_offload_threshold;
       opts.pipeline_stages = config.parallelism.pp;
       auto t = std::make_unique<OpusTransport>(sim, cluster, opts);
-      opus = t.get();
-      transport = std::move(t);
+      tenant.opus = t.get();
+      tenant.transport = std::move(t);
       break;
     }
     case net::FabricKind::kStaticRing:
-      transport = std::make_unique<StaticRingTransport>(cluster);
+      tenant.transport = std::make_unique<StaticRingTransport>(cluster, span);
       break;
     case net::FabricKind::kRotor: {
       RotorTransport::Options opts;
       opts.slot_time = config.rotor_slot_time;
-      auto t = std::make_unique<RotorTransport>(sim, cluster, opts);
-      rotor = t.get();
-      transport = std::move(t);
+      auto t = std::make_unique<RotorTransport>(sim, cluster, opts, span);
+      tenant.rotor = t.get();
+      tenant.transport = std::move(t);
       break;
     }
   }
 
-  workload::IterationEngine engine(sim, cluster, *transport, recorder.get(),
-                                   config.engine);
+  tenant.engine = std::make_unique<workload::IterationEngine>(
+      sim, cluster, *tenant.transport, tenant.recorder.get(), config.engine);
+  return tenant;
+}
+
+ExperimentResult run_experiment(const ExperimentConfig& config) {
+  sim::Simulator sim;
+  net::Cluster cluster(sim, cluster_config_for(config));
+
+  // The single-job run is the one-tenant special case: one tenant spanning
+  // the whole cluster, driven to completion on a private simulator.
+  Tenant tenant =
+      build_tenant(sim, cluster, config, net::NodeSpan{0, cluster.n_nodes()});
+
   ExperimentResult result;
   result.iteration_times =
-      engine.run_to_completion(dag, config.iterations);
-  result.recorder = std::move(recorder);
+      tenant.engine->run_to_completion(tenant.dag, config.iterations);
+  result.recorder = tenant.recorder;
 
   if (result.iteration_times.size() > 1) {
     const auto begin = result.iteration_times.begin() + 1;
@@ -111,14 +146,22 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
     result.ocs_reconfigurations = cluster.total_ocs_reconfigurations();
     result.ocs_dark_time = cluster.total_ocs_dark_time();
   }
-  if (opus != nullptr) {
-    result.controller = opus->controller().stats();
-    result.shim_speculative_requests = opus->shim().speculative_requests();
-    result.shim_mispredictions = opus->shim().mispredictions();
+  if (tenant.opus != nullptr) {
+    result.controller = tenant.opus->controller().stats();
+    result.shim_speculative_requests =
+        tenant.opus->shim().speculative_requests();
+    result.shim_mispredictions = tenant.opus->shim().mispredictions();
   }
-  if (rotor != nullptr) {
-    result.rotor_rotations = rotor->rotations();
-    result.rotor_deferred_sends = rotor->deferred_sends();
+  if (tenant.rotor != nullptr) {
+    result.rotor_rotations = tenant.rotor->rotations();
+    result.rotor_deferred_sends = tenant.rotor->deferred_sends();
+    // Aggregation invariant: the rotor is the only agent reconfiguring a
+    // single-tenant rotor fabric, and every counted rotation is exactly one
+    // state-changing reconfiguration of one rail OCS — so the per-rail OCS
+    // stats must sum to the rotation tally (pinned by test_rotor.cpp).
+    ensure(result.ocs_reconfigurations == result.rotor_rotations,
+           "rotor: summed per-rail OCS reconfigurations diverge from the "
+           "rotation count");
   }
   result.rail_bytes = cluster.bytes_on_route(net::Cluster::Route::kRail);
   result.scale_up_bytes = cluster.bytes_on_route(net::Cluster::Route::kScaleUp);

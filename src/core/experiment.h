@@ -27,6 +27,8 @@
 
 namespace opus::core {
 
+class RotorTransport;
+
 struct ExperimentConfig {
   workload::ModelConfig model = workload::ModelConfig::llama3_8b();
   workload::ParallelismConfig parallelism;
@@ -86,6 +88,44 @@ struct ExperimentResult {
   /// Logical bytes that needed multi-hop forwarding (static topologies).
   Bytes multihop_bytes = 0;
 };
+
+/// One training job instantiated on (a node sub-range of) a shared cluster:
+/// the DAG (GPU ranks offset to the span), per-job trace recorder, the
+/// fabric transport scoped to the span, and the iteration engine. This is
+/// the reusable per-tenant unit: run_experiment builds exactly one spanning
+/// the whole cluster, and the fleet driver (src/fleet) interleaves many of
+/// them on one simulator so tenants contend for the shared fluid network
+/// and OCS ports.
+struct Tenant {
+  net::NodeSpan span;
+  workload::IterationDag dag;
+  std::shared_ptr<trace::TraceRecorder> recorder;
+  std::unique_ptr<collective::Transport> transport;
+  /// Fabric-specific views into `transport` (null for the other fabrics).
+  OpusTransport* opus = nullptr;
+  RotorTransport* rotor = nullptr;
+  std::unique_ptr<workload::IterationEngine> engine;
+
+  /// Stops demand-driven control-plane activity (rotor rotation, Opus
+  /// speculative provisioning) so the span's OCS ports can quiesce and be
+  /// recycled. Idempotent; no-op for passive transports.
+  void shutdown_transport();
+};
+
+/// The cluster an ExperimentConfig implies (node count derived from the
+/// world size; fabric/NIC/bandwidth knobs copied through). The two-argument
+/// overload sizes the cluster explicitly instead — the fleet driver hosts
+/// many jobs on a cluster larger than any one of them.
+net::ClusterConfig cluster_config_for(const ExperimentConfig& config);
+net::ClusterConfig cluster_config_for(const ExperimentConfig& config,
+                                      int n_nodes);
+
+/// Builds one tenant of `config`'s model/parallelism on `span` of an
+/// existing cluster. The span must hold exactly the job's world size. The
+/// engine is constructed but not started — call engine->run(...) (fleet) or
+/// engine->run_to_completion (single job).
+Tenant build_tenant(sim::Simulator& sim, net::Cluster& cluster,
+                    const ExperimentConfig& config, net::NodeSpan span);
 
 /// Builds and runs the experiment to completion.
 ExperimentResult run_experiment(const ExperimentConfig& config);

@@ -67,6 +67,12 @@ class OpusTransport final : public collective::Transport {
   bool hint_collective(const collective::CommGroup& group,
                        const collective::CollectiveSchedule& sched);
 
+  /// Tenant teardown: retires the controller (queued/speculative
+  /// reconfiguration requests are dropped) so no control-plane activity can
+  /// touch the OCS after the job's ports are recycled. In-flight
+  /// reconfigurations still complete — quiesce the ports afterwards.
+  void shutdown() { controller_->retire(); }
+
   // ---- introspection ---------------------------------------------------------
   const OpusController& controller() const { return *controller_; }
   const OpusShim& shim() const { return *shim_; }

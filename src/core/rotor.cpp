@@ -5,19 +5,30 @@
 namespace opus::core {
 
 RotorTransport::RotorTransport(sim::Simulator& sim, net::Cluster& cluster,
-                               Options options)
-    : sim_(sim), cluster_(cluster), options_(options) {
+                               Options options, net::NodeSpan span)
+    : sim_(sim), cluster_(cluster), options_(options), span_(span) {
   ensure(cluster_.fabric() == net::FabricKind::kRotor,
          "RotorTransport requires a FabricKind::kRotor cluster");
   ensure(options_.slot_time > 0, "rotor slot time must be positive");
-  n_rounds_ = cluster_.rotor_rounds();
-  // The cluster wired every rail to round 0 at construction; this transport
-  // only drives the rotation schedule from there.
+  ensure(span_.count >= 2, "a rotor span needs at least two nodes");
+  n_rounds_ = net::rotor_rounds_for(span_.count);
+  // A whole-cluster rotor finds round 0 pre-wired by the cluster; a tenant
+  // sub-rotor (or any rotor on a cluster with deferred fabric wiring) wires
+  // its own span's round-0 matchings here, instantly — pre-job setup.
+  for (int rail = 0; rail < cluster_.n_rails(); ++rail) {
+    const auto circuits =
+        cluster_.rotor_matching_circuits(RailId{rail}, 0, span_);
+    if (!cluster_.ocs(RailId{rail}).satisfied(circuits)) {
+      cluster_.ocs(RailId{rail}).force_circuits(circuits);
+    }
+  }
   rails_.resize(static_cast<std::size_t>(cluster_.n_rails()));
   for (int rail = 0; rail < cluster_.n_rails(); ++rail) {
     start_round(rail);
   }
 }
+
+void RotorTransport::shutdown() { stopped_ = true; }
 
 int RotorTransport::current_round(RailId rail) const {
   ensure(rail.valid() && rail.value() < cluster_.n_rails(), "invalid rail");
@@ -26,8 +37,8 @@ int RotorTransport::current_round(RailId rail) const {
 
 void RotorTransport::start_round(int rail) {
   RailState& state = rails_[static_cast<std::size_t>(rail)];
-  if (state.in_flight == 0 && state.waiting.empty()) {
-    state.timer_armed = false;  // idle: freeze until the next send
+  if (stopped_ || (state.in_flight == 0 && state.waiting.empty())) {
+    state.timer_armed = false;  // idle or shut down: freeze
     return;
   }
   state.timer_armed = true;
@@ -37,6 +48,7 @@ void RotorTransport::start_round(int rail) {
 void RotorTransport::on_slot_end(int rail) {
   RailState& state = rails_[static_cast<std::size_t>(rail)];
   state.timer_armed = false;
+  if (stopped_) return;
   if (state.in_flight > 0) {
     state.drain_pending = true;  // guard band: rotate once flows drain
     return;
@@ -48,11 +60,21 @@ void RotorTransport::on_slot_end(int rail) {
 void RotorTransport::rotate(int rail) {
   RailState& state = rails_[static_cast<std::size_t>(rail)];
   state.drain_pending = false;
-  state.rotating = true;
+  if (stopped_) return;
   const int next = (state.round + 1) % n_rounds_;
+  if (next == state.round) {
+    // One-round span (2 nodes): the only matching is already up. Rotating
+    // would re-request identical circuits — an OCS no-op — so count nothing
+    // and keep the rotation tally equal to the switch's reconfiguration
+    // stats; just release anything the guard band parked.
+    flush_waiting(rail);
+    start_round(rail);
+    return;
+  }
+  state.rotating = true;
   ++rotations_;
   cluster_.ocs(RailId{rail}).reconfigure(
-      cluster_.rotor_matching_circuits(RailId{rail}, next),
+      cluster_.rotor_matching_circuits(RailId{rail}, next, span_),
       [this, rail, next] {
         RailState& st = rails_[static_cast<std::size_t>(rail)];
         st.rotating = false;
@@ -105,6 +127,7 @@ void RotorTransport::send(const collective::CommGroup& group, GpuId src,
                           GpuId dst, Bytes bytes,
                           std::function<void()> done) {
   (void)group;
+  ensure(!stopped_, "RotorTransport::send after shutdown");
   if (src == dst || cluster_.same_node(src, dst)) {
     cluster_.transfer(src, dst, bytes, std::move(done));
     return;

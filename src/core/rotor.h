@@ -42,8 +42,17 @@ class RotorTransport final : public collective::Transport {
   };
 
   /// Requires a cluster built with FabricKind::kRotor (the cluster wires
-  /// the round-0 matchings and owns the port-spread policy).
-  RotorTransport(sim::Simulator& sim, net::Cluster& cluster, Options options);
+  /// the round-0 matchings and owns the port-spread policy). The span-taking
+  /// overload builds a *tenant sub-rotor* that rotates only the matchings of
+  /// its node span (its own, shorter cycle) on every rail — several
+  /// sub-rotors share one rail OCS in a fleet, reconfiguring disjoint port
+  /// blocks. It wires its span's round-0 matchings itself when the cluster
+  /// deferred fabric wiring.
+  RotorTransport(sim::Simulator& sim, net::Cluster& cluster, Options options,
+                 net::NodeSpan span);
+  RotorTransport(sim::Simulator& sim, net::Cluster& cluster, Options options)
+      : RotorTransport(sim, cluster, options,
+                       net::NodeSpan{0, cluster.n_nodes()}) {}
   RotorTransport(sim::Simulator& sim, net::Cluster& cluster)
       : RotorTransport(sim, cluster, Options{}) {}
 
@@ -66,11 +75,22 @@ class RotorTransport final : public collective::Transport {
   void send(const collective::CommGroup& group, GpuId src, GpuId dst,
             Bytes bytes, std::function<void()> done) override;
 
-  /// Rounds completed across all rails (diagnostics).
+  /// Rounds completed across all rails (diagnostics). Every counted
+  /// rotation issues exactly one state-changing OCS reconfiguration, so for
+  /// a single-tenant rotor fabric this equals the summed per-rail
+  /// OCS-reconfiguration stats (a 1-round span freezes instead of
+  /// re-wiring its only matching and counts nothing).
   int rotations() const { return rotations_; }
   /// Sends that had to wait for their matching.
   int deferred_sends() const { return deferred_; }
   int current_round(RailId rail) const;
+  net::NodeSpan span() const { return span_; }
+
+  /// Permanently stops the rotation schedule (tenant teardown): no further
+  /// slot timers, rotations, or reconfigurations. In-flight OCS
+  /// reconfigurations still complete — quiesce the span's ports afterwards
+  /// before recycling them. Idempotent.
+  void shutdown();
 
  private:
   struct PendingSend {
@@ -101,10 +121,12 @@ class RotorTransport final : public collective::Transport {
   sim::Simulator& sim_;
   net::Cluster& cluster_;
   Options options_;
+  net::NodeSpan span_;
   std::vector<RailState> rails_;
   int n_rounds_ = 0;
   int rotations_ = 0;
   int deferred_ = 0;
+  bool stopped_ = false;
 };
 
 }  // namespace opus::core

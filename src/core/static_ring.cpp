@@ -4,27 +4,32 @@
 
 namespace opus::core {
 
-StaticRingTransport::StaticRingTransport(net::Cluster& cluster)
+StaticRingTransport::StaticRingTransport(net::Cluster& cluster,
+                                         net::NodeSpan span)
     : cluster_(cluster) {
   ensure(cluster_.photonic(), "StaticRingTransport requires photonic rails");
   ensure(cluster_.config().allow_rail_multihop,
          "StaticRingTransport requires rail multi-hop forwarding");
-  ensure(cluster_.config().nic_ports >= 2 || cluster_.n_nodes() == 2,
+  ensure(span.first >= 0 && span.count >= 2 &&
+             span.end() <= cluster_.n_nodes(),
+         "StaticRingTransport: span must cover >= 2 nodes of the cluster");
+  ensure(cluster_.config().nic_ports >= 2 || span.count == 2,
          "a ring over >2 nodes needs 2 NIC ports");
-  const int nodes = cluster_.n_nodes();
+  const int nodes = span.count;
   for (int rail = 0; rail < cluster_.n_rails(); ++rail) {
     std::vector<net::CircuitRequest> circuits;
     if (nodes == 2) {
-      const GpuId a = cluster_.gpu_at(NodeId{0}, rail);
-      const GpuId b = cluster_.gpu_at(NodeId{1}, rail);
+      const GpuId a = cluster_.gpu_at(NodeId{span.first}, rail);
+      const GpuId b = cluster_.gpu_at(NodeId{span.first + 1}, rail);
       circuits.push_back({cluster_.ocs_port(a, 0), cluster_.ocs_port(b, 0)});
       if (cluster_.config().nic_ports >= 2) {
         circuits.push_back({cluster_.ocs_port(a, 1), cluster_.ocs_port(b, 1)});
       }
     } else {
       for (int n = 0; n < nodes; ++n) {
-        const GpuId a = cluster_.gpu_at(NodeId{n}, rail);
-        const GpuId b = cluster_.gpu_at(NodeId{(n + 1) % nodes}, rail);
+        const GpuId a = cluster_.gpu_at(NodeId{span.first + n}, rail);
+        const GpuId b =
+            cluster_.gpu_at(NodeId{span.first + (n + 1) % nodes}, rail);
         circuits.push_back({cluster_.ocs_port(a, 0), cluster_.ocs_port(b, 1)});
       }
     }

@@ -1,6 +1,7 @@
 #include "core/sweep.h"
 
 #include <atomic>
+#include <cstdio>
 #include <cstdlib>
 #include <exception>
 #include <mutex>
@@ -9,6 +10,18 @@
 #include "common/error.h"
 
 namespace opus::core {
+
+SweepShard sweep_shard() {
+  const char* env = std::getenv("OPUS_SWEEP_SHARD");
+  if (env == nullptr || *env == '\0') return {};
+  int index = -1;
+  int count = -1;
+  char trailing = '\0';
+  const int fields = std::sscanf(env, "%d/%d%c", &index, &count, &trailing);
+  ensure(fields == 2 && count >= 1 && index >= 0 && index < count,
+         "OPUS_SWEEP_SHARD must be 'i/N' with 0 <= i < N");
+  return {index, count};
+}
 
 int sweep_thread_count(const SweepOptions& opts) {
   if (opts.threads > 0) return opts.threads;
@@ -57,8 +70,19 @@ void parallel_for(std::size_t n, int threads,
 std::vector<ExperimentResult> run_sweep(
     const std::vector<ExperimentConfig>& cells, const SweepOptions& opts) {
   std::vector<ExperimentResult> results(cells.size());
-  parallel_for(cells.size(), sweep_thread_count(opts),
-               [&](std::size_t i) { results[i] = run_experiment(cells[i]); });
+  const SweepShard shard = opts.use_shard ? sweep_shard() : SweepShard{};
+  if (!shard.active()) {
+    parallel_for(cells.size(), sweep_thread_count(opts),
+                 [&](std::size_t i) { results[i] = run_experiment(cells[i]); });
+    return results;
+  }
+  std::vector<std::size_t> own;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (shard.owns(i)) own.push_back(i);
+  }
+  parallel_for(own.size(), sweep_thread_count(opts), [&](std::size_t k) {
+    results[own[k]] = run_experiment(cells[own[k]]);
+  });
   return results;
 }
 

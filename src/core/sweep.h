@@ -24,7 +24,34 @@ namespace opus::core {
 struct SweepOptions {
   /// Worker threads; <= 0 defers to OPUS_SWEEP_THREADS, then the hardware.
   int threads = 0;
+  /// Opt into process-level sweep sharding (OPUS_SWEEP_SHARD=i/N): when the
+  /// variable is set, run only every N-th cell (index % N == i) and leave
+  /// the rest value-initialized. Benches that emit one table row per cell
+  /// opt in and skip the unowned rows, so N processes regenerate a figure
+  /// cooperatively and scripts/merge_sweep_tables.py stitches their tables.
+  /// Tests leave this off — a shard variable must never silently skip their
+  /// cells.
+  bool use_shard = false;
 };
+
+/// Process-level shard of a sweep: this process owns cells with
+/// index % count == index_. Parsed from OPUS_SWEEP_SHARD ("i/N", 0-based);
+/// {0, 1} — own everything — when unset.
+struct SweepShard {
+  int index = 0;
+  int count = 1;
+
+  bool active() const { return count > 1; }
+  bool owns(std::size_t cell) const {
+    return count <= 1 ||
+           static_cast<int>(cell % static_cast<std::size_t>(count)) == index;
+  }
+};
+
+/// The shard the OPUS_SWEEP_SHARD environment variable selects. Malformed
+/// values (not "i/N" with 0 <= i < N) throw InvariantError — a typo must
+/// not silently run the full sweep N times.
+SweepShard sweep_shard();
 
 /// The worker count `opts` resolves to (always >= 1).
 int sweep_thread_count(const SweepOptions& opts = {});
@@ -38,7 +65,9 @@ void parallel_for(std::size_t n, int threads,
 
 /// Runs every cell to completion and returns the results in cell order.
 /// Cells are independent full experiments; results are identical to calling
-/// run_experiment serially on each config.
+/// run_experiment serially on each config. With `opts.use_shard` and an
+/// active OPUS_SWEEP_SHARD, only the shard's own cells run; the others stay
+/// value-initialized (check sweep_shard().owns(i) before consuming).
 std::vector<ExperimentResult> run_sweep(
     const std::vector<ExperimentConfig>& cells, const SweepOptions& opts = {});
 

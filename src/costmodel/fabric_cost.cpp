@@ -70,6 +70,7 @@ FabricCost opus_fabric(int n_gpus, const CostParams& p) {
   ensure(n_gpus >= p.gpus_per_node, "opus_fabric: need >= 1 node");
   FabricCost fc;
   fc.fabric = "Opus";
+  fc.ocs_technology = p.ocs.technology;
   fc.n_gpus = n_gpus;
   const int rails = p.gpus_per_node;
   const int nodes = n_gpus / rails;
@@ -92,6 +93,22 @@ FabricCost opus_fabric(int n_gpus, const CostParams& p) {
   fc.transceiver_cost = static_cast<double>(optics) * p.transceiver_200g_cost;
   fc.transceiver_power_w =
       static_cast<double>(optics) * p.transceiver_200g_power_w;
+  return fc;
+}
+
+FabricCost static_ring_fabric(int n_gpus, const CostParams& p) {
+  CostParams ring = p;
+  ring.ocs = ocs_by_technology("Robotic");
+  FabricCost fc = opus_fabric(n_gpus, ring);
+  fc.fabric = "StaticRing";
+  return fc;
+}
+
+FabricCost rotor_fabric(int n_gpus, const CostParams& p) {
+  CostParams rotor = p;
+  rotor.ocs = ocs_by_technology("RotorNet");
+  FabricCost fc = opus_fabric(n_gpus, rotor);
+  fc.fabric = "Rotor";
   return fc;
 }
 

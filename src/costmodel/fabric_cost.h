@@ -43,6 +43,10 @@ struct CostParams {
 
 struct FabricCost {
   std::string fabric;
+  /// OCS technology the BOM was priced on (empty for all-electrical
+  /// fabrics) — carried so consumers never re-derive it from the display
+  /// name.
+  std::string ocs_technology;
   int n_gpus = 0;
   int n_switches = 0;      ///< electrical packet switches
   int n_ocs = 0;           ///< optical circuit switches
@@ -66,6 +70,17 @@ struct FabricCost {
 FabricCost fat_tree_fabric(int n_gpus, const CostParams& params = {});
 FabricCost rail_optimized_fabric(int n_gpus, const CostParams& params = {});
 FabricCost opus_fabric(int n_gpus, const CostParams& params = {});
+
+/// The two other photonic circuit disciplines of net::FabricKind share
+/// Opus's rail/OCS hardware layout but pick different switch technologies:
+/// a static pre-job ring never reconfigures in-job, so the slowest,
+/// densest catalog entry (Telescent-class robotic patching) suffices; a
+/// rotor needs microsecond-class switching to keep slot overheads
+/// tolerable (RotorNet-style OCS). `params.ocs` is always overridden with
+/// the matching catalog entry — use opus_fabric directly to price a custom
+/// OcsSpec.
+FabricCost static_ring_fabric(int n_gpus, const CostParams& params = {});
+FabricCost rotor_fabric(int n_gpus, const CostParams& params = {});
 
 /// Fractional saving of `ours` versus `baseline` (0.705 = 70.5% cheaper).
 double cost_saving(const FabricCost& ours, const FabricCost& baseline);

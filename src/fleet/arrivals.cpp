@@ -1,0 +1,91 @@
+#include "fleet/arrivals.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace opus::fleet {
+
+std::vector<JobShape> table_mix_shapes(int gpus_per_node, int dp_scale) {
+  ensure(gpus_per_node >= 1, "shape mix: gpus_per_node must be positive");
+  ensure(dp_scale >= 1, "shape mix: dp_scale must be positive");
+  auto shape = [&](std::string name, int dp, int pp, double weight) {
+    JobShape s;
+    s.name = std::move(name);
+    s.model = workload::ModelConfig::test_tiny();
+    s.model.n_layers = 4 * pp;  // a few layers per pipeline stage
+    s.parallelism.tp = gpus_per_node;  // TP fills the scale-up domain
+    s.parallelism.dp = dp * dp_scale;
+    s.parallelism.pp = pp;
+    s.parallelism.n_microbatches = 2 * pp;
+    s.parallelism.microbatch_size = 1;
+    s.weight = weight;
+    return s;
+  };
+  // Table 1's ladder: small jobs run DP-only; larger ones add PP. Weights
+  // skew toward the small end, like real cluster job-size distributions.
+  return {
+      shape("dp2", 2, 1, 4.0),
+      shape("dp4", 4, 1, 3.0),
+      shape("dp2pp2", 2, 2, 2.0),
+      shape("dp4pp2", 4, 2, 1.5),
+      shape("dp2pp4", 2, 4, 0.5),
+  };
+}
+
+std::vector<JobSpec> generate_arrivals(const ArrivalConfig& cfg,
+                                       int gpus_per_node) {
+  ensure(cfg.n_jobs >= 1, "arrivals: need at least one job");
+  ensure(cfg.mean_interarrival >= 0, "arrivals: negative inter-arrival mean");
+  ensure(cfg.iterations >= 1, "arrivals: each job needs >= 1 iteration");
+  const std::vector<JobShape> shapes =
+      cfg.shapes.empty() ? table_mix_shapes(gpus_per_node) : cfg.shapes;
+  ensure(!shapes.empty(), "arrivals: shape mix is empty");
+  double total_weight = 0.0;
+  for (const JobShape& s : shapes) {
+    ensure(s.weight > 0, "arrivals: shape weights must be positive");
+    s.parallelism.validate();
+    ensure(s.parallelism.world_size() % gpus_per_node == 0,
+           "arrivals: shape world size must fill whole nodes");
+    total_weight += s.weight;
+  }
+
+  Xoshiro256 rng(cfg.seed);
+  std::vector<JobSpec> jobs;
+  jobs.reserve(static_cast<std::size_t>(cfg.n_jobs));
+  TimeNs clock = 0;
+  for (int id = 0; id < cfg.n_jobs; ++id) {
+    if (cfg.mean_interarrival > 0) {
+      // Exponential inter-arrival (Poisson process). 1 - u keeps the
+      // argument strictly positive; llround keeps the trace integral.
+      const double u = rng.uniform();
+      clock += static_cast<TimeNs>(std::llround(
+          -std::log(1.0 - u) * static_cast<double>(cfg.mean_interarrival)));
+    }
+    double pick = rng.uniform() * total_weight;
+    // Default to the last shape: FP rounding can leave pick non-negative
+    // after subtracting every weight, and that tail draw belongs to the
+    // last bucket, not the first.
+    std::size_t shape_index = shapes.size() - 1;
+    for (std::size_t s = 0; s < shapes.size(); ++s) {
+      pick -= shapes[s].weight;
+      if (pick < 0) {
+        shape_index = s;
+        break;
+      }
+    }
+    JobSpec spec;
+    spec.id = id;
+    spec.arrival = clock;
+    spec.shape_index = static_cast<int>(shape_index);
+    spec.shape = shapes[shape_index];
+    spec.iterations = cfg.iterations;
+    spec.engine_seed =
+        SplitMix64(cfg.seed ^ (static_cast<std::uint64_t>(id) << 20)).next();
+    jobs.push_back(std::move(spec));
+  }
+  return jobs;
+}
+
+}  // namespace opus::fleet

@@ -1,0 +1,74 @@
+// Job-arrival generation for the multi-tenant fleet simulator.
+//
+// A datacenter fleet is a stream of training jobs of different shapes
+// sharing one cluster (the paper's "millions of users" setting; Morphlux
+// frames the same multi-tenant reshaping problem for photonic fabrics).
+// This module turns a seeded RNG + a weighted shape mix — drawn from the
+// Table 1/2 parallelism practices — into a deterministic arrival trace:
+// Poisson arrivals (exponential inter-arrival times), weighted shape picks,
+// and a per-job engine-jitter seed, all reproducible bit-for-bit from
+// ArrivalConfig::seed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "workload/model_config.h"
+#include "workload/parallelism.h"
+
+namespace opus::fleet {
+
+/// One job shape in the mix: a model plus its parallelism layout. The node
+/// footprint follows from world_size / gpus_per_node.
+struct JobShape {
+  std::string name;
+  workload::ModelConfig model;
+  workload::ParallelismConfig parallelism;
+  /// Relative arrival frequency within the mix.
+  double weight = 1.0;
+
+  int n_nodes(int gpus_per_node) const {
+    return parallelism.world_size() / gpus_per_node;
+  }
+};
+
+/// The Table 1/2-style default mix: small DP-only jobs through DP x PP
+/// hybrids, all with TP filling the scale-up domain so every scale-out
+/// group is rail-local (the property the photonic fabrics exploit).
+/// `dp_scale` multiplies each shape's DP degree (1 = the 2..8-node test
+/// mix; larger values grow footprints for paper-scale fleets). Models are
+/// test_tiny-sized so fleet sweeps stay tractable.
+std::vector<JobShape> table_mix_shapes(int gpus_per_node, int dp_scale = 1);
+
+struct ArrivalConfig {
+  std::uint64_t seed = 2026;
+  int n_jobs = 16;
+  /// Mean of the exponential inter-arrival distribution.
+  TimeNs mean_interarrival = msecs(50);
+  /// Training iterations per job.
+  int iterations = 2;
+  /// Weighted shape mix; empty defers to table_mix_shapes(gpus_per_node).
+  std::vector<JobShape> shapes;
+};
+
+/// One generated arrival.
+struct JobSpec {
+  int id = 0;                ///< dense 0..n_jobs-1, in arrival order
+  TimeNs arrival = 0;
+  int shape_index = 0;       ///< into the resolved shape mix
+  JobShape shape;
+  int iterations = 1;
+  /// Per-job host-dispatch jitter seed (decorrelates tenants' dispatch
+  /// streams; derived deterministically from the arrival seed and job id).
+  std::uint64_t engine_seed = 0;
+};
+
+/// Generates the arrival trace: jobs in non-decreasing arrival order,
+/// deterministic in `cfg.seed`. Throws when a shape's world size does not
+/// fill whole nodes of `gpus_per_node`.
+std::vector<JobSpec> generate_arrivals(const ArrivalConfig& cfg,
+                                       int gpus_per_node);
+
+}  // namespace opus::fleet

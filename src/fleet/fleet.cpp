@@ -1,0 +1,247 @@
+#include "fleet/fleet.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <memory>
+#include <numeric>
+
+#include "common/error.h"
+#include "common/units.h"
+#include "core/rotor.h"
+
+namespace opus::fleet {
+
+namespace {
+
+core::ExperimentConfig job_experiment_config(const FleetConfig& cfg,
+                                             const JobSpec& spec) {
+  core::ExperimentConfig c = cfg.base;
+  c.model = spec.shape.model;
+  c.parallelism = spec.shape.parallelism;
+  c.iterations = spec.iterations;
+  c.engine.seed = spec.engine_seed;
+  return c;
+}
+
+/// The event-driven fleet state machine: arrival -> place-or-queue -> run ->
+/// shutdown -> quiesce -> wipe/release -> place queued. All members are
+/// plain references into run_fleet's stack frame; the driver outlives the
+/// simulation loop.
+struct Driver {
+  const FleetConfig& cfg;
+  sim::Simulator& sim;
+  net::Cluster& cluster;
+  PlacementEngine& placement;
+  FleetResult& result;
+  std::vector<std::unique_ptr<core::Tenant>>& tenants;
+  std::deque<int> queue;               // FCFS job indices awaiting nodes
+  std::vector<TimeNs> dark_at_start;   // per-job span dark-time snapshot
+
+  void on_arrival(int i) {
+    FleetJobResult& jr = result.jobs[static_cast<std::size_t>(i)];
+    const int nodes = jr.spec.shape.n_nodes(cfg.base.gpus_per_node);
+    if (nodes > cfg.n_nodes) {
+      jr.rejected = true;
+      ++result.rejected_jobs;
+      return;
+    }
+    // Strict FCFS: an arrival may not overtake already-queued jobs.
+    if (!queue.empty() || !try_place(i)) queue.push_back(i);
+  }
+
+  bool try_place(int i) {
+    FleetJobResult& jr = result.jobs[static_cast<std::size_t>(i)];
+    const int nodes = jr.spec.shape.n_nodes(cfg.base.gpus_per_node);
+    const auto span = placement.allocate(nodes);
+    if (!span.has_value()) return false;
+    result.peak_fragmentation =
+        std::max(result.peak_fragmentation, placement.fragmentation());
+    result.peak_free_extents =
+        std::max(result.peak_free_extents, placement.free_extent_count());
+
+    jr.placement = *span;
+    jr.start = sim.now();
+    cluster.assign_tenant(jr.spec.id, *span);
+    dark_at_start[static_cast<std::size_t>(i)] =
+        cluster.photonic() ? cluster.ocs_dark_time_in_span(*span) : 0;
+
+    auto& tenant = tenants[static_cast<std::size_t>(i)];
+    tenant = std::make_unique<core::Tenant>(core::build_tenant(
+        sim, cluster, job_experiment_config(cfg, jr.spec), *span));
+    tenant->engine->run(tenant->dag, jr.spec.iterations,
+                        [this, i] { on_job_done(i); });
+    return true;
+  }
+
+  void on_job_done(int i) {
+    FleetJobResult& jr = result.jobs[static_cast<std::size_t>(i)];
+    core::Tenant& tenant = *tenants[static_cast<std::size_t>(i)];
+    jr.finish = sim.now();
+    jr.iteration_times = tenant.engine->iteration_times();
+    if (tenant.rotor != nullptr) {
+      jr.rotor_rotations = tenant.rotor->rotations();
+      jr.rotor_deferred_sends = tenant.rotor->deferred_sends();
+    }
+    // Stop the tenant's control plane FIRST (synchronously): the very event
+    // that completed the job may still trigger a trailing rotor rotation or
+    // a speculative Opus request once this callback returns.
+    tenant.shutdown_transport();
+    cluster.quiesce_span_ports(tenant.span, [this, i] { recycle(i); });
+  }
+
+  void recycle(int i) {
+    FleetJobResult& jr = result.jobs[static_cast<std::size_t>(i)];
+    const net::NodeSpan span = jr.placement;
+    if (cluster.photonic()) {
+      jr.dark_time = cluster.ocs_dark_time_in_span(span) -
+                     dark_at_start[static_cast<std::size_t>(i)];
+    }
+    cluster.release_tenant(span);
+    placement.release(span);
+    // Head-of-line jobs that now fit start immediately (same instant).
+    while (!queue.empty() && try_place(queue.front())) queue.pop_front();
+  }
+};
+
+}  // namespace
+
+FleetResult run_fleet(const FleetConfig& cfg) {
+  ensure(cfg.n_nodes >= 1, "fleet: cluster needs at least one node");
+  const std::vector<JobSpec> specs =
+      generate_arrivals(cfg.arrivals, cfg.base.gpus_per_node);
+
+  FleetResult result;
+  result.config = cfg;
+  result.jobs.resize(specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    result.jobs[i].spec = specs[i];
+  }
+
+  // Isolated baselines: each job alone on a cluster of its own footprint,
+  // fanned across the sweep pool (independent simulators — deterministic at
+  // any width). Jobs too big for the fleet's cluster will be rejected at
+  // arrival and their baselines never read, so don't simulate them.
+  if (cfg.isolated_baselines) {
+    std::vector<core::ExperimentConfig> cells;
+    std::vector<std::size_t> cell_jobs;
+    for (const JobSpec& spec : specs) {
+      if (spec.shape.n_nodes(cfg.base.gpus_per_node) > cfg.n_nodes) continue;
+      cells.push_back(job_experiment_config(cfg, spec));
+      cell_jobs.push_back(static_cast<std::size_t>(spec.id));
+    }
+    const std::vector<core::ExperimentResult> isolated =
+        core::run_sweep(cells, cfg.baseline_sweep);
+    for (std::size_t k = 0; k < cell_jobs.size(); ++k) {
+      FleetJobResult& jr = result.jobs[cell_jobs[k]];
+      jr.isolated_time =
+          std::accumulate(isolated[k].iteration_times.begin(),
+                          isolated[k].iteration_times.end(),
+                          static_cast<TimeNs>(0));
+      jr.isolated_rail_bytes = isolated[k].rail_bytes;
+      jr.isolated_multihop_bytes = isolated[k].multihop_bytes;
+    }
+  }
+
+  // The shared world: one simulator, one cluster, one fluid network. Tenant
+  // transports wire their own spans (defer_fabric_wiring), so nothing
+  // pre-connects ports across future tenant boundaries.
+  sim::Simulator sim;
+  net::ClusterConfig ncfg = core::cluster_config_for(cfg.base, cfg.n_nodes);
+  ncfg.defer_fabric_wiring = true;
+  net::Cluster cluster(sim, ncfg);
+  PlacementEngine placement(cfg.n_nodes, cfg.policy);
+  std::vector<std::unique_ptr<core::Tenant>> tenants(specs.size());
+
+  Driver driver{cfg,    sim,     cluster, placement,
+                result, tenants, {},      std::vector<TimeNs>(specs.size(), 0)};
+  for (const JobSpec& spec : specs) {
+    sim.schedule_at(spec.arrival,
+                    [&driver, i = spec.id] { driver.on_arrival(i); });
+  }
+  sim.run();
+  ensure(driver.queue.empty(),
+         "fleet: simulation drained with jobs still queued");
+
+  // Post-run bookkeeping: per-tenant bytes, slowdowns, fleet aggregates.
+  std::int64_t node_time = 0;
+  for (FleetJobResult& jr : result.jobs) {
+    if (jr.rejected) continue;
+    ensure(jr.finish >= jr.start && jr.start >= jr.spec.arrival,
+           "fleet: job did not complete");
+    using Route = net::Cluster::Route;
+    const int id = jr.spec.id;
+    jr.rail_bytes = cluster.tenant_bytes_on_route(id, Route::kRail);
+    jr.scale_up_bytes = cluster.tenant_bytes_on_route(id, Route::kScaleUp);
+    jr.pxn_bytes = cluster.tenant_bytes_on_route(id, Route::kPxn);
+    jr.mgmt_bytes = cluster.tenant_bytes_on_route(id, Route::kMgmt);
+    jr.multihop_bytes =
+        cluster.tenant_bytes_on_route(id, Route::kRailMultiHop);
+    if (jr.isolated_time > 0) {
+      jr.slowdown = static_cast<double>(jr.jct()) /
+                    static_cast<double>(jr.isolated_time);
+    }
+    const std::int64_t port_time =
+        static_cast<std::int64_t>(jr.placement.count) *
+        cluster.config().nic_ports * cluster.n_rails() * jr.service_time();
+    if (port_time > 0) {
+      jr.dark_share =
+          static_cast<double>(jr.dark_time) / static_cast<double>(port_time);
+    }
+    result.makespan = std::max(result.makespan, jr.finish);
+    node_time += static_cast<std::int64_t>(jr.placement.count) *
+                 jr.service_time();
+  }
+  if (result.makespan > 0) {
+    result.utilization =
+        static_cast<double>(node_time) /
+        (static_cast<double>(cfg.n_nodes) *
+         static_cast<double>(result.makespan));
+  }
+  return result;
+}
+
+TextTable fleet_job_table(const FleetResult& result) {
+  TextTable table({"Job", "Shape", "Nodes", "Span", "Arrival", "Queue",
+                   "JCT", "Slowdown", "Dark%", "Rail bytes", "Multihop"});
+  for (const FleetJobResult& jr : result.jobs) {
+    if (jr.rejected) {
+      table.add_row({std::to_string(jr.spec.id), jr.spec.shape.name,
+                     std::to_string(jr.spec.shape.n_nodes(
+                         result.config.base.gpus_per_node)),
+                     "-", format_time(jr.spec.arrival), "-", "rejected", "-",
+                     "-", "-", "-"});
+      continue;
+    }
+    table.add_row(
+        {std::to_string(jr.spec.id), jr.spec.shape.name,
+         std::to_string(jr.placement.count),
+         std::to_string(jr.placement.first) + ".." +
+             std::to_string(jr.placement.end() - 1),
+         format_time(jr.spec.arrival), format_time(jr.queueing_delay()),
+         format_time(jr.jct()),
+         jr.slowdown > 0 ? fmt_double(jr.slowdown, 2) + "x" : "-",
+         fmt_double(100.0 * jr.dark_share, 2), format_bytes(jr.rail_bytes),
+         format_bytes(jr.multihop_bytes)});
+  }
+  return table;
+}
+
+SlowdownStats fleet_slowdown_stats(const FleetResult& result) {
+  std::vector<double> slowdowns;
+  for (const FleetJobResult& jr : result.jobs) {
+    if (!jr.rejected && jr.slowdown > 0) slowdowns.push_back(jr.slowdown);
+  }
+  SlowdownStats stats;
+  if (slowdowns.empty()) return stats;
+  stats.mean = std::accumulate(slowdowns.begin(), slowdowns.end(), 0.0) /
+               static_cast<double>(slowdowns.size());
+  std::sort(slowdowns.begin(), slowdowns.end());
+  // Nearest-rank p99: the ceil(0.99 n)-th smallest.
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(0.99 * static_cast<double>(slowdowns.size())));
+  stats.p99 = slowdowns[std::min(rank, slowdowns.size()) - 1];
+  return stats;
+}
+
+}  // namespace opus::fleet

@@ -22,6 +22,12 @@ RailKind rail_kind_of(FabricKind f) {
                                       : RailKind::kPhotonic;
 }
 
+int rotor_rounds_for(int n_nodes) {
+  ensure(n_nodes >= 2, "a rotor needs at least two nodes");
+  const int m = n_nodes % 2 == 0 ? n_nodes : n_nodes + 1;
+  return m - 1;
+}
+
 Cluster::Cluster(sim::Simulator& sim, ClusterConfig cfg)
     : sim_(sim), cfg_(cfg), net_(sim), route_bytes_(6, 0) {
   ensure(cfg_.n_nodes > 0, "cluster requires nodes");
@@ -76,7 +82,9 @@ Cluster::Cluster(sim::Simulator& sim, ClusterConfig cfg)
       // RotorTransport advances the schedule from there. The dead-circuit
       // cache is widened to the whole rotation cycle so each matching's
       // fluid links are created once and reused every cycle instead of
-      // being retired and rebuilt ~n_ports at a time per rotation.
+      // being retired and rebuilt ~n_ports at a time per rotation. (The sum
+      // of tenant sub-cycles in a fleet never exceeds the whole-fabric
+      // cycle, so the same bound serves deferred wiring.)
       ensure(cfg_.n_nodes >= 2, "a rotor fabric needs at least two nodes");
       // +2 rounds of slack: at steady state the cache holds one full cycle
       // plus the round being torn down, and pruning must not evict the
@@ -87,8 +95,10 @@ Cluster::Cluster(sim::Simulator& sim, ClusterConfig cfg)
       for (int r = 0; r < rails; ++r) {
         rail_ocs_[static_cast<std::size_t>(r)]->set_dead_circuit_cache(
             cycle_circuits);
-        rail_ocs_[static_cast<std::size_t>(r)]->force_circuits(
-            rotor_matching_circuits(RailId{r}, 0));
+        if (!cfg_.defer_fabric_wiring) {
+          rail_ocs_[static_cast<std::size_t>(r)]->force_circuits(
+              rotor_matching_circuits(RailId{r}, 0));
+        }
       }
     }
   } else {
@@ -170,27 +180,136 @@ TimeNs Cluster::total_ocs_dark_time() const {
 
 int Cluster::rotor_rounds() const {
   ensure(cfg_.fabric == FabricKind::kRotor, "rotor_rounds: not a rotor fabric");
-  const int m = cfg_.n_nodes % 2 == 0 ? cfg_.n_nodes : cfg_.n_nodes + 1;
-  return m - 1;
+  return rotor_rounds_for(cfg_.n_nodes);
 }
 
 std::vector<CircuitRequest> Cluster::rotor_matching_circuits(RailId rail,
                                                              int round) const {
+  return rotor_matching_circuits(rail, round, NodeSpan{0, cfg_.n_nodes});
+}
+
+std::vector<CircuitRequest> Cluster::rotor_matching_circuits(
+    RailId rail, int round, NodeSpan span) const {
   ensure(cfg_.fabric == FabricKind::kRotor,
          "rotor_matching_circuits: not a rotor fabric");
   ensure(rail.valid() && rail.value() < n_rails(), "invalid rail");
-  const int rounds = rotor_rounds();
+  check_span(span);
+  ensure(span.count >= 2, "a rotor span needs at least two nodes");
+  const int rounds = rotor_rounds_for(span.count);
   ensure(round >= 0 && round < rounds, "invalid rotor round");
+  // A small span's cycle may be shorter than the fleet-wide spread.
+  const int spread = std::min(cfg_.rotor_port_spread, rounds);
   std::vector<CircuitRequest> circuits;
   for (int p = 0; p < cfg_.nic_ports; ++p) {
-    const int m = (round + p % cfg_.rotor_port_spread) % rounds;
-    for (const auto& [a, b] : round_robin_matching(cfg_.n_nodes, m)) {
-      const GpuId ga = gpu_at(NodeId{a}, rail.value());
-      const GpuId gb = gpu_at(NodeId{b}, rail.value());
+    const int m = (round + p % spread) % rounds;
+    for (const auto& [a, b] : round_robin_matching(span.count, m)) {
+      const GpuId ga = gpu_at(NodeId{span.first + a}, rail.value());
+      const GpuId gb = gpu_at(NodeId{span.first + b}, rail.value());
       circuits.push_back({ocs_port(ga, p), ocs_port(gb, p)});
     }
   }
   return circuits;
+}
+
+void Cluster::check_span(NodeSpan span) const {
+  ensure(span.first >= 0 && span.count >= 1 && span.end() <= cfg_.n_nodes,
+         "node span out of cluster range");
+}
+
+std::vector<PortId> Cluster::span_ports(NodeSpan span) const {
+  check_span(span);
+  std::vector<PortId> ports;
+  ports.reserve(static_cast<std::size_t>(span.count * cfg_.nic_ports));
+  for (int node = span.first; node < span.end(); ++node) {
+    for (int p = 0; p < cfg_.nic_ports; ++p) {
+      ports.push_back(PortId{node * cfg_.nic_ports + p});
+    }
+  }
+  return ports;
+}
+
+void Cluster::assign_tenant(int tenant, NodeSpan span) {
+  check_span(span);
+  ensure(tenant >= 0, "tenant id must be non-negative");
+  if (node_tenant_.empty()) {
+    node_tenant_.assign(static_cast<std::size_t>(cfg_.n_nodes), kNoTenant);
+  }
+  tenant_accounting_ = true;
+  for (int node = span.first; node < span.end(); ++node) {
+    ensure(node_tenant_[static_cast<std::size_t>(node)] == kNoTenant,
+           "assign_tenant: node already owned by another tenant");
+    node_tenant_[static_cast<std::size_t>(node)] = tenant;
+  }
+  if (photonic()) {
+    const std::vector<PortId> ports = span_ports(span);
+    for (int r = 0; r < n_rails(); ++r) {
+      for (PortId p : ports) ocs(RailId{r}).set_port_owner(p, tenant);
+    }
+  }
+}
+
+void Cluster::release_tenant(NodeSpan span) {
+  check_span(span);
+  ensure(!node_tenant_.empty(), "release_tenant: no tenants assigned");
+  for (int node = span.first; node < span.end(); ++node) {
+    ensure(node_tenant_[static_cast<std::size_t>(node)] != kNoTenant,
+           "release_tenant: node is not tenanted");
+    node_tenant_[static_cast<std::size_t>(node)] = kNoTenant;
+  }
+  if (photonic()) {
+    const std::vector<PortId> ports = span_ports(span);
+    for (int r = 0; r < n_rails(); ++r) {
+      auto& sw = ocs(RailId{r});
+      // Tear down the tenant's leftover circuits (the rotor's last matching,
+      // the static ring, Opus's final layout) so the next occupant starts on
+      // virgin ports and no later establish can touch a foreign port.
+      sw.clear_circuits_on(ports);
+      for (PortId p : ports) {
+        sw.set_port_owner(p, OpticalCircuitSwitch::kUnowned);
+      }
+    }
+  }
+}
+
+int Cluster::tenant_of(NodeId node) const {
+  ensure(node.valid() && node.value() < cfg_.n_nodes, "invalid node id");
+  if (node_tenant_.empty()) return kNoTenant;
+  return node_tenant_[static_cast<std::size_t>(node.value())];
+}
+
+Bytes Cluster::tenant_bytes_on_route(int tenant, Route r) const {
+  const auto it = tenant_route_bytes_.find(tenant);
+  if (it == tenant_route_bytes_.end()) return 0;
+  return it->second[static_cast<std::size_t>(r)];
+}
+
+TimeNs Cluster::ocs_dark_time_in_span(NodeSpan span) const {
+  ensure(photonic(), "ocs_dark_time_in_span: cluster has electrical rails");
+  TimeNs total = 0;
+  const std::vector<PortId> ports = span_ports(span);
+  for (int r = 0; r < n_rails(); ++r) {
+    for (PortId p : ports) total += ocs(RailId{r}).port_dark_time(p);
+  }
+  return total;
+}
+
+void Cluster::quiesce_span_ports(NodeSpan span, std::function<void()> cb) {
+  check_span(span);
+  if (!photonic()) {
+    if (cb) cb();
+    return;
+  }
+  // One waiter per rail with a shared countdown. A span port can only go
+  // dark again through its owner's control plane, which the caller has shut
+  // down, so the countdown is monotone.
+  const std::vector<PortId> ports = span_ports(span);
+  auto remaining = std::make_shared<int>(n_rails());
+  auto done = std::make_shared<std::function<void()>>(std::move(cb));
+  for (int r = 0; r < n_rails(); ++r) {
+    ocs(RailId{r}).call_when_undark(ports, [remaining, done] {
+      if (--*remaining == 0 && *done) (*done)();
+    });
+  }
 }
 
 Cluster::Route Cluster::route_for(GpuId src, GpuId dst) const {
@@ -253,8 +372,13 @@ bool Cluster::rail_path_available(GpuId src, GpuId dst) const {
   return rail_multihop_path(src, dst).size() >= 2;
 }
 
-void Cluster::account(Route r, Bytes bytes) {
+void Cluster::account(Route r, GpuId src, Bytes bytes) {
   route_bytes_[static_cast<std::size_t>(r)] += bytes;
+  if (!tenant_accounting_) return;
+  const int tenant = node_tenant_[static_cast<std::size_t>(
+      src.value() / cfg_.gpus_per_node)];
+  if (tenant == kNoTenant) return;
+  tenant_route_bytes_[tenant][static_cast<std::size_t>(r)] += bytes;
 }
 
 Bytes Cluster::bytes_on_route(Route r) const {
@@ -263,7 +387,7 @@ Bytes Cluster::bytes_on_route(Route r) const {
 
 void Cluster::transfer_scale_up(GpuId src, GpuId dst, Bytes bytes,
                                 std::function<void()> on_complete) {
-  account(Route::kScaleUp, bytes);
+  account(Route::kScaleUp, src, bytes);
   net_.start_flow({nvl_out_[static_cast<std::size_t>(src.value())],
                    nvl_in_[static_cast<std::size_t>(dst.value())]},
                   bytes, cfg_.nvlink_latency, std::move(on_complete));
@@ -330,7 +454,7 @@ void Cluster::transfer_rail(GpuId src, GpuId dst, Bytes bytes,
     ensure(path.size() >= 2,
            "photonic rail transfer: destination unreachable through live "
            "circuits even with multi-hop forwarding");
-    account(Route::kRailMultiHop, bytes);
+    account(Route::kRailMultiHop, src, bytes);
     // Chain the hops back to front so each callback launches the next.
     std::function<void()> chain = std::move(on_complete);
     for (std::size_t i = path.size() - 1; i >= 1; --i) {
@@ -348,7 +472,7 @@ void Cluster::transfer_rail(GpuId src, GpuId dst, Bytes bytes,
 
 void Cluster::transfer_rail_hop(GpuId src, GpuId dst, Bytes bytes,
                                 std::function<void()> on_complete) {
-  account(Route::kRail, bytes);
+  account(Route::kRail, src, bytes);
   if (!photonic()) {
     const auto& sw =
         *rail_electrical_[static_cast<std::size_t>(local_rank(src))];
@@ -400,7 +524,7 @@ void Cluster::transfer(GpuId src, GpuId dst, Bytes bytes,
       // bridge: the rail hop starts when the NVLink hop delivered (this is
       // the latency + bandwidth tax the paper attributes to multiplexing
       // parallelisms over shared links).
-      account(Route::kPxn, bytes);
+      account(Route::kPxn, src, bytes);
       const GpuId bridge = gpu_at(node_of(src), local_rank(dst));
       transfer_scale_up(src, bridge, bytes,
                         [this, bridge, dst, bytes,
@@ -420,7 +544,7 @@ void Cluster::transfer_mgmt(GpuId src, GpuId dst, Bytes bytes,
                             std::function<void()> on_complete) {
   ensure(mgmt_ != nullptr, "management network is not enabled");
   ensure(src != dst, "mgmt transfer requires distinct endpoints");
-  account(Route::kMgmt, bytes);
+  account(Route::kMgmt, src, bytes);
   // mgmt_latency is the end-to-end host-network latency (stored as the
   // switch's hop latency at construction).
   net_.start_flow({mgmt_->uplink(src.value()), mgmt_->downlink(dst.value())},

@@ -20,9 +20,11 @@
 // FabricKind and get a consistent cluster.
 #pragma once
 
+#include <array>
 #include <functional>
 #include <memory>
 #include <optional>
+#include <unordered_map>
 #include <vector>
 
 #include "common/ids.h"
@@ -60,6 +62,29 @@ const char* fabric_name(FabricKind f);
 /// The switching hardware a fabric runs on: kElectrical for packet rails,
 /// kPhotonic for the three circuit-switched fabrics.
 RailKind rail_kind_of(FabricKind f);
+
+/// All four fabrics, in the paper's comparison order (for sweeps/benches).
+inline constexpr FabricKind kAllFabrics[] = {
+    FabricKind::kElectrical, FabricKind::kOpusPhotonic,
+    FabricKind::kStaticRing, FabricKind::kRotor};
+
+/// A contiguous run of nodes — the unit the fleet's placement engine carves
+/// out of a shared cluster for one tenant job. {0, n_nodes} is the whole
+/// cluster (the single-job special case).
+struct NodeSpan {
+  int first = 0;
+  int count = 0;
+
+  int end() const { return first + count; }
+  bool contains(int node) const { return node >= first && node < end(); }
+  friend bool operator==(const NodeSpan&, const NodeSpan&) = default;
+};
+
+/// Rotation-cycle length of a rotor over `n_nodes` nodes: the n-1 (even n)
+/// or n (odd n) circle-method rounds that together connect every node pair
+/// once. Span-independent helper so per-tenant sub-rotors can size their own
+/// cycles.
+int rotor_rounds_for(int n_nodes);
 
 struct ClusterConfig {
   int n_nodes = 4;
@@ -101,6 +126,14 @@ struct ClusterConfig {
   /// rotor caps this at 2 (RotorNet-style direct-or-two-hop routing); the
   /// static ring forwards arbitrarily far around the ring.
   int max_multihop_hops = 0;
+
+  /// Skip the pre-job fabric wiring the constructor would normally perform
+  /// (the rotor's round-0 matchings). A multi-tenant fleet sets this: each
+  /// placed job wires its own node span when its transport is built, so a
+  /// whole-fabric matching must not pre-connect ports across future tenant
+  /// boundaries. Fabric normalization (multi-hop settings, dead-circuit
+  /// cache sizing) still happens.
+  bool defer_fabric_wiring = false;
 
   /// kRotor only: how many consecutive round-robin matchings are striped
   /// across the NIC ports. 1 (classic) points every port of a node at the
@@ -174,8 +207,43 @@ class Cluster {
   /// constructor wires round 0; the RotorTransport drives the rotation.
   std::vector<CircuitRequest> rotor_matching_circuits(RailId rail,
                                                       int round) const;
+  /// Span-scoped variant: the matchings of rotation round `round` over just
+  /// the nodes of `span` (a tenant sub-rotor; matching ids are relative to
+  /// span.first). The port spread is re-clamped to the span's own cycle
+  /// length, so a 2-node tenant degrades to the classic single-matching
+  /// rotor even when the fleet-wide spread is 2.
+  std::vector<CircuitRequest> rotor_matching_circuits(RailId rail, int round,
+                                                      NodeSpan span) const;
+
+  // ---- multi-tenant node ownership (the fleet layer) ----------------------
+  /// Tags every node of `span` (and its OCS ports on every rail) as owned by
+  /// `tenant` (>= 0). The nodes must be untenanted. From then on transfer
+  /// bytes sourced at those nodes are attributed to the tenant, and OCS
+  /// circuits may never connect the tenant's ports to another tenant's.
+  void assign_tenant(int tenant, NodeSpan span);
+  /// Releases the span: clears node tags and OCS port owners, and tears
+  /// down any remaining circuits on the span's ports (which must be
+  /// quiescent — use quiesce_span_ports first). Per-tenant byte totals
+  /// remain readable afterwards.
+  void release_tenant(NodeSpan span);
+  /// Tenant owning `node` (kNoTenant when unassigned).
+  static constexpr int kNoTenant = -1;
+  int tenant_of(NodeId node) const;
+  /// Photonic: cumulative dark time summed over the span's OCS ports on all
+  /// rails (snapshot before/after a job to get its dark-time share).
+  TimeNs ocs_dark_time_in_span(NodeSpan span) const;
+  /// Photonic: fires `cb` once no OCS port of the span is dark on any rail
+  /// (immediately when that already holds). Electrical: immediate.
+  void quiesce_span_ports(NodeSpan span, std::function<void()> cb);
+  /// The OCS ports of the span's nodes (identical set on every rail).
+  std::vector<PortId> span_ports(NodeSpan span) const;
 
   enum class Route { kLoopback, kScaleUp, kRail, kPxn, kMgmt, kRailMultiHop };
+
+  /// Bytes moved on route `r` whose source GPU sat on one of `tenant`'s
+  /// nodes (attribution is per transfer hop, so a tenant's multi-hop
+  /// forwarding charges the tenant itself).
+  Bytes tenant_bytes_on_route(int tenant, Route r) const;
   /// The route class transfer() would use for src -> dst.
   Route route_for(GpuId src, GpuId dst) const;
 
@@ -220,7 +288,8 @@ class Cluster {
   /// send/flush scans hit this on every waiting send, so it must not
   /// allocate.
   GpuId two_hop_via(GpuId src, GpuId dst) const;
-  void account(Route r, Bytes bytes);
+  void account(Route r, GpuId src, Bytes bytes);
+  void check_span(NodeSpan span) const;
 
   sim::Simulator& sim_;
   ClusterConfig cfg_;
@@ -233,6 +302,12 @@ class Cluster {
   std::vector<std::unique_ptr<ElectricalSwitch>> rail_electrical_;
   std::unique_ptr<ElectricalSwitch> mgmt_;
   std::vector<Bytes> route_bytes_;
+  // Multi-tenant state: per-node owner tags (kNoTenant when unassigned) and
+  // per-tenant route-byte totals. tenant_accounting_ flips on first
+  // assignment so the single-tenant fast path skips the map entirely.
+  bool tenant_accounting_ = false;
+  std::vector<int> node_tenant_;
+  std::unordered_map<int, std::array<Bytes, 6>> tenant_route_bytes_;
 };
 
 }  // namespace opus::net

@@ -50,7 +50,9 @@ OpticalCircuitSwitch::OpticalCircuitSwitch(sim::Simulator& sim,
       name_(std::move(name)),
       peer_(static_cast<std::size_t>(n_ports), -1),
       dark_(static_cast<std::size_t>(n_ports), false),
-      failed_(static_cast<std::size_t>(n_ports), false) {
+      failed_(static_cast<std::size_t>(n_ports), false),
+      owner_(static_cast<std::size_t>(n_ports), kUnowned),
+      port_dark_ns_(static_cast<std::size_t>(n_ports), 0) {
   ensure(n_ports > 0, "OCS requires at least one port");
   ensure(port_bw.positive(), "OCS port bandwidth must be positive");
   ensure(reconfig_delay >= 0, "OCS reconfig delay must be non-negative");
@@ -75,6 +77,78 @@ std::optional<PortId> OpticalCircuitSwitch::peer(PortId p) const {
 bool OpticalCircuitSwitch::dark(PortId p) const {
   check_port(p);
   return dark_[static_cast<std::size_t>(p.value())];
+}
+
+void OpticalCircuitSwitch::set_port_owner(PortId p, int owner) {
+  check_port(p);
+  ensure(owner >= kUnowned, "OCS port owner must be kUnowned or non-negative");
+  owner_[static_cast<std::size_t>(p.value())] = owner;
+}
+
+int OpticalCircuitSwitch::port_owner(PortId p) const {
+  check_port(p);
+  return owner_[static_cast<std::size_t>(p.value())];
+}
+
+TimeNs OpticalCircuitSwitch::port_dark_time(PortId p) const {
+  check_port(p);
+  return port_dark_ns_[static_cast<std::size_t>(p.value())];
+}
+
+void OpticalCircuitSwitch::clear_circuits_on(const std::vector<PortId>& ports) {
+  for (PortId p : ports) {
+    check_port(p);
+    ensure(!dark(p), "OCS clear_circuits_on: port is mid-reconfiguration");
+    const auto q = peer_[static_cast<std::size_t>(p.value())];
+    if (q < 0) continue;
+    ensure(!dark(PortId{q}),
+           "OCS clear_circuits_on: peer port is mid-reconfiguration");
+    const auto it =
+        links_.find(pair_key(std::min(p.value(), q), std::max(p.value(), q)));
+    if (it != links_.end()) {
+      ensure(net_.active_flows_on(it->second.first) == 0 &&
+                 net_.active_flows_on(it->second.second) == 0,
+             "OCS clear_circuits_on: circuit still carrying traffic");
+    }
+    tear_down(p);
+  }
+}
+
+void OpticalCircuitSwitch::call_when_undark(std::vector<PortId> ports,
+                                            std::function<void()> cb) {
+  for (PortId p : ports) check_port(p);
+  const bool any_dark =
+      std::any_of(ports.begin(), ports.end(), [this](PortId p) {
+        return dark_[static_cast<std::size_t>(p.value())];
+      });
+  if (!any_dark) {
+    if (cb) cb();
+    return;
+  }
+  undark_waiters_.emplace_back(std::move(ports), std::move(cb));
+}
+
+void OpticalCircuitSwitch::pump_undark_waiters() {
+  if (undark_waiters_.empty()) return;
+  // Collect the ready callbacks first: a fired waiter may register new
+  // waiters or trigger further reconfigurations.
+  std::vector<std::function<void()>> ready;
+  auto it = undark_waiters_.begin();
+  while (it != undark_waiters_.end()) {
+    const bool any_dark =
+        std::any_of(it->first.begin(), it->first.end(), [this](PortId p) {
+          return dark_[static_cast<std::size_t>(p.value())];
+        });
+    if (any_dark) {
+      ++it;
+    } else {
+      ready.push_back(std::move(it->second));
+      it = undark_waiters_.erase(it);
+    }
+  }
+  for (auto& cb : ready) {
+    if (cb) cb();
+  }
 }
 
 bool OpticalCircuitSwitch::connected(PortId a, PortId b) const {
@@ -227,6 +301,8 @@ void OpticalCircuitSwitch::force_circuits(
     check_port(c.a);
     check_port(c.b);
     ensure(c.a != c.b, "OCS circuit cannot loop a port to itself");
+    ensure(port_owner(c.a) == port_owner(c.b),
+           "OCS circuit may not cross port ownership (tenant isolation)");
     tear_down(c.a);
     tear_down(c.b);
     establish(c.a, c.b);
@@ -244,6 +320,8 @@ void OpticalCircuitSwitch::reconfigure(
     ensure(c.a != c.b, "OCS circuit cannot loop a port to itself");
     ensure(!failed(c.a) && !failed(c.b),
            "OCS reconfigure: circuit requests a failed port");
+    ensure(port_owner(c.a) == port_owner(c.b),
+           "OCS circuit may not cross port ownership (tenant isolation)");
     ensure(seen.insert(c.a.value()).second,
            "OCS reconfigure: port appears in two circuits");
     ensure(seen.insert(c.b.value()).second,
@@ -292,6 +370,9 @@ void OpticalCircuitSwitch::reconfigure(
   // not desynchronize Fig. 8 accounting from the actual dark period.
   const TimeNs delay = reconfig_delay_;
   stats_.cumulative_port_dark_ns += delay * static_cast<TimeNs>(touched.size());
+  for (PortId p : touched) {
+    port_dark_ns_[static_cast<std::size_t>(p.value())] += delay;
+  }
 
   // Copy the request; the new circuits come up together after the delay.
   sim_.schedule_after(
@@ -302,6 +383,7 @@ void OpticalCircuitSwitch::reconfigure(
         }
         for (const CircuitRequest& c : circuits) establish(c.a, c.b);
         if (cb) cb();
+        pump_undark_waiters();
       });
 }
 

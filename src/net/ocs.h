@@ -69,6 +69,34 @@ class OpticalCircuitSwitch {
   TimeNs reconfig_delay() const { return reconfig_delay_; }
   void set_reconfig_delay(TimeNs d);
 
+  /// Owner tag for multi-tenant fabrics (-1 = unowned). Every circuit must
+  /// connect two ports of the same owner, so one tenant's reconfiguration
+  /// can never retarget — and thereby darken — a port carved out for
+  /// another tenant (the fleet driver assigns owners per placed job).
+  /// Because circuits never cross owners, the ports a reconfiguration
+  /// touches (endpoints plus their displaced peers) stay within one owner
+  /// by induction.
+  static constexpr int kUnowned = -1;
+  void set_port_owner(PortId p, int owner);
+  int port_owner(PortId p) const;
+
+  /// Cumulative dark time of one port (the per-port breakdown of
+  /// Stats::cumulative_port_dark_ns; lets a fleet attribute darkness to the
+  /// tenant owning the port).
+  TimeNs port_dark_time(PortId p) const;
+
+  /// Instantly tears down any circuit on each listed port (tenant teardown
+  /// when a job's node range is recycled). Every affected port — including
+  /// peers outside `ports` — must be quiescent: not dark and not carrying
+  /// traffic. No dark period, no stats.
+  void clear_circuits_on(const std::vector<PortId>& ports);
+
+  /// Invokes `cb` once none of `ports` is dark — immediately (synchronously)
+  /// when that already holds, otherwise right after the reconfiguration
+  /// holding the last dark port completes. Waiters fire in registration
+  /// order (deterministic).
+  void call_when_undark(std::vector<PortId> ports, std::function<void()> cb);
+
   /// The port currently cross-connected to `p` (regardless of darkness).
   std::optional<PortId> peer(PortId p) const;
   /// True while `p` is being retargeted by an in-flight reconfiguration.
@@ -127,6 +155,8 @@ class OpticalCircuitSwitch {
 
  private:
   void check_port(PortId p) const;
+  /// Fires every registered waiter whose port set is now fully undark.
+  void pump_undark_waiters();
   /// Cross-connects a<->b in the state tables (no timing).
   void establish(PortId a, PortId b);
   /// Clears the circuit on `p` (and its peer), if any, and queues the pair's
@@ -154,6 +184,11 @@ class OpticalCircuitSwitch {
   std::vector<std::int32_t> peer_;  // -1 = unconnected
   std::vector<bool> dark_;
   std::vector<bool> failed_;
+  std::vector<std::int32_t> owner_;     // kUnowned = free
+  std::vector<TimeNs> port_dark_ns_;    // per-port share of the Stats sum
+  /// Pending call_when_undark registrations, in arrival order.
+  std::vector<std::pair<std::vector<PortId>, std::function<void()>>>
+      undark_waiters_;
   // Unordered port pair -> (link low->high, link high->low). Hashed on the
   // packed pair: whole-rail reconfiguration (the rotor) performs ~1e8
   // lookups per large run, where an ordered map's log-factor dominated.

@@ -708,4 +708,15 @@ IterationDag build_training_iteration(const ModelConfig& model,
   return builder.build();
 }
 
+void offset_dag_gpus(IterationDag& dag, int gpu_offset) {
+  ensure(gpu_offset >= 0, "offset_dag_gpus: offset must be non-negative");
+  if (gpu_offset == 0) return;
+  for (Op& op : dag.ops) {
+    for (GpuId& g : op.gpus) g = GpuId{g.value() + gpu_offset};
+  }
+  for (collective::CommGroup& group : dag.groups) {
+    for (GpuId& r : group.ranks) r = GpuId{r.value() + gpu_offset};
+  }
+}
+
 }  // namespace opus::workload

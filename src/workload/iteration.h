@@ -111,4 +111,11 @@ IterationDag build_training_iteration(const ModelConfig& model,
 /// divide evenly (earlier stages take the remainder, TorchTitan-style).
 int layers_of_stage(int n_layers, int pp, int stage);
 
+/// Shifts every GPU rank in the DAG (compute ops and communication groups)
+/// by `gpu_offset`. Used to place a job built with tenant-local ranks
+/// 0..world-1 onto a node sub-range of a larger shared cluster; the offset
+/// must be a whole number of nodes so rail locality (equal local ranks) is
+/// preserved.
+void offset_dag_gpus(IterationDag& dag, int gpu_offset);
+
 }  // namespace opus::workload

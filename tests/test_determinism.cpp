@@ -12,6 +12,7 @@
 #include "common/rng.h"
 #include "core/experiment.h"
 #include "core/sweep.h"
+#include "fleet/fleet.h"
 #include "net/fluid.h"
 #include "sim/simulator.h"
 
@@ -170,6 +171,89 @@ TEST(Determinism, DisablingJitterMakesSeedIrrelevant) {
   cfg.engine.seed = 1234567;
   const auto b = core::run_experiment(cfg);
   expect_bit_identical(a, b);
+}
+
+// ---------------------------------------------------------------------------
+// Fleet determinism: a multi-tenant run interleaves many engines on one
+// simulator, so the whole per-job JCT table (and every per-tenant byte
+// counter) must replay bit-identically — across reruns with the same
+// arrival seed AND across the isolated-baseline sweep's thread widths (the
+// only threading anywhere near the fleet).
+// ---------------------------------------------------------------------------
+
+fleet::FleetConfig fleet_determinism_config(net::FabricKind fabric) {
+  fleet::FleetConfig cfg;
+  cfg.n_nodes = 12;
+  cfg.base.fabric = fabric;
+  cfg.base.gpus_per_node = 4;
+  cfg.base.ocs_reconfig_delay = usecs(100);
+  cfg.arrivals.seed = 31337;
+  cfg.arrivals.n_jobs = 10;
+  cfg.arrivals.iterations = 2;
+  cfg.arrivals.mean_interarrival = msecs(1);
+  cfg.policy = fleet::PlacementPolicy::kRailAware;
+  return cfg;
+}
+
+void expect_fleets_bit_identical(const fleet::FleetResult& a,
+                                 const fleet::FleetResult& b) {
+  ASSERT_EQ(a.jobs.size(), b.jobs.size());
+  for (std::size_t i = 0; i < a.jobs.size(); ++i) {
+    const auto& ja = a.jobs[i];
+    const auto& jb = b.jobs[i];
+    EXPECT_EQ(ja.rejected, jb.rejected);
+    EXPECT_EQ(ja.placement.first, jb.placement.first);
+    EXPECT_EQ(ja.placement.count, jb.placement.count);
+    EXPECT_EQ(ja.start, jb.start);
+    EXPECT_EQ(ja.finish, jb.finish);
+    EXPECT_EQ(ja.iteration_times, jb.iteration_times);
+    EXPECT_EQ(ja.isolated_time, jb.isolated_time);
+    EXPECT_EQ(ja.rail_bytes, jb.rail_bytes);
+    EXPECT_EQ(ja.scale_up_bytes, jb.scale_up_bytes);
+    EXPECT_EQ(ja.pxn_bytes, jb.pxn_bytes);
+    EXPECT_EQ(ja.multihop_bytes, jb.multihop_bytes);
+    EXPECT_EQ(ja.rotor_rotations, jb.rotor_rotations);
+    EXPECT_EQ(ja.rotor_deferred_sends, jb.rotor_deferred_sends);
+    EXPECT_EQ(ja.dark_time, jb.dark_time);
+    EXPECT_DOUBLE_EQ(ja.slowdown, jb.slowdown);
+  }
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_DOUBLE_EQ(a.utilization, b.utilization);
+  EXPECT_DOUBLE_EQ(a.peak_fragmentation, b.peak_fragmentation);
+}
+
+TEST(Determinism, FleetRunReplaysBitIdenticallyOnEveryFabric) {
+  for (net::FabricKind fabric :
+       {net::FabricKind::kOpusPhotonic, net::FabricKind::kRotor}) {
+    SCOPED_TRACE(net::fabric_name(fabric));
+    const fleet::FleetConfig cfg = fleet_determinism_config(fabric);
+    expect_fleets_bit_identical(fleet::run_fleet(cfg), fleet::run_fleet(cfg));
+  }
+}
+
+TEST(Determinism, FleetBaselineSweepWidthDoesNotChangeTheJctTable) {
+  fleet::FleetConfig serial =
+      fleet_determinism_config(net::FabricKind::kOpusPhotonic);
+  serial.baseline_sweep.threads = 1;
+  fleet::FleetConfig threaded = serial;
+  threaded.baseline_sweep.threads = 3;
+  expect_fleets_bit_identical(fleet::run_fleet(serial),
+                              fleet::run_fleet(threaded));
+}
+
+TEST(Determinism, FleetArrivalSeedActuallyChangesTheSchedule) {
+  const fleet::FleetConfig a =
+      fleet_determinism_config(net::FabricKind::kElectrical);
+  fleet::FleetConfig b = a;
+  b.arrivals.seed = 31338;
+  const auto ra = fleet::run_fleet(a);
+  const auto rb = fleet::run_fleet(b);
+  bool diverged = ra.makespan != rb.makespan;
+  for (std::size_t i = 0; i < ra.jobs.size() && !diverged; ++i) {
+    diverged = ra.jobs[i].spec.arrival != rb.jobs[i].spec.arrival ||
+               ra.jobs[i].finish != rb.jobs[i].finish;
+  }
+  EXPECT_TRUE(diverged);
 }
 
 // ---------------------------------------------------------------------------

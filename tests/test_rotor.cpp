@@ -5,6 +5,7 @@
 
 #include "collective/executor.h"
 #include "collective/planner.h"
+#include "core/experiment.h"
 #include "core/rotor.h"
 
 namespace opus::core {
@@ -209,6 +210,57 @@ TEST(Rotor, PortSpreadEnablesTwoHopForwarding) {
   sim.run_until(usecs(500));
   EXPECT_GT(done, 0);
   EXPECT_EQ(rotor.deferred_sends(), 0);
+}
+
+TEST(Rotor, TwoRailRotationTallyMatchesSummedOcsStats) {
+  // Aggregation regression: rotations_ counts one per rail rotation, and
+  // every counted rotation must be exactly one state-changing OCS
+  // reconfiguration — so with 2 rails the summed per-rail OCS stats must
+  // equal the transport's tally (no double counting, no missed rail), and
+  // the summed dark time must be reconfig_delay x touched ports per
+  // reconfiguration.
+  core::ExperimentConfig cfg;
+  cfg.model = workload::ModelConfig::test_tiny();
+  cfg.parallelism.tp = 2;  // 2 GPUs/node -> 2 rails
+  cfg.parallelism.dp = 6;
+  cfg.gpus_per_node = 2;
+  cfg.fabric = net::FabricKind::kRotor;
+  cfg.ocs_reconfig_delay = usecs(10);
+  cfg.rotor_slot_time = usecs(200);
+  cfg.iterations = 2;
+  const core::ExperimentResult result = core::run_experiment(cfg);
+  ASSERT_GT(result.rotor_rotations, 0);
+  // run_experiment itself asserts the invariant; pin it here independently
+  // so a future refactor of the result plumbing cannot drop it.
+  EXPECT_EQ(result.ocs_reconfigurations, result.rotor_rotations);
+  EXPECT_GT(result.ocs_dark_time, 0);
+  EXPECT_EQ(result.ocs_dark_time % usecs(10), 0)
+      << "dark time must be whole reconfigurations' worth";
+}
+
+TEST(Rotor, OneRoundSpanNeverCountsPhantomRotations) {
+  // A 2-node rotor has a single matching: "rotating" re-requests identical
+  // circuits, which the OCS reports as satisfied without counting a
+  // reconfiguration. The transport must count nothing either — otherwise
+  // rotations_ and the OCS stats diverge (the aggregation bug this pins).
+  sim::Simulator sim;
+  net::Cluster cluster(sim, rotor_cfg(2));
+  RotorTransport::Options opts;
+  opts.slot_time = usecs(50);
+  RotorTransport rotor(sim, cluster, opts);
+  CommGroup g;
+  g.id = GroupId{1};
+  int done = 0;
+  // Enough traffic to outlast several slots.
+  for (int i = 0; i < 4; ++i) {
+    rotor.send(g, cluster.gpu_at(NodeId{0}, 0), cluster.gpu_at(NodeId{1}, 0),
+               25'000'000, [&] { ++done; });
+  }
+  sim.run();
+  EXPECT_EQ(done, 4);
+  EXPECT_EQ(rotor.rotations(), 0);
+  EXPECT_EQ(cluster.total_ocs_reconfigurations(), 0);
+  EXPECT_EQ(cluster.total_ocs_dark_time(), 0);
 }
 
 }  // namespace
