@@ -32,6 +32,30 @@ void BM_EventEngineScheduleFire(benchmark::State& state) {
 }
 BENCHMARK(BM_EventEngineScheduleFire)->Arg(1000)->Arg(10000)->Arg(100000);
 
+// Calendar-queue scaling: cost of one schedule+fire while P unrelated
+// events sit parked in the future (the rotor's pending rotations, fleet
+// arrivals, and fluid completion horizons). The binary heap this engine
+// replaced paid O(log P) per operation — visibly slower at each step of
+// this sweep — while the hierarchical calendar files and fires in O(1), so
+// ns/op must stay flat from 1k to 1M parked events. items/s = events fired.
+void BM_EventQueuePendingScaling(benchmark::State& state) {
+  const auto pending = static_cast<int>(state.range(0));
+  sim::Simulator sim;
+  for (int i = 0; i < pending; ++i) {
+    sim.schedule_at(secs(10'000) + i, [] {});
+  }
+  for (auto _ : state) {
+    sim.schedule_after(100, [] {});
+    sim.run_steps(1);
+    benchmark::DoNotOptimize(sim.events_fired());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EventQueuePendingScaling)
+    ->Arg(1'000)
+    ->Arg(100'000)
+    ->Arg(1'000'000);
+
 void BM_FluidMaxMinResolve(benchmark::State& state) {
   const auto flows = static_cast<int>(state.range(0));
   for (auto _ : state) {
@@ -164,6 +188,34 @@ void BM_EngineEventScaling(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * kSpans);
 }
 BENCHMARK(BM_EngineEventScaling)->Arg(64)->Arg(256)->Arg(512);
+
+// Batched rotor rotation on a 512-port OCS: every iteration replays a
+// pre-registered perfect matching as one transaction — one dark interval,
+// one completion event, O(ports) array work on pinned fluid links, no
+// per-port hash-map churn and no link retirement. Per-rotation cost must
+// stay flat however many rotations have already run (the rotor perf
+// ceiling: the generic per-port path made the 512-node matrix cell scale
+// with lifetime circuit churn). items/s = circuits established.
+void BM_OcsBatchRotation(benchmark::State& state) {
+  constexpr int kPorts = 512;
+  constexpr int kRounds = 64;
+  sim::Simulator sim;
+  net::FluidNetwork net(sim);
+  net::OpticalCircuitSwitch sw(sim, net, kPorts, Bandwidth::gbps(400), 0,
+                               usecs(1), "rot");
+  std::vector<net::OpticalCircuitSwitch::BatchId> rounds;
+  for (int r = 0; r < kRounds; ++r) {
+    rounds.push_back(sw.register_batch(net::round_robin_circuits(kPorts, r)));
+  }
+  int r = 0;
+  for (auto _ : state) {
+    sw.reconfigure_batch(rounds[static_cast<std::size_t>(r)], nullptr);
+    sim.run();
+    r = (r + 1) % kRounds;
+  }
+  state.SetItemsProcessed(state.iterations() * (kPorts / 2));
+}
+BENCHMARK(BM_OcsBatchRotation);
 
 void BM_OcsReconfigure(benchmark::State& state) {
   for (auto _ : state) {

@@ -18,4 +18,11 @@ inline void ensure(bool condition, const std::string& message) {
   if (!condition) throw InvariantError(message);
 }
 
+/// Literal-message overload: avoids constructing a std::string temporary on
+/// every call, which matters because ensure guards sit on simulation hot
+/// paths (per-port, per-flow accessors called tens of millions of times).
+inline void ensure(bool condition, const char* message) {
+  if (!condition) throw InvariantError(message);
+}
+
 }  // namespace opus

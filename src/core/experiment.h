@@ -71,11 +71,12 @@ struct ExperimentResult {
   /// filled for every photonic fabric (Opus's demand-driven reconfigurations
   /// and the rotor's rotations account dark time identically; a static ring
   /// never reconfigures after t=0, so both stay 0).
-  int ocs_reconfigurations = 0;
+  std::int64_t ocs_reconfigurations = 0;
   TimeNs ocs_dark_time = 0;
   /// kRotor only: rotation rounds completed / sends that had to wait.
-  int rotor_rotations = 0;
-  int rotor_deferred_sends = 0;
+  /// 64-bit end to end: 4k-node rotor runs overflow 32-bit tallies.
+  std::int64_t rotor_rotations = 0;
+  std::int64_t rotor_deferred_sends = 0;
   OpusController::Stats controller;
   int shim_speculative_requests = 0;
   int shim_mispredictions = 0;

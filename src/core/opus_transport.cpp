@@ -126,7 +126,7 @@ bool OpusTransport::hint_collective(
   return true;
 }
 
-int OpusTransport::total_ocs_reconfigurations() const {
+std::int64_t OpusTransport::total_ocs_reconfigurations() const {
   return cluster_.total_ocs_reconfigurations();
 }
 

@@ -78,7 +78,7 @@ class OpusTransport final : public collective::Transport {
   const OpusShim& shim() const { return *shim_; }
   const CircuitPlanner& planner() const { return planner_; }
   /// Total OCS reconfigurations across all rails.
-  int total_ocs_reconfigurations() const;
+  std::int64_t total_ocs_reconfigurations() const;
   /// Total port-darkness time across all rails.
   TimeNs total_dark_time() const;
 

@@ -23,6 +23,9 @@ RotorTransport::RotorTransport(sim::Simulator& sim, net::Cluster& cluster,
     }
   }
   rails_.resize(static_cast<std::size_t>(cluster_.n_rails()));
+  for (RailState& state : rails_) {
+    state.round_batch.assign(static_cast<std::size_t>(n_rounds_), -1);
+  }
   for (int rail = 0; rail < cluster_.n_rails(); ++rail) {
     start_round(rail);
   }
@@ -37,9 +40,14 @@ int RotorTransport::current_round(RailId rail) const {
 
 void RotorTransport::start_round(int rail) {
   RailState& state = rails_[static_cast<std::size_t>(rail)];
+  // Idempotent: both the rotation-completion chain and the send() wake-up
+  // path call this, and two armed timers on one rail would double the
+  // rotation cadence. (State-machine audit: today every caller checks
+  // timer_armed first, so this is a guard against future call sites, not a
+  // behavior change.)
+  if (state.timer_armed) return;
   if (stopped_ || (state.in_flight == 0 && state.waiting.empty())) {
-    state.timer_armed = false;  // idle or shut down: freeze
-    return;
+    return;  // idle or shut down: freeze
   }
   state.timer_armed = true;
   sim_.schedule_after(options_.slot_time, [this, rail] { on_slot_end(rail); });
@@ -73,15 +81,23 @@ void RotorTransport::rotate(int rail) {
   }
   state.rotating = true;
   ++rotations_;
-  cluster_.ocs(RailId{rail}).reconfigure(
-      cluster_.rotor_matching_circuits(RailId{rail}, next, span_),
-      [this, rail, next] {
-        RailState& st = rails_[static_cast<std::size_t>(rail)];
-        st.rotating = false;
-        st.round = next;
-        flush_waiting(rail);
-        start_round(rail);
-      });
+  // Rotations ride the OCS batch path: each round's matching is registered
+  // once (its fluid links pinned for cycle-long reuse) and every replay is
+  // one transaction — one dark interval, one completion event, O(ports)
+  // array work instead of per-port map churn.
+  auto& sw = cluster_.ocs(RailId{rail});
+  auto& slot = state.round_batch[static_cast<std::size_t>(next)];
+  if (slot < 0) {
+    slot = sw.register_batch(
+        cluster_.rotor_matching_circuits(RailId{rail}, next, span_));
+  }
+  sw.reconfigure_batch(slot, [this, rail, next] {
+    RailState& st = rails_[static_cast<std::size_t>(rail)];
+    st.rotating = false;
+    st.round = next;
+    flush_waiting(rail);
+    start_round(rail);
+  });
 }
 
 bool RotorTransport::pair_connected_now(int rail, GpuId src,
@@ -139,7 +155,7 @@ void RotorTransport::send(const collective::CommGroup& group, GpuId src,
   if (!state.rotating && !state.drain_pending &&
       pair_connected_now(rail, src, dst)) {
     launch(rail, std::move(pending));
-    if (!state.timer_armed) start_round(rail);  // wake the slot clock
+    start_round(rail);  // wake the slot clock (idempotent)
     return;
   }
   ++deferred_;

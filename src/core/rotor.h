@@ -24,6 +24,7 @@
 // Opus OCS fabric.
 #pragma once
 
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <vector>
@@ -79,10 +80,11 @@ class RotorTransport final : public collective::Transport {
   /// rotation issues exactly one state-changing OCS reconfiguration, so for
   /// a single-tenant rotor fabric this equals the summed per-rail
   /// OCS-reconfiguration stats (a 1-round span freezes instead of
-  /// re-wiring its only matching and counts nothing).
-  int rotations() const { return rotations_; }
+  /// re-wiring its only matching and counts nothing). 64-bit, matching the
+  /// OCS Stats counters: 4k-node runs overflow 32 bits.
+  std::int64_t rotations() const { return rotations_; }
   /// Sends that had to wait for their matching.
-  int deferred_sends() const { return deferred_; }
+  std::int64_t deferred_sends() const { return deferred_; }
   int current_round(RailId rail) const;
   net::NodeSpan span() const { return span_; }
 
@@ -109,6 +111,11 @@ class RotorTransport final : public collective::Transport {
     /// workload leaves a finite event queue; the clock re-arms on demand.
     bool timer_armed = false;
     std::deque<PendingSend> waiting;
+    /// Per-round OCS batch handles (-1 = not yet registered). A rotation
+    /// replays the same matching every cycle, so each round's circuit set is
+    /// registered with the rail OCS once — on its first rotation — and
+    /// applied as a single batched transaction from then on.
+    std::vector<net::OpticalCircuitSwitch::BatchId> round_batch;
   };
 
   void start_round(int rail);
@@ -124,8 +131,8 @@ class RotorTransport final : public collective::Transport {
   net::NodeSpan span_;
   std::vector<RailState> rails_;
   int n_rounds_ = 0;
-  int rotations_ = 0;
-  int deferred_ = 0;
+  std::int64_t rotations_ = 0;
+  std::int64_t deferred_ = 0;
   bool stopped_ = false;
 };
 

@@ -75,8 +75,8 @@ struct FleetJobResult {
   Bytes isolated_multihop_bytes = 0;
 
   /// kRotor tenants: this tenant's sub-rotor counters.
-  int rotor_rotations = 0;
-  int rotor_deferred_sends = 0;
+  std::int64_t rotor_rotations = 0;
+  std::int64_t rotor_deferred_sends = 0;
 
   /// Dark time accumulated on the tenant's OCS ports while it ran, and its
   /// share of the tenant's port-time (ports x rails x service time).

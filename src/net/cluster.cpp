@@ -79,23 +79,13 @@ Cluster::Cluster(sim::Simulator& sim, ClusterConfig cfg)
     }
     if (cfg_.fabric == FabricKind::kRotor) {
       // Pre-job rotor wiring: every rail starts on rotation round 0. The
-      // RotorTransport advances the schedule from there. The dead-circuit
-      // cache is widened to the whole rotation cycle so each matching's
-      // fluid links are created once and reused every cycle instead of
-      // being retired and rebuilt ~n_ports at a time per rotation. (The sum
-      // of tenant sub-cycles in a fleet never exceeds the whole-fabric
-      // cycle, so the same bound serves deferred wiring.)
+      // RotorTransport advances the schedule from there; it registers each
+      // round's matching as an OCS batch, which pins the matching's fluid
+      // links for the lifetime of the switch — so the dead-circuit cache
+      // needs no rotor-specific widening (rotation churn never reaches it).
       ensure(cfg_.n_nodes >= 2, "a rotor fabric needs at least two nodes");
-      // +2 rounds of slack: at steady state the cache holds one full cycle
-      // plus the round being torn down, and pruning must not evict the
-      // round about to be re-established.
-      const auto cycle_circuits =
-          static_cast<std::size_t>(rotor_rounds() + 2) *
-          static_cast<std::size_t>(cfg_.n_nodes * cfg_.nic_ports) / 2;
-      for (int r = 0; r < rails; ++r) {
-        rail_ocs_[static_cast<std::size_t>(r)]->set_dead_circuit_cache(
-            cycle_circuits);
-        if (!cfg_.defer_fabric_wiring) {
+      if (!cfg_.defer_fabric_wiring) {
+        for (int r = 0; r < rails; ++r) {
           rail_ocs_[static_cast<std::size_t>(r)]->force_circuits(
               rotor_matching_circuits(RailId{r}, 0));
         }
@@ -162,8 +152,8 @@ const OpticalCircuitSwitch& Cluster::ocs(RailId rail) const {
   return *rail_ocs_[static_cast<std::size_t>(rail.value())];
 }
 
-int Cluster::total_ocs_reconfigurations() const {
-  int total = 0;
+std::int64_t Cluster::total_ocs_reconfigurations() const {
+  std::int64_t total = 0;
   for (int r = 0; r < n_rails(); ++r) {
     total += ocs(RailId{r}).stats().reconfigurations;
   }
@@ -319,43 +309,49 @@ Cluster::Route Cluster::route_for(GpuId src, GpuId dst) const {
   return Route::kPxn;
 }
 
+// The three circuit-reachability scans below are the rotor transport's inner
+// loop (every send and every post-rotation flush walks them per NIC port),
+// so they run on raw index arithmetic and the OCS's check-free live_peer()
+// instead of the PortId/GpuId wrapper accessors — same predicate, no
+// per-port ensure or optional traffic.
+
 std::vector<LinkId> Cluster::live_circuit_links(GpuId src, GpuId dst) const {
   ensure(photonic(), "live_circuit_links: cluster has electrical rails");
-  const RailId rail = rail_of(src);
-  const auto& sw = ocs(rail);
+  const auto& sw = ocs(rail_of(src));
+  const int rank = src.value() % cfg_.gpus_per_node;
+  const int base = (src.value() / cfg_.gpus_per_node) * cfg_.nic_ports;
   std::vector<LinkId> out;
   for (int p = 0; p < cfg_.nic_ports; ++p) {
-    const PortId from = ocs_port(src, p);
-    const auto peer = sw.peer(from);
-    if (!peer) continue;
-    if (gpu_of_ocs_port(rail, *peer) != dst) continue;
-    if (!sw.connected(from, *peer)) continue;  // dark mid-reconfiguration
-    out.push_back(sw.link(from, *peer));
+    const std::int32_t q = sw.live_peer(base + p);
+    if (q < 0) continue;
+    if (q / cfg_.nic_ports * cfg_.gpus_per_node + rank != dst.value()) continue;
+    out.push_back(sw.live_tx_link(base + p));
   }
   return out;
 }
 
 bool Cluster::has_live_circuit(GpuId src, GpuId dst) const {
-  const RailId rail = rail_of(src);
-  const auto& sw = ocs(rail);
+  const auto& sw = ocs(rail_of(src));
+  const int rank = src.value() % cfg_.gpus_per_node;
+  const int base = (src.value() / cfg_.gpus_per_node) * cfg_.nic_ports;
   for (int p = 0; p < cfg_.nic_ports; ++p) {
-    const PortId from = ocs_port(src, p);
-    const auto peer = sw.peer(from);
-    if (!peer) continue;
-    if (gpu_of_ocs_port(rail, *peer) != dst) continue;
-    if (sw.connected(from, *peer)) return true;
+    const std::int32_t q = sw.live_peer(base + p);
+    if (q >= 0 &&
+        q / cfg_.nic_ports * cfg_.gpus_per_node + rank == dst.value()) {
+      return true;
+    }
   }
   return false;
 }
 
 GpuId Cluster::two_hop_via(GpuId src, GpuId dst) const {
-  const RailId rail = rail_of(src);
-  const auto& sw = ocs(rail);
+  const auto& sw = ocs(rail_of(src));
+  const int rank = src.value() % cfg_.gpus_per_node;
+  const int base = (src.value() / cfg_.gpus_per_node) * cfg_.nic_ports;
   for (int p = 0; p < cfg_.nic_ports; ++p) {
-    const PortId from = ocs_port(src, p);
-    const auto peer = sw.peer(from);
-    if (!peer || !sw.connected(from, *peer)) continue;
-    const GpuId via = gpu_of_ocs_port(rail, *peer);
+    const std::int32_t q = sw.live_peer(base + p);
+    if (q < 0) continue;
+    const GpuId via{q / cfg_.nic_ports * cfg_.gpus_per_node + rank};
     if (via == dst || via == src) continue;
     if (has_live_circuit(via, dst)) return via;
   }

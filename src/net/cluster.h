@@ -189,7 +189,7 @@ class Cluster {
   /// Fig. 8 aggregates over all rails (photonic only): reconfigurations
   /// that changed state, and the summed per-port darkness time. The same
   /// accounting serves demand-driven (Opus) and oblivious (rotor) fabrics.
-  int total_ocs_reconfigurations() const;
+  std::int64_t total_ocs_reconfigurations() const;
   TimeNs total_ocs_dark_time() const;
   FabricKind fabric() const { return cfg_.fabric; }
   bool photonic() const {

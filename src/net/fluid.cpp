@@ -61,13 +61,6 @@ void FluidNetwork::retire_link(LinkId link) {
   ++retired_total_;
 }
 
-void FluidNetwork::check_live_link(LinkId link) const {
-  ensure(link.valid() && static_cast<std::size_t>(link.value()) < links_.size(),
-         "invalid link id");
-  ensure(!link_state_[static_cast<std::size_t>(link.value())].retired,
-         "link id is retired");
-}
-
 bool FluidNetwork::link_retired(LinkId link) const {
   ensure(link.valid() && static_cast<std::size_t>(link.value()) < links_.size(),
          "invalid link id");
@@ -223,12 +216,6 @@ Bytes FluidNetwork::flow_remaining(FlowId flow) const {
   const double elapsed = static_cast<double>(sim_.now() - f->last_charged);
   const double rem = f->remaining_bytes - f->rate_bytes_per_ns * elapsed;
   return static_cast<Bytes>(std::max(rem, 0.0));
-}
-
-int FluidNetwork::active_flows_on(LinkId link) const {
-  check_live_link(link);
-  return static_cast<int>(
-      link_state_[static_cast<std::size_t>(link.value())].flows.size());
 }
 
 double FluidNetwork::allocated_bps(LinkId link) const {

@@ -110,8 +110,14 @@ class FluidNetwork {
 
   /// Flows currently occupying registry slots (draining + pending zero-byte).
   std::size_t active_flow_count() const { return active_count_; }
-  /// Number of active flows whose path crosses `link`. O(1).
-  int active_flows_on(LinkId link) const;
+  /// Number of active flows whose path crosses `link`. O(1). Inline: the
+  /// OCS's pre-reconfiguration traffic checks call this once per touched
+  /// port, which on a large rotor fabric is tens of millions of calls.
+  int active_flows_on(LinkId link) const {
+    check_live_link(link);
+    return static_cast<int>(
+        link_state_[static_cast<std::size_t>(link.value())].flows.size());
+  }
   /// Sum of the current rates (bits/sec) of the flows crossing `link`.
   /// Never exceeds the link capacity (a max-min allocation invariant; the
   /// sum is clamped so bottleneck-set freezing cannot overshoot by
@@ -174,7 +180,15 @@ class FluidNetwork {
     bool retired = false;
   };
 
-  void check_live_link(LinkId link) const;
+  /// Bounds- and liveness-check a link id (inline: rides every hot-path
+  /// link accessor).
+  void check_live_link(LinkId link) const {
+    ensure(link.valid() &&
+               static_cast<std::size_t>(link.value()) < links_.size(),
+           "invalid link id");
+    ensure(!link_state_[static_cast<std::size_t>(link.value())].retired,
+           "link id is retired");
+  }
   /// The slot behind a live id; nullptr for stale, foreign, or invalid ids.
   Flow* find_flow(FlowId flow);
   const Flow* find_flow(FlowId flow) const;

@@ -52,7 +52,9 @@ OpticalCircuitSwitch::OpticalCircuitSwitch(sim::Simulator& sim,
       dark_(static_cast<std::size_t>(n_ports), false),
       failed_(static_cast<std::size_t>(n_ports), false),
       owner_(static_cast<std::size_t>(n_ports), kUnowned),
-      port_dark_ns_(static_cast<std::size_t>(n_ports), 0) {
+      port_dark_ns_(static_cast<std::size_t>(n_ports), 0),
+      port_tx_link_(static_cast<std::size_t>(n_ports)),
+      port_dark_group_(static_cast<std::size_t>(n_ports), -1) {
   ensure(n_ports > 0, "OCS requires at least one port");
   ensure(port_bw.positive(), "OCS port bandwidth must be positive");
   ensure(reconfig_delay >= 0, "OCS reconfig delay must be non-negative");
@@ -76,13 +78,15 @@ std::optional<PortId> OpticalCircuitSwitch::peer(PortId p) const {
 
 bool OpticalCircuitSwitch::dark(PortId p) const {
   check_port(p);
-  return dark_[static_cast<std::size_t>(p.value())];
+  return is_dark(static_cast<std::size_t>(p.value()));
 }
 
 void OpticalCircuitSwitch::set_port_owner(PortId p, int owner) {
   check_port(p);
   ensure(owner >= kUnowned, "OCS port owner must be kUnowned or non-negative");
-  owner_[static_cast<std::size_t>(p.value())] = owner;
+  auto& slot = owner_[static_cast<std::size_t>(p.value())];
+  owned_ports_ += (owner != kUnowned) - (slot != kUnowned);
+  slot = owner;
 }
 
 int OpticalCircuitSwitch::port_owner(PortId p) const {
@@ -92,7 +96,10 @@ int OpticalCircuitSwitch::port_owner(PortId p) const {
 
 TimeNs OpticalCircuitSwitch::port_dark_time(PortId p) const {
   check_port(p);
-  return port_dark_ns_[static_cast<std::size_t>(p.value())];
+  const auto i = static_cast<std::size_t>(p.value());
+  const auto g = port_dark_group_[i];
+  return port_dark_ns_[i] +
+         (g >= 0 ? dark_groups_[static_cast<std::size_t>(g)].accrued : 0);
 }
 
 void OpticalCircuitSwitch::clear_circuits_on(const std::vector<PortId>& ports) {
@@ -103,11 +110,9 @@ void OpticalCircuitSwitch::clear_circuits_on(const std::vector<PortId>& ports) {
     if (q < 0) continue;
     ensure(!dark(PortId{q}),
            "OCS clear_circuits_on: peer port is mid-reconfiguration");
-    const auto it =
-        links_.find(pair_key(std::min(p.value(), q), std::max(p.value(), q)));
-    if (it != links_.end()) {
-      ensure(net_.active_flows_on(it->second.first) == 0 &&
-                 net_.active_flows_on(it->second.second) == 0,
+    for (auto i : {p.value(), q}) {
+      const LinkId l = port_tx_link_[static_cast<std::size_t>(i)];
+      ensure(!l.valid() || net_.active_flows_on(l) == 0,
              "OCS clear_circuits_on: circuit still carrying traffic");
     }
     tear_down(p);
@@ -119,7 +124,7 @@ void OpticalCircuitSwitch::call_when_undark(std::vector<PortId> ports,
   for (PortId p : ports) check_port(p);
   const bool any_dark =
       std::any_of(ports.begin(), ports.end(), [this](PortId p) {
-        return dark_[static_cast<std::size_t>(p.value())];
+        return is_dark(static_cast<std::size_t>(p.value()));
       });
   if (!any_dark) {
     if (cb) cb();
@@ -137,7 +142,7 @@ void OpticalCircuitSwitch::pump_undark_waiters() {
   while (it != undark_waiters_.end()) {
     const bool any_dark =
         std::any_of(it->first.begin(), it->first.end(), [this](PortId p) {
-          return dark_[static_cast<std::size_t>(p.value())];
+          return is_dark(static_cast<std::size_t>(p.value()));
         });
     if (any_dark) {
       ++it;
@@ -163,27 +168,21 @@ bool OpticalCircuitSwitch::failed(PortId p) const {
   return failed_[static_cast<std::size_t>(p.value())];
 }
 
-int OpticalCircuitSwitch::failed_port_count() const {
-  int n = 0;
-  for (bool f : failed_)
-    if (f) ++n;
-  return n;
-}
+int OpticalCircuitSwitch::failed_port_count() const { return failed_ports_; }
 
 void OpticalCircuitSwitch::fail_port(PortId p) {
   check_port(p);
   ensure(!dark(p), "fail_port: port is mid-reconfiguration");
   const auto q = peer_[static_cast<std::size_t>(p.value())];
   if (q >= 0) {
-    const auto it =
-        links_.find(pair_key(std::min(p.value(), q), std::max(p.value(), q)));
-    if (it != links_.end()) {
-      ensure(net_.active_flows_on(it->second.first) == 0 &&
-                 net_.active_flows_on(it->second.second) == 0,
+    for (auto i : {p.value(), q}) {
+      const LinkId l = port_tx_link_[static_cast<std::size_t>(i)];
+      ensure(!l.valid() || net_.active_flows_on(l) == 0,
              "fail_port: circuit still carrying traffic");
     }
   }
   tear_down(p);
+  if (!failed_[static_cast<std::size_t>(p.value())]) ++failed_ports_;
   failed_[static_cast<std::size_t>(p.value())] = true;
 }
 
@@ -230,16 +229,20 @@ std::pair<LinkId, LinkId> OpticalCircuitSwitch::link_pair(PortId a, PortId b) {
 
 LinkId OpticalCircuitSwitch::link(PortId from, PortId to) const {
   ensure(connected(from, to), "OCS::link: no live circuit between ports");
-  const auto it = links_.find(pair_key(std::min(from.value(), to.value()),
-                                       std::max(from.value(), to.value())));
-  ensure(it != links_.end(), "OCS::link: circuit links missing");
-  return from.value() < to.value() ? it->second.first : it->second.second;
+  // connected() guarantees peer_[from] == to, so the cached transmit link
+  // of `from` is exactly the from -> to link — no pair-map lookup.
+  const LinkId l = port_tx_link_[static_cast<std::size_t>(from.value())];
+  ensure(l.valid(), "OCS::link: circuit links missing");
+  return l;
 }
 
 void OpticalCircuitSwitch::establish(PortId a, PortId b) {
   peer_[static_cast<std::size_t>(a.value())] = b.value();
   peer_[static_cast<std::size_t>(b.value())] = a.value();
-  link_pair(a, b);  // make sure the data-path links exist
+  const auto [fwd, rev] = link_pair(a, b);  // lo -> hi, hi -> lo
+  const bool a_is_lo = a.value() < b.value();
+  port_tx_link_[static_cast<std::size_t>(a.value())] = a_is_lo ? fwd : rev;
+  port_tx_link_[static_cast<std::size_t>(b.value())] = a_is_lo ? rev : fwd;
 }
 
 void OpticalCircuitSwitch::tear_down(PortId p) {
@@ -247,9 +250,13 @@ void OpticalCircuitSwitch::tear_down(PortId p) {
   if (q < 0) return;
   peer_[static_cast<std::size_t>(p.value())] = -1;
   peer_[static_cast<std::size_t>(q)] = -1;
+  port_tx_link_[static_cast<std::size_t>(p.value())] = LinkId{};
+  port_tx_link_[static_cast<std::size_t>(q)] = LinkId{};
   const std::int32_t lo = std::min(p.value(), q);
   const std::int32_t hi = std::max(p.value(), q);
-  if (queued_dead_.insert(pair_key(lo, hi)).second) {
+  const std::uint64_t key = pair_key(lo, hi);
+  if (pinned_pairs_.contains(key)) return;  // batch-owned links never retire
+  if (queued_dead_.insert(key).second) {
     dead_pairs_.push_back({lo, hi});
     prune_dead_circuits();
   }
@@ -341,30 +348,25 @@ void OpticalCircuitSwitch::reconfigure(
   // Refuse to retarget a circuit that is actively carrying traffic; the Opus
   // controller guarantees quiescence (reconfigure only after the previous
   // communication kernel finishes). The diagnostic string is built only on
-  // failure — a rotor reconfigures whole rails tens of thousands of times,
-  // and eager message construction dominated those runs.
+  // failure. The cached per-port transmit link covers both directions of a
+  // touched circuit because a circuit's two endpoints are always touched
+  // together.
   for (PortId p : touched) {
-    const auto q = peer_[static_cast<std::size_t>(p.value())];
-    if (q < 0) continue;
-    const std::int32_t lo = std::min(p.value(), q);
-    const std::int32_t hi = std::max(p.value(), q);
-    const auto it = links_.find(pair_key(lo, hi));
-    if (it == links_.end()) continue;
-    if (net_.active_flows_on(it->second.first) != 0 ||
-        net_.active_flows_on(it->second.second) != 0) {
+    const LinkId l = port_tx_link_[static_cast<std::size_t>(p.value())];
+    if (l.valid() && net_.active_flows_on(l) != 0) {
       ensure(false,
              "OCS reconfigure: circuit still carrying traffic (switch " +
-                 name_ + ", ports " + std::to_string(lo) + "<->" +
-                 std::to_string(hi) + ")");
+                 name_ + ", port " + std::to_string(p.value()) + ")");
     }
   }
 
   // Tear down old circuits on the touched ports and go dark.
   for (PortId p : touched) tear_down(p);
   for (PortId p : touched) dark_[static_cast<std::size_t>(p.value())] = true;
+  dark_ports_ += static_cast<int>(touched.size());
 
   ++stats_.reconfigurations;
-  stats_.circuits_established += static_cast<int>(circuits.size());
+  stats_.circuits_established += static_cast<std::int64_t>(circuits.size());
   // Capture the delay once and use it for both the dark-time charge and the
   // port-up event: a set_reconfig_delay while this request is in flight must
   // not desynchronize Fig. 8 accounting from the actual dark period.
@@ -381,10 +383,181 @@ void OpticalCircuitSwitch::reconfigure(
         for (PortId p : touched) {
           dark_[static_cast<std::size_t>(p.value())] = false;
         }
+        dark_ports_ -= static_cast<int>(touched.size());
         for (const CircuitRequest& c : circuits) establish(c.a, c.b);
         if (cb) cb();
         pump_undark_waiters();
       });
+}
+
+OpticalCircuitSwitch::BatchId OpticalCircuitSwitch::register_batch(
+    const std::vector<CircuitRequest>& circuits) {
+  ensure(!circuits.empty(), "OCS register_batch: empty circuit set");
+  Batch batch;
+  batch.circuits.reserve(circuits.size());
+  batch.ports.reserve(2 * circuits.size());
+  std::unordered_set<std::int32_t> seen;
+  for (const CircuitRequest& c : circuits) {
+    check_port(c.a);
+    check_port(c.b);
+    ensure(c.a != c.b, "OCS circuit cannot loop a port to itself");
+    ensure(port_owner(c.a) == port_owner(c.b),
+           "OCS circuit may not cross port ownership (tenant isolation)");
+    ensure(seen.insert(c.a.value()).second,
+           "OCS register_batch: port appears in two circuits");
+    ensure(seen.insert(c.b.value()).second,
+           "OCS register_batch: port appears in two circuits");
+    const auto [fwd, rev] = link_pair(c.a, c.b);  // lo -> hi, hi -> lo
+    const bool a_is_lo = c.a.value() < c.b.value();
+    batch.circuits.push_back({c.a.value(), c.b.value(), a_is_lo ? fwd : rev,
+                              a_is_lo ? rev : fwd});
+    batch.ports.push_back(c.a.value());
+    batch.ports.push_back(c.b.value());
+    pinned_pairs_.insert(pair_key(std::min(c.a.value(), c.b.value()),
+                                  std::max(c.a.value(), c.b.value())));
+  }
+  std::sort(batch.ports.begin(), batch.ports.end());
+  batch.group = dark_group_for(batch.ports);
+  batches_.push_back(std::move(batch));
+  return static_cast<BatchId>(batches_.size()) - 1;
+}
+
+int OpticalCircuitSwitch::dark_group_for(
+    const std::vector<std::int32_t>& ports) {
+  // Reuse: every port already belongs to one group whose membership count
+  // matches — since membership is exclusive and the ports are distinct, the
+  // group is exactly this set (the common case: all rounds of one rotor
+  // rail share the full port set).
+  const auto first = port_dark_group_[static_cast<std::size_t>(ports[0])];
+  if (first >= 0 &&
+      dark_groups_[static_cast<std::size_t>(first)].members ==
+          static_cast<std::int32_t>(ports.size()) &&
+      std::all_of(ports.begin(), ports.end(), [&](std::int32_t p) {
+        return port_dark_group_[static_cast<std::size_t>(p)] == first;
+      })) {
+    return first;
+  }
+  // Otherwise migrate every port into a fresh group. Leaving an old group
+  // (a released tenant's sub-rotor) bakes its accrued time into the port's
+  // own counter, so port_dark_time is unchanged by the move.
+  const int g = static_cast<int>(dark_groups_.size());
+  dark_groups_.push_back({0, false, static_cast<std::int32_t>(ports.size())});
+  for (const std::int32_t p : ports) {
+    const auto i = static_cast<std::size_t>(p);
+    const auto old = port_dark_group_[i];
+    if (old >= 0) {
+      DarkGroup& og = dark_groups_[static_cast<std::size_t>(old)];
+      ensure(!og.dark,
+             "OCS register_batch: port is mid-reconfiguration in another "
+             "batch group");
+      port_dark_ns_[i] += og.accrued;
+      --og.members;
+    }
+    port_dark_group_[i] = g;
+  }
+  return g;
+}
+
+void OpticalCircuitSwitch::reconfigure_batch(BatchId batch,
+                                             std::function<void()> on_done) {
+  ensure(batch >= 0 && batch < static_cast<BatchId>(batches_.size()),
+         "OCS reconfigure_batch: unknown batch");
+  // References into batches_/dark_groups_ are not held across the fallback
+  // call (which may register further batches through reentrant callers).
+  {
+    const Batch& b = batches_[static_cast<std::size_t>(batch)];
+    // Fall back to the generic path when some batch port's current circuit
+    // reaches outside the batch's port set (possible after force_circuits
+    // or a generic reconfigure rewired ports since registration): the
+    // touched set is then wider than the batch and needs the full
+    // old-peer expansion.
+    for (const std::int32_t p : b.ports) {
+      const auto q = peer_[static_cast<std::size_t>(p)];
+      if (q >= 0 && port_dark_group_[static_cast<std::size_t>(q)] != b.group) {
+        std::vector<CircuitRequest> requests;
+        requests.reserve(b.circuits.size());
+        for (const BatchCircuit& c : b.circuits) {
+          requests.push_back({PortId{c.a}, PortId{c.b}});
+        }
+        reconfigure(requests, std::move(on_done));
+        return;
+      }
+    }
+  }
+  Batch& b = batches_[static_cast<std::size_t>(batch)];
+  DarkGroup& g = dark_groups_[static_cast<std::size_t>(b.group)];
+  ensure(!g.dark,
+         "OCS reconfigure_batch: batch ports are mid-reconfiguration; "
+         "serialize requests");
+
+  // Idempotence fast-path, as in reconfigure(): an already-live batch acks
+  // without counting anything.
+  const bool already_live =
+      !g.dark && std::all_of(b.circuits.begin(), b.circuits.end(),
+                             [&](const BatchCircuit& c) {
+                               return connected(PortId{c.a}, PortId{c.b});
+                             });
+  if (already_live) {
+    if (on_done) on_done();
+    return;
+  }
+
+  // Rare-state guards, each skipped entirely in the steady rotor state.
+  if (dark_ports_ > 0) {
+    for (const std::int32_t p : b.ports) {
+      ensure(!dark_[static_cast<std::size_t>(p)],
+             "OCS reconfigure_batch: port is mid-reconfiguration; serialize "
+             "requests");
+    }
+  }
+  if (failed_ports_ > 0) {
+    for (const std::int32_t p : b.ports) {
+      ensure(!failed_[static_cast<std::size_t>(p)],
+             "OCS reconfigure_batch: circuit requests a failed port");
+    }
+  }
+  if (owned_ports_ > 0) {
+    for (const BatchCircuit& c : b.circuits) {
+      ensure(port_owner(PortId{c.a}) == port_owner(PortId{c.b}),
+             "OCS circuit may not cross port ownership (tenant isolation)");
+    }
+  }
+  for (const std::int32_t p : b.ports) {
+    const LinkId l = port_tx_link_[static_cast<std::size_t>(p)];
+    if (l.valid() && net_.active_flows_on(l) != 0) {
+      ensure(false,
+             "OCS reconfigure_batch: circuit still carrying traffic (switch " +
+                 name_ + ", port " + std::to_string(p) + ")");
+    }
+  }
+
+  // The transaction: tear down every batch port's circuit (peers are all
+  // in-set, links are pinned — plain array writes, no retirement queue),
+  // darken the whole group, charge the dark delta once, and schedule the
+  // single completion event.
+  for (const std::int32_t p : b.ports) {
+    peer_[static_cast<std::size_t>(p)] = -1;
+    port_tx_link_[static_cast<std::size_t>(p)] = LinkId{};
+  }
+  g.dark = true;
+  ++stats_.reconfigurations;
+  stats_.circuits_established += static_cast<std::int64_t>(b.circuits.size());
+  const TimeNs delay = reconfig_delay_;
+  stats_.cumulative_port_dark_ns += delay * static_cast<TimeNs>(b.ports.size());
+  g.accrued += delay;  // the O(1) per-rotation delta for every member port
+
+  sim_.schedule_after(delay, [this, batch, cb = std::move(on_done)]() mutable {
+    Batch& bb = batches_[static_cast<std::size_t>(batch)];
+    dark_groups_[static_cast<std::size_t>(bb.group)].dark = false;
+    for (const BatchCircuit& c : bb.circuits) {
+      peer_[static_cast<std::size_t>(c.a)] = c.b;
+      peer_[static_cast<std::size_t>(c.b)] = c.a;
+      port_tx_link_[static_cast<std::size_t>(c.a)] = c.ab;
+      port_tx_link_[static_cast<std::size_t>(c.b)] = c.ba;
+    }
+    if (cb) cb();
+    pump_undark_waiters();
+  });
 }
 
 }  // namespace opus::net

@@ -47,13 +47,16 @@ class OpticalCircuitSwitch {
  public:
   struct Stats {
     /// Number of reconfigure() operations that actually changed state.
-    int reconfigurations = 0;
+    /// 64-bit: a 4k-node rotor performs enough rotations that the derived
+    /// counters (circuits_established grows ~2k per rotation) overflow 32
+    /// bits well inside one run.
+    std::int64_t reconfigurations = 0;
     /// Circuits established across all reconfigurations.
-    int circuits_established = 0;
+    std::int64_t circuits_established = 0;
     /// Sum over ports of time spent dark.
     TimeNs cumulative_port_dark_ns = 0;
     /// Fluid links retired because their circuit stayed dead (churn cleanup).
-    int links_retired = 0;
+    std::int64_t links_retired = 0;
   };
 
   /// `port_bw` is the per-direction bandwidth of a circuit (the NIC port
@@ -104,6 +107,26 @@ class OpticalCircuitSwitch {
   /// True iff a live (non-dark) circuit connects `a` and `b`.
   bool connected(PortId a, PortId b) const;
 
+  /// Hot-path fusion of peer() + connected(): the peer of `port` when a
+  /// live circuit carries it (same predicate as connected()), else -1.
+  /// Pure array reads with no bounds ensure — `port` must be a valid index.
+  /// The rotor's per-send reachability scans call this tens of millions of
+  /// times per run; the wrapped accessors were the profile's top entries.
+  std::int32_t live_peer(std::int32_t port) const {
+    const auto i = static_cast<std::size_t>(port);
+    const std::int32_t q = peer_[i];
+    if (q < 0) return -1;
+    const auto j = static_cast<std::size_t>(q);
+    if (is_dark(i) || is_dark(j) || failed_[i] || failed_[j]) return -1;
+    return q;
+  }
+  /// The fluid link carrying `port` -> its peer. Requires a live circuit on
+  /// `port` (live_peer(port) >= 0); equals link(port, peer) without the
+  /// precondition ensures.
+  LinkId live_tx_link(std::int32_t port) const {
+    return port_tx_link_[static_cast<std::size_t>(port)];
+  }
+
   /// Permanently fails a port (fiber cut / transceiver death): its circuit
   /// is torn down and no future circuit may use it. The port must be
   /// quiescent (no in-flight traffic, not mid-reconfiguration) — fail
@@ -130,6 +153,33 @@ class OpticalCircuitSwitch {
   void reconfigure(const std::vector<CircuitRequest>& circuits,
                    std::function<void()> on_done);
 
+  // ---- batched rotation transactions ---------------------------------------
+  /// Handle to a pre-registered reconfiguration (a rotor matching). -1 is
+  /// never returned.
+  using BatchId = int;
+
+  /// Pre-validates `circuits` (same rules as reconfigure) and pins their
+  /// fluid link pairs: the links are created now, kept for the switch's
+  /// lifetime, and never retired by the dead-circuit cache — a rotor replays
+  /// each matching every cycle, so retiring its links only to recreate them
+  /// one rotation later dominated large runs. All endpoints of the batch
+  /// join one *dark group* (shared with any other batch over the identical
+  /// port set), which carries the per-rotation delta dark accounting.
+  BatchId register_batch(const std::vector<CircuitRequest>& circuits);
+
+  /// Applies a registered batch as one transaction: tears down the current
+  /// circuits of every batch port, darkens the whole port set for
+  /// reconfig_delay (one dark interval, one completion event), then brings
+  /// all circuits up together and fires `on_done`. Dark time is charged as
+  /// a single O(1) delta on the batch's dark group instead of per port.
+  /// Equivalent to reconfigure(...) whenever every batch port's current
+  /// peer lies inside the batch's port set (a rotor rotation by
+  /// construction); otherwise it falls back to the generic path, whose
+  /// touched set may be wider. Same preconditions as reconfigure; if the
+  /// batch is already satisfied, `on_done` fires immediately and nothing is
+  /// counted.
+  void reconfigure_batch(BatchId batch, std::function<void()> on_done);
+
   /// Instantly establishes circuits with no dark period. Intended for t=0
   /// initial topology (e.g. a pre-job configuration); counts no stats.
   void force_circuits(const std::vector<CircuitRequest>& circuits);
@@ -154,7 +204,40 @@ class OpticalCircuitSwitch {
   const Stats& stats() const { return stats_; }
 
  private:
+  /// One pre-resolved cross-connect of a registered batch: the port pair and
+  /// the directional fluid links carrying it (a -> b, b -> a).
+  struct BatchCircuit {
+    std::int32_t a;
+    std::int32_t b;
+    LinkId ab;
+    LinkId ba;
+  };
+  struct Batch {
+    std::vector<BatchCircuit> circuits;
+    std::vector<std::int32_t> ports;  ///< all endpoints, sorted
+    int group = -1;                   ///< index into dark_groups_
+  };
+  /// Shared dark-accounting bucket for every batch over one port set. A
+  /// member port's dark time is port_dark_ns_[p] + accrued: a batch
+  /// transaction charges its delay once here (O(1)) instead of walking the
+  /// ports, and `dark` flags the whole set mid-transaction.
+  struct DarkGroup {
+    TimeNs accrued = 0;
+    bool dark = false;
+    std::int32_t members = 0;
+  };
+
   void check_port(PortId p) const;
+  /// dark(p) without the port-validity check (hot paths index directly).
+  bool is_dark(std::size_t i) const {
+    if (dark_[i]) return true;
+    const auto g = port_dark_group_[i];
+    return g >= 0 && dark_groups_[static_cast<std::size_t>(g)].dark;
+  }
+  /// Finds the dark group covering exactly `ports`, migrating ports out of
+  /// stale groups (their accrued time is baked into port_dark_ns_) when the
+  /// set does not match an existing group verbatim.
+  int dark_group_for(const std::vector<std::int32_t>& ports);
   /// Fires every registered waiter whose port set is now fully undark.
   void pump_undark_waiters();
   /// Cross-connects a<->b in the state tables (no timing).
@@ -186,6 +269,22 @@ class OpticalCircuitSwitch {
   std::vector<bool> failed_;
   std::vector<std::int32_t> owner_;     // kUnowned = free
   std::vector<TimeNs> port_dark_ns_;    // per-port share of the Stats sum
+                                        // (plus the port's group accrual)
+  /// Fluid link carrying traffic from port i to its current peer (invalid
+  /// when unconnected) — the allocation- and hash-free way to answer the
+  /// per-port traffic and link() queries on the reconfiguration hot path.
+  std::vector<LinkId> port_tx_link_;
+  std::vector<std::int32_t> port_dark_group_;  // -1 = no group
+  std::vector<DarkGroup> dark_groups_;
+  std::vector<Batch> batches_;
+  /// Pair keys whose fluid links are pinned by a registered batch (exempt
+  /// from dead-circuit retirement).
+  std::unordered_set<std::uint64_t> pinned_pairs_;
+  /// Ports with dark_ set (the generic path's flags; group darkness is not
+  /// counted here). Zero lets reconfigure_batch skip the per-port scan.
+  int dark_ports_ = 0;
+  int failed_ports_ = 0;
+  int owned_ports_ = 0;
   /// Pending call_when_undark registrations, in arrival order.
   std::vector<std::pair<std::vector<PortId>, std::function<void()>>>
       undark_waiters_;

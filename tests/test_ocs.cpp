@@ -210,6 +210,176 @@ TEST_F(OcsTest, ReconfigurationChurnRetiresDeadCircuitLinks) {
   EXPECT_LT(net.link_count(), 56u);
 }
 
+// ---- batched rotation transactions -----------------------------------------
+
+// The per-port breakdown must always sum to the aggregate counter, whichever
+// mix of generic, batched, and forced reconfigurations produced it.
+TimeNs summed_port_dark(const OpticalCircuitSwitch& sw) {
+  TimeNs sum = 0;
+  for (int p = 0; p < sw.n_ports(); ++p) sum += sw.port_dark_time(PortId{p});
+  return sum;
+}
+
+TEST_F(OcsTest, BatchReconfigureMatchesGenericSemantics) {
+  const auto batch = sw.register_batch({{PortId{0}, PortId{1}},
+                                        {PortId{2}, PortId{3}}});
+  bool done = false;
+  sw.reconfigure_batch(batch, [&] { done = true; });
+  for (int p : {0, 1, 2, 3}) EXPECT_TRUE(sw.dark(PortId{p}));
+  EXPECT_FALSE(sw.dark(PortId{4}));
+  EXPECT_FALSE(sw.connected(PortId{0}, PortId{1}));
+  sim.run_until(msecs(14));
+  EXPECT_FALSE(done);
+  sim.run();
+  EXPECT_TRUE(done);
+  EXPECT_TRUE(sw.connected(PortId{0}, PortId{1}));
+  EXPECT_TRUE(sw.connected(PortId{2}, PortId{3}));
+  for (int p : {0, 1, 2, 3}) {
+    EXPECT_FALSE(sw.dark(PortId{p}));
+    EXPECT_EQ(sw.port_dark_time(PortId{p}), msecs(15));
+  }
+  EXPECT_EQ(sw.stats().reconfigurations, 1);
+  EXPECT_EQ(sw.stats().circuits_established, 2);
+  EXPECT_EQ(sw.stats().cumulative_port_dark_ns, 4 * msecs(15));
+  EXPECT_EQ(summed_port_dark(sw), sw.stats().cumulative_port_dark_ns);
+}
+
+TEST_F(OcsTest, BatchRotationsAccrueDeltaDarkAccounting) {
+  // Two matchings over the same four ports, replayed rotor-style. Every
+  // rotation is one reconfiguration and charges each port exactly one
+  // reconfig delay, with the aggregate == per-port invariant held
+  // throughout.
+  const auto a = sw.register_batch({{PortId{0}, PortId{1}},
+                                    {PortId{2}, PortId{3}}});
+  const auto b = sw.register_batch({{PortId{0}, PortId{2}},
+                                    {PortId{1}, PortId{3}}});
+  for (int rotation = 1; rotation <= 6; ++rotation) {
+    sw.reconfigure_batch(rotation % 2 == 1 ? a : b, nullptr);
+    sim.run();
+    EXPECT_EQ(sw.stats().reconfigurations, rotation);
+    EXPECT_EQ(sw.stats().cumulative_port_dark_ns, rotation * 4 * msecs(15));
+    for (int p : {0, 1, 2, 3}) {
+      EXPECT_EQ(sw.port_dark_time(PortId{p}), rotation * msecs(15));
+    }
+    EXPECT_EQ(summed_port_dark(sw), sw.stats().cumulative_port_dark_ns);
+  }
+  EXPECT_EQ(sw.stats().links_retired, 0)
+      << "batch-pinned circuit pairs must never be retired by churn";
+}
+
+TEST_F(OcsTest, BatchReplayKeepsLinkIdentity) {
+  const auto a = sw.register_batch({{PortId{0}, PortId{1}},
+                                    {PortId{2}, PortId{3}}});
+  const auto b = sw.register_batch({{PortId{0}, PortId{2}},
+                                    {PortId{1}, PortId{3}}});
+  sw.reconfigure_batch(a, nullptr);
+  sim.run();
+  const LinkId first = sw.link(PortId{0}, PortId{1});
+  sw.reconfigure_batch(b, nullptr);
+  sim.run();
+  sw.reconfigure_batch(a, nullptr);
+  sim.run();
+  EXPECT_EQ(sw.link(PortId{0}, PortId{1}), first)
+      << "replayed matchings reuse their pinned fluid links";
+}
+
+TEST_F(OcsTest, BatchAlreadySatisfiedAcksWithoutCounting) {
+  const auto a = sw.register_batch({{PortId{0}, PortId{1}}});
+  sw.reconfigure_batch(a, nullptr);
+  sim.run();
+  bool done = false;
+  sw.reconfigure_batch(a, [&] { done = true; });
+  EXPECT_TRUE(done) << "idempotent batch must ack immediately";
+  EXPECT_EQ(sw.stats().reconfigurations, 1);
+  EXPECT_EQ(sw.stats().cumulative_port_dark_ns, 2 * msecs(15));
+}
+
+TEST_F(OcsTest, BatchFallsBackWhenCurrentPeerLiesOutsideTheBatch) {
+  // Port 0 currently pairs with port 4; a batch over {0,1,2,3} must widen
+  // its touched set to the displaced peer — the generic-path fallback.
+  sw.reconfigure({{PortId{0}, PortId{4}}}, nullptr);
+  sim.run();
+  const auto batch = sw.register_batch({{PortId{0}, PortId{1}},
+                                        {PortId{2}, PortId{3}}});
+  sw.reconfigure_batch(batch, nullptr);
+  EXPECT_TRUE(sw.dark(PortId{4})) << "displaced peer must go dark too";
+  sim.run();
+  EXPECT_FALSE(sw.peer(PortId{4}).has_value());
+  EXPECT_TRUE(sw.connected(PortId{0}, PortId{1}));
+  EXPECT_EQ(sw.stats().reconfigurations, 2);
+  // 2 ports dark in the first reconfig, 5 (batch's four + port 4) in the
+  // fallback.
+  EXPECT_EQ(sw.stats().cumulative_port_dark_ns, 7 * msecs(15));
+  EXPECT_EQ(summed_port_dark(sw), sw.stats().cumulative_port_dark_ns);
+}
+
+TEST_F(OcsTest, BatchRegistrationMigratesDarkGroupsWithoutLosingTime) {
+  // A second batch over a *subset* of an existing group's ports forces the
+  // subset into a fresh dark group; the accrued group time must be baked
+  // into the per-port tallies, leaving every port_dark_time unchanged.
+  const auto a = sw.register_batch({{PortId{0}, PortId{1}},
+                                    {PortId{2}, PortId{3}}});
+  sw.reconfigure_batch(a, nullptr);
+  sim.run();
+  const auto b = sw.register_batch({{PortId{0}, PortId{1}}});
+  for (int p : {0, 1, 2, 3}) {
+    EXPECT_EQ(sw.port_dark_time(PortId{p}), msecs(15))
+        << "group migration must not change accrued dark time";
+  }
+  EXPECT_EQ(summed_port_dark(sw), sw.stats().cumulative_port_dark_ns);
+  // The migrated group keeps accounting correctly on its next transaction.
+  sw.clear_circuits_on({PortId{0}, PortId{1}});
+  sw.reconfigure_batch(b, nullptr);
+  sim.run();
+  EXPECT_EQ(sw.port_dark_time(PortId{0}), 2 * msecs(15));
+  EXPECT_EQ(sw.port_dark_time(PortId{2}), msecs(15));
+  EXPECT_EQ(summed_port_dark(sw), sw.stats().cumulative_port_dark_ns);
+}
+
+TEST_F(OcsTest, BatchRefusesToDarkenTrafficAndInvalidRequests) {
+  EXPECT_THROW(sw.register_batch({{PortId{0}, PortId{0}}}), InvariantError);
+  EXPECT_THROW(sw.register_batch({{PortId{0}, PortId{1}},
+                                  {PortId{1}, PortId{2}}}),
+               InvariantError);
+  EXPECT_THROW(sw.register_batch({{PortId{0}, PortId{99}}}), InvariantError);
+  const auto batch = sw.register_batch({{PortId{0}, PortId{1}},
+                                        {PortId{2}, PortId{3}}});
+  sw.force_circuits({{PortId{0}, PortId{1}}});
+  net.start_flow({sw.link(PortId{0}, PortId{1})}, 25'000'000, 0, nullptr);
+  EXPECT_THROW(sw.reconfigure_batch(batch, nullptr), InvariantError);
+  EXPECT_THROW(sw.reconfigure_batch(batch + 99, nullptr), InvariantError);
+}
+
+TEST_F(OcsTest, DarkAccountingInvariantHoldsAcrossMixedOperations) {
+  // Property check over an interleaving of every reconfiguration flavor:
+  // after each step, sum_p port_dark_time(p) == cumulative_port_dark_ns.
+  const auto check = [&] {
+    EXPECT_EQ(summed_port_dark(sw), sw.stats().cumulative_port_dark_ns);
+  };
+  sw.force_circuits({{PortId{6}, PortId{7}}});  // forced: no dark, no stats
+  check();
+  sw.reconfigure({{PortId{0}, PortId{4}}}, nullptr);
+  sim.run();
+  check();
+  const auto a = sw.register_batch({{PortId{0}, PortId{1}},
+                                    {PortId{2}, PortId{3}}});
+  sw.reconfigure_batch(a, nullptr);  // fallback: peer 4 outside the batch
+  sim.run();
+  check();
+  const auto b = sw.register_batch({{PortId{0}, PortId{2}},
+                                    {PortId{1}, PortId{3}}});
+  sw.reconfigure_batch(b, nullptr);  // transaction path
+  sim.run();
+  check();
+  sw.reconfigure({{PortId{4}, PortId{5}}}, nullptr);  // generic, disjoint
+  sim.run();
+  check();
+  sw.reconfigure_batch(a, nullptr);  // replay
+  sim.run();
+  check();
+  EXPECT_GT(sw.stats().cumulative_port_dark_ns, 0);
+}
+
 // Parameterized: the dark period must equal the configured delay for any
 // technology (Table 3 spans 10 ns .. 120 s).
 class DarkPeriodSweep : public ::testing::TestWithParam<TimeNs> {};

@@ -2,6 +2,8 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <type_traits>
+#include <utility>
 
 #include "collective/executor.h"
 #include "collective/planner.h"
@@ -261,6 +263,124 @@ TEST(Rotor, OneRoundSpanNeverCountsPhantomRotations) {
   EXPECT_EQ(rotor.rotations(), 0);
   EXPECT_EQ(cluster.total_ocs_reconfigurations(), 0);
   EXPECT_EQ(cluster.total_ocs_dark_time(), 0);
+}
+
+TEST(Rotor, EveryQueuedSendEventuallyLaunches) {
+  // Liveness audit of the rail state machine: sends issued in every rail
+  // state — live, frozen-idle (the slot clock must re-arm), and
+  // mid-rotation/drain — must all launch once their matching comes around.
+  // A stranded PendingSend would leave `completed < issued` with the queue
+  // drained, which is exactly what this pins against.
+  sim::Simulator sim;
+  net::Cluster cluster(sim, rotor_cfg(6));
+  RotorTransport::Options opts;
+  opts.slot_time = usecs(100);
+  RotorTransport rotor(sim, cluster, opts);
+  CommGroup g;
+  g.id = GroupId{1};
+  int completed = 0;
+  int issued = 0;
+  const auto blast = [&] {
+    for (int a = 0; a < 6; ++a) {
+      for (int b = 0; b < 6; ++b) {
+        if (a == b) continue;
+        ++issued;
+        rotor.send(g, cluster.gpu_at(NodeId{a}, a % 2),
+                   cluster.gpu_at(NodeId{b}, a % 2), 50'000,
+                   [&] { ++completed; });
+      }
+    }
+  };
+  blast();    // live rails: immediate launches mixed with deferrals
+  sim.run();  // drain to idle: the rotor freezes on its current matchings
+  EXPECT_EQ(completed, issued);
+  blast();  // frozen rails must wake up for new work
+  // Inject at awkward instants: partway into a slot and inside the dark
+  // window right after a slot boundary (slot 100us, reconfig 10us).
+  sim.run_until(sim.now() + usecs(30));
+  blast();
+  sim.run_until(sim.now() + usecs(75));  // lands past the next slot end
+  blast();
+  sim.run();
+  EXPECT_EQ(completed, issued) << "a queued send never launched";
+  EXPECT_GT(rotor.deferred_sends(), 0) << "test never exercised the queue";
+}
+
+TEST(Rotor, RailDarkAccountingInvariantHoldsAfterRotations) {
+  // After a real rotor workload (batched rotations with delta dark
+  // accounting), each rail switch's per-port dark tallies must still sum
+  // to its aggregate counter.
+  sim::Simulator sim;
+  net::Cluster cluster(sim, rotor_cfg(6));
+  RotorTransport::Options opts;
+  opts.slot_time = usecs(100);
+  RotorTransport rotor(sim, cluster, opts);
+  CommGroup g;
+  g.id = GroupId{1};
+  int completed = 0;
+  for (int a = 0; a < 6; ++a) {
+    for (int b = 0; b < 6; ++b) {
+      if (a == b) continue;
+      rotor.send(g, cluster.gpu_at(NodeId{a}, 0), cluster.gpu_at(NodeId{b}, 0),
+                 100'000, [&] { ++completed; });
+    }
+  }
+  sim.run();
+  ASSERT_EQ(completed, 30);
+  ASSERT_GT(rotor.rotations(), 0);
+  for (int rail = 0; rail < cluster.n_rails(); ++rail) {
+    const auto& sw = cluster.ocs(RailId{rail});
+    TimeNs sum = 0;
+    for (int p = 0; p < sw.n_ports(); ++p) {
+      sum += sw.port_dark_time(PortId{p});
+    }
+    EXPECT_EQ(sum, sw.stats().cumulative_port_dark_ns)
+        << "per-port dark breakdown diverged on rail " << rail;
+  }
+}
+
+TEST(Rotor, SixtyFourBitTalliesSurviveResultPlumbing) {
+  // 4k-node rotor runs push rotations (and circuits-per-rotation multiples)
+  // past 2^31; pin every stage of the reporting chain at 64 bits so a
+  // refactor cannot narrow it back to int.
+  static_assert(std::is_same_v<decltype(std::declval<const RotorTransport&>()
+                                            .rotations()),
+                               std::int64_t>);
+  static_assert(std::is_same_v<decltype(std::declval<const RotorTransport&>()
+                                            .deferred_sends()),
+                               std::int64_t>);
+  static_assert(std::is_same_v<decltype(std::declval<const net::Cluster&>()
+                                            .total_ocs_reconfigurations()),
+                               std::int64_t>);
+  static_assert(
+      std::is_same_v<decltype(net::OpticalCircuitSwitch::Stats::
+                                  reconfigurations),
+                     std::int64_t>);
+  static_assert(
+      std::is_same_v<decltype(net::OpticalCircuitSwitch::Stats::
+                                  circuits_established),
+                     std::int64_t>);
+  static_assert(
+      std::is_same_v<decltype(net::OpticalCircuitSwitch::Stats::links_retired),
+                     std::int64_t>);
+  static_assert(std::is_same_v<decltype(ExperimentResult::rotor_rotations),
+                               std::int64_t>);
+  static_assert(
+      std::is_same_v<decltype(ExperimentResult::rotor_deferred_sends),
+                     std::int64_t>);
+  static_assert(
+      std::is_same_v<decltype(ExperimentResult::ocs_reconfigurations),
+                     std::int64_t>);
+  // Runtime round-trip: a value past the 32-bit range survives the result
+  // structs unclipped.
+  const std::int64_t big = (std::int64_t{1} << 40) + 7;
+  ExperimentResult result;
+  result.ocs_reconfigurations = big;
+  result.rotor_rotations = big;
+  result.rotor_deferred_sends = big + 1;
+  EXPECT_EQ(result.ocs_reconfigurations, big);
+  EXPECT_EQ(result.rotor_rotations, big);
+  EXPECT_EQ(result.rotor_deferred_sends, big + 1);
 }
 
 }  // namespace

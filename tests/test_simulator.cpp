@@ -140,6 +140,131 @@ TEST(Simulator, EventsCanScheduleMoreEvents) {
   EXPECT_EQ(sim.events_fired(), 100u);
 }
 
+// ---- Calendar-queue specifics ----------------------------------------------
+// The engine files events into hierarchical 64-wide wheels; the tests below
+// pin the behaviors the structure must preserve: same-instant FIFO even when
+// the entries were filed into different wheels, overflow clamping at the
+// deepest wheel, and re-filing when an insert lands before the calendar's
+// settled origin (the run_until peek-then-schedule pattern).
+
+TEST(Simulator, SameInstantFifoAcrossWheelLevels) {
+  Simulator sim;
+  std::vector<int> order;
+  // Filed far ahead (a high wheel relative to base 0)...
+  sim.schedule_at(1'000'000, [&] { order.push_back(0); });
+  sim.schedule_at(1'000'000, [&] { order.push_back(1); });
+  // ...then fire an intermediate event so later same-instant schedules are
+  // filed much closer to the target (a lower wheel).
+  sim.schedule_at(999'999, [&] {
+    sim.schedule_at(1'000'000, [&] { order.push_back(2); });
+    sim.schedule_at(1'000'000, [&] { order.push_back(3); });
+  });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(Simulator, ScheduleAfterClampsOverflowToMaxTime) {
+  Simulator sim;
+  sim.schedule_at(10, [] {});
+  sim.run();
+  ASSERT_EQ(sim.now(), 10);
+  TimeNs fired_at = -1;
+  // now() + kMaxTime overflows TimeNs; the event must land exactly at the
+  // clamp, in the calendar's deepest wheel, and still fire.
+  const EventId id = sim.schedule_after(Simulator::kMaxTime,
+                                        [&] { fired_at = sim.now(); });
+  EXPECT_TRUE(sim.pending(id));
+  EXPECT_EQ(sim.run(), 1u);
+  EXPECT_EQ(fired_at, Simulator::kMaxTime);
+  EXPECT_EQ(sim.now(), Simulator::kMaxTime);
+}
+
+TEST(Simulator, ScheduleAfterExactHorizonDoesNotClamp) {
+  Simulator sim;
+  sim.schedule_at(10, [] {});
+  sim.run();
+  TimeNs fired_at = -1;
+  sim.schedule_after(Simulator::kMaxTime - sim.now(),
+                     [&] { fired_at = sim.now(); });
+  sim.run();
+  EXPECT_EQ(fired_at, Simulator::kMaxTime);
+}
+
+TEST(Simulator, EventIdsAreDistinctAndUnknownIdsAreNotPending) {
+  Simulator sim;
+  EXPECT_FALSE(sim.pending(EventId{}));        // invalid id
+  EXPECT_FALSE(sim.pending(EventId{12345}));   // never issued
+  EXPECT_FALSE(sim.cancel(EventId{12345}));
+  std::vector<EventId> ids;
+  for (int i = 0; i < 100; ++i) ids.push_back(sim.schedule_at(i, [] {}));
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    EXPECT_TRUE(ids[i].valid());
+    for (std::size_t j = i + 1; j < ids.size(); ++j) {
+      EXPECT_NE(ids[i], ids[j]);
+    }
+  }
+  sim.run();
+  // Ids issued after a drain do not collide with already-fired ones.
+  const EventId later = sim.schedule_at(1000, [] {});
+  for (const EventId id : ids) EXPECT_NE(later, id);
+}
+
+TEST(Simulator, ScheduleBeforeSettledOriginAfterRunUntilPeek) {
+  Simulator sim;
+  std::vector<TimeNs> fired;
+  // Park a far-future event, then peek with run_until: settling walks the
+  // calendar origin up toward the pending event (past 50).
+  sim.schedule_at(1'000'000, [&] { fired.push_back(sim.now()); });
+  EXPECT_EQ(sim.run_until(50), 0u);
+  EXPECT_EQ(sim.now(), 50);
+  // Now schedule between now() and the settled origin — the calendar must
+  // re-file (rebase) rather than mis-bucket or drop the entry.
+  sim.schedule_at(100, [&] { fired.push_back(sim.now()); });
+  sim.schedule_at(1'000'000, [&] { fired.push_back(sim.now()); });
+  sim.run();
+  EXPECT_EQ(fired, (std::vector<TimeNs>{100, 1'000'000, 1'000'000}));
+}
+
+TEST(Simulator, SameInstantFifoSurvivesRebase) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(1'000'000, [&] { order.push_back(0); });
+  sim.run_until(50);  // peek: origin settles near the pending event
+  sim.schedule_at(100, [&] { order.push_back(-1); });  // forces the rebase
+  sim.schedule_at(1'000'000, [&] { order.push_back(1); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{-1, 0, 1}));
+}
+
+TEST(Simulator, CancelWithinSameInstantBucketSkipsTombstone) {
+  Simulator sim;
+  std::vector<int> order;
+  EventId victim{};
+  sim.schedule_at(5, [&] {
+    order.push_back(0);
+    sim.cancel(victim);  // tombstones a later entry of the firing bucket
+  });
+  victim = sim.schedule_at(5, [&] { order.push_back(1); });
+  sim.schedule_at(5, [&] { order.push_back(2); });
+  EXPECT_EQ(sim.run(), 2u);
+  EXPECT_EQ(order, (std::vector<int>{0, 2}));
+}
+
+TEST(Simulator, MidDrainSameInstantAppendFiresLast) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 3; ++i) {
+    sim.schedule_at(5, [&order, i] { order.push_back(i); });
+  }
+  EXPECT_EQ(sim.run_steps(1), 1u);
+  EXPECT_EQ(sim.now(), 5);
+  // Appending at the instant currently being drained: FIFO puts it after the
+  // bucket's remaining entries.
+  sim.schedule_at(5, [&] { order.push_back(3); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
 TEST(Simulator, DeterministicAcrossRuns) {
   auto run_once = [] {
     Simulator sim;
