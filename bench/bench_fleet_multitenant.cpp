@@ -93,5 +93,32 @@ int main() {
       "reconfigure only their own port blocks; the rotor pays rotation\n"
       "dark time per tenant on top of contention. Per-tenant byte\n"
       "conservation against isolated runs is pinned by tests/test_fleet.cpp.\n");
+
+  // Per-job fleet timelines, timeline-sharded: unlike the summary cells
+  // above (each owned whole by one shard), every process simulates these
+  // fleets but computes isolated baselines — the node-count-proportional
+  // cost — only for its own jobs, and prints only their rows. The merge
+  // script interleaves the rows back into the full per-job table,
+  // bit-identically (the shared timeline is deterministic, so shards agree
+  // on every column they both could print).
+  std::printf("\n== Fleet timelines (per-job, timeline-sharded) ==\n\n");
+  for (net::FabricKind fabric : fabrics) {
+    fleet::FleetConfig cfg;
+    cfg.n_nodes = smoke ? 32 : 128;
+    cfg.base.fabric = fabric;
+    cfg.base.gpus_per_node = 4;
+    cfg.base.ocs_reconfig_delay = usecs(100);
+    cfg.base.rotor_slot_time = msecs(1);
+    cfg.policy = fleet::PlacementPolicy::kRailAware;
+    cfg.arrivals.seed = 2026;
+    cfg.arrivals.n_jobs = smoke ? 8 : 16;
+    cfg.arrivals.iterations = 2;
+    cfg.arrivals.mean_interarrival = msecs(1);
+    cfg.use_shard = true;
+    const fleet::FleetResult result = fleet::run_fleet(cfg);
+    std::printf("-- %s, %d jobs on %d nodes --\n%s\n",
+                net::fabric_name(fabric), cfg.arrivals.n_jobs, cfg.n_nodes,
+                fleet::fleet_job_table(result).render().c_str());
+  }
   return 0;
 }

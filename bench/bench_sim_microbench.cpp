@@ -56,6 +56,35 @@ BENCHMARK(BM_EventQueuePendingScaling)
     ->Arg(100'000)
     ->Arg(1'000'000);
 
+// Scale-independent cluster state: the cost of hosting one 64-node tenant
+// (construction, span assignment, and a round of rail + NVLink transfers)
+// as the cluster around it grows from 64 to 4096 nodes. With lazy wiring
+// and span-indexed tenant state, the idle remainder contributes only id
+// tables — ns/op must stay flat across the sweep. Before the refactor this
+// curve rose with n_nodes (eager per-node link construction).
+void BM_ClusterActiveSpanScaling(benchmark::State& state) {
+  const auto n_nodes = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulator sim;
+    net::ClusterConfig cfg;
+    cfg.n_nodes = n_nodes;
+    cfg.gpus_per_node = 2;
+    cfg.fabric = net::FabricKind::kElectrical;
+    net::Cluster cluster(sim, cfg);
+    cluster.assign_tenant(0, net::NodeSpan{0, 64});
+    for (int i = 0; i < 64; ++i) {
+      const GpuId a = cluster.gpu_at(NodeId{i}, 0);
+      const GpuId b = cluster.gpu_at(NodeId{(i + 1) % 64}, 0);
+      cluster.transfer(a, b, 1 << 20, [] {});
+      cluster.transfer(a, cluster.gpu_at(NodeId{i}, 1), 1 << 20, [] {});
+    }
+    sim.run();
+    benchmark::DoNotOptimize(cluster.network().link_count());
+  }
+  state.SetItemsProcessed(state.iterations() * 128);
+}
+BENCHMARK(BM_ClusterActiveSpanScaling)->Arg(64)->Arg(512)->Arg(4096);
+
 void BM_FluidMaxMinResolve(benchmark::State& state) {
   const auto flows = static_cast<int>(state.range(0));
   for (auto _ : state) {

@@ -70,10 +70,18 @@ int main() {
 
   // Part 2: simulated scalability — one Opus cell per node count, swept in
   // parallel across the thread pool.
+  // Full mode runs one decade past the 512-node regression leg. Cluster
+  // state is scale-independent now, but the big cells' *traffic* is not:
+  // a 4096-node Opus cell rings 2048 DP ranks, so the 1024..4096 tail
+  // costs minutes-to-hours of wall time. Fan it across processes with
+  // OPUS_SWEEP_SHARD=i/N and merge_sweep_tables.py (see FIGURES.md).
+  // Smoke keeps {8, 512}; CI's 4096-node coverage is the cheap
+  // multi-tenant FourKMatrix leg, where only the tenants' spans pay.
   const std::vector<int> node_counts =
       opus::bench::smoke_mode()
           ? std::vector<int>{8, 512}
-          : std::vector<int>{8, 16, 32, 64, 128, 256, 512};
+          : std::vector<int>{8,   16,   32,   64,  128,
+                             256, 512, 1024, 2048, 4096};
   std::vector<core::ExperimentConfig> cells;
   cells.reserve(node_counts.size());
   for (int n : node_counts) cells.push_back(scale_cell(n));

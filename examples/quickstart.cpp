@@ -49,8 +49,8 @@ int main() {
               100.0 * (static_cast<double>(photonic.steady_iteration_time) /
                            static_cast<double>(electrical.steady_iteration_time) -
                        1.0));
-  std::printf("OCS reconfigs      : %d across %d rails (%d from cache)\n",
-              photonic.ocs_reconfigurations, 4,
+  std::printf("OCS reconfigs      : %lld across %d rails (%d from cache)\n",
+              static_cast<long long>(photonic.ocs_reconfigurations), 4,
               photonic.controller.satisfied_immediately);
   std::printf("speculative reqs   : %d (provisioning hides the switch time)\n",
               photonic.shim_speculative_requests);

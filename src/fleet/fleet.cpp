@@ -113,6 +113,7 @@ FleetResult run_fleet(const FleetConfig& cfg) {
 
   FleetResult result;
   result.config = cfg;
+  result.shard = cfg.use_shard ? core::sweep_shard() : core::SweepShard{};
   result.jobs.resize(specs.size());
   for (std::size_t i = 0; i < specs.size(); ++i) {
     result.jobs[i].spec = specs[i];
@@ -121,11 +122,15 @@ FleetResult run_fleet(const FleetConfig& cfg) {
   // Isolated baselines: each job alone on a cluster of its own footprint,
   // fanned across the sweep pool (independent simulators — deterministic at
   // any width). Jobs too big for the fleet's cluster will be rejected at
-  // arrival and their baselines never read, so don't simulate them.
+  // arrival and their baselines never read, so don't simulate them. Under
+  // timeline sharding only the shard's own jobs get baselines — the shared
+  // simulation below still runs in full (tenants interact), but this sweep
+  // is the node-count-proportional part, so N shards split the heavy work.
   if (cfg.isolated_baselines) {
     std::vector<core::ExperimentConfig> cells;
     std::vector<std::size_t> cell_jobs;
     for (const JobSpec& spec : specs) {
+      if (!result.shard.owns(static_cast<std::size_t>(spec.id))) continue;
       if (spec.shape.n_nodes(cfg.base.gpus_per_node) > cfg.n_nodes) continue;
       cells.push_back(job_experiment_config(cfg, spec));
       cell_jobs.push_back(static_cast<std::size_t>(spec.id));
@@ -143,13 +148,11 @@ FleetResult run_fleet(const FleetConfig& cfg) {
     }
   }
 
-  // The shared world: one simulator, one cluster, one fluid network. Tenant
-  // transports wire their own spans (defer_fabric_wiring), so nothing
-  // pre-connects ports across future tenant boundaries.
+  // The shared world: one simulator, one cluster, one fluid network. Fabric
+  // wiring is lazy by default — tenant transports wire their own spans, so
+  // nothing pre-connects ports across future tenant boundaries.
   sim::Simulator sim;
-  net::ClusterConfig ncfg = core::cluster_config_for(cfg.base, cfg.n_nodes);
-  ncfg.defer_fabric_wiring = true;
-  net::Cluster cluster(sim, ncfg);
+  net::Cluster cluster(sim, core::cluster_config_for(cfg.base, cfg.n_nodes));
   PlacementEngine placement(cfg.n_nodes, cfg.policy);
   std::vector<std::unique_ptr<core::Tenant>> tenants(specs.size());
 
@@ -205,6 +208,7 @@ TextTable fleet_job_table(const FleetResult& result) {
   TextTable table({"Job", "Shape", "Nodes", "Span", "Arrival", "Queue",
                    "JCT", "Slowdown", "Dark%", "Rail bytes", "Multihop"});
   for (const FleetJobResult& jr : result.jobs) {
+    if (!result.shard.owns(static_cast<std::size_t>(jr.spec.id))) continue;
     if (jr.rejected) {
       table.add_row({std::to_string(jr.spec.id), jr.spec.shape.name,
                      std::to_string(jr.spec.shape.n_nodes(

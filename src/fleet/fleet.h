@@ -44,6 +44,18 @@ struct FleetConfig {
   /// Thread pool for the isolated-baseline sweep (the fleet run itself is
   /// one simulator and always single-threaded).
   core::SweepOptions baseline_sweep;
+  /// Opt into process-level *timeline* sharding (OPUS_SWEEP_SHARD=i/N):
+  /// every shard simulates the full shared-cluster timeline (tenants
+  /// interact, so the simulation itself cannot split), but isolated
+  /// baselines — the per-job independent sweep that dominates cost at
+  /// 4096-node scale — run only for jobs with id % N == i, and
+  /// fleet_job_table() emits only those jobs' rows. N processes regenerate
+  /// one fleet table cooperatively; scripts/merge_sweep_tables.py
+  /// interleaves their rows back into the unsharded table, bit-identically
+  /// (the simulated timeline is deterministic, so shards agree on every
+  /// shared column). Unowned jobs' isolated/slowdown fields stay 0.
+  /// Tests leave this off — a shard variable must never skip their jobs.
+  bool use_shard = false;
 };
 
 struct FleetJobResult {
@@ -86,6 +98,10 @@ struct FleetJobResult {
 
 struct FleetResult {
   FleetConfig config;
+  /// The timeline shard this run computed baselines for ({0, 1} — whole
+  /// timeline — unless config.use_shard resolved an active
+  /// OPUS_SWEEP_SHARD). fleet_job_table() scopes its rows to this.
+  core::SweepShard shard;
   std::vector<FleetJobResult> jobs;  ///< in arrival (job id) order
   TimeNs makespan = 0;               ///< last finish instant
   /// Node-time actually occupied / (n_nodes x makespan).
@@ -101,7 +117,9 @@ struct FleetResult {
 FleetResult run_fleet(const FleetConfig& cfg);
 
 /// Per-job results as a common/table TextTable (the fleet analogue of the
-/// figure benches' paper-style tables).
+/// figure benches' paper-style tables). A timeline-sharded result emits
+/// only its own shard's rows (job id % N == i) so per-shard outputs
+/// interleave back into the full table.
 TextTable fleet_job_table(const FleetResult& result);
 
 /// Mean and p99 (nearest-rank) of the placed jobs' slowdowns.

@@ -40,6 +40,9 @@ std::optional<net::NodeSpan> PlacementEngine::take(std::size_t extent_index,
   it = free_.erase(it);
   if (after.count > 0) it = free_.insert(it, after);
   if (before.count > 0) free_.insert(it, before);
+  ++allocations_;
+  peak_free_extents_ =
+      std::max(peak_free_extents_, static_cast<int>(free_.size()));
   return net::NodeSpan{start, count};
 }
 
@@ -49,6 +52,7 @@ std::optional<net::NodeSpan> PlacementEngine::allocate(int count) {
 
   if (policy_ == PlacementPolicy::kFirstFit) {
     for (std::size_t i = 0; i < free_.size(); ++i) {
+      ++extents_scanned_;
       if (free_[i].count >= count) {
         return take(i, free_[i].first, count);
       }
@@ -61,6 +65,7 @@ std::optional<net::NodeSpan> PlacementEngine::allocate(int count) {
   const int align = next_pow2(count);
   for (std::size_t i = 0; i < free_.size(); ++i) {
     const Extent& e = free_[i];
+    ++extents_scanned_;
     const int aligned = ((e.first + align - 1) / align) * align;
     if (aligned + count <= e.end()) {
       return take(i, aligned, count);
@@ -68,6 +73,7 @@ std::optional<net::NodeSpan> PlacementEngine::allocate(int count) {
   }
   std::size_t best = free_.size();
   for (std::size_t i = 0; i < free_.size(); ++i) {
+    ++extents_scanned_;
     if (free_[i].count < count) continue;
     if (best == free_.size() || free_[i].count < free_[best].count) {
       best = i;
@@ -91,6 +97,7 @@ void PlacementEngine::release(net::NodeSpan span) {
     ensure(std::prev(it)->end() <= span.first,
            "placement: double release (overlap)");
   }
+  ++releases_;
   auto inserted = free_.insert(it, {span.first, span.count});
   // Coalesce with the successor, then the predecessor.
   const auto next = std::next(inserted);
@@ -105,6 +112,10 @@ void PlacementEngine::release(net::NodeSpan span) {
       free_.erase(inserted);
     }
   }
+  // Peak is measured post-coalesce: it tracks resident interval state, not
+  // the transient extra extent inside this call.
+  peak_free_extents_ =
+      std::max(peak_free_extents_, static_cast<int>(free_.size()));
 }
 
 int PlacementEngine::free_nodes() const {

@@ -17,6 +17,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <optional>
 #include <vector>
 
@@ -50,6 +51,19 @@ class PlacementEngine {
   /// (0 when fully free or fully packed — nothing is stranded).
   double fragmentation() const;
 
+  // ---- scale-independence instrumentation ---------------------------------
+  // The engine's state is the free-extent interval list — at most one
+  // extent per live-tenant boundary plus one, never proportional to
+  // n_nodes. These counters let tests pin that: peak_free_extents bounds
+  // resident state, extents_scanned bounds per-allocate work. Pure
+  // observation; they never influence placement decisions.
+  std::int64_t allocations() const { return allocations_; }
+  std::int64_t releases() const { return releases_; }
+  /// Total extents examined across all allocate() calls (scan work).
+  std::int64_t extents_scanned() const { return extents_scanned_; }
+  /// High-water mark of the interval list length over the engine's life.
+  int peak_free_extents() const { return peak_free_extents_; }
+
  private:
   struct Extent {
     int first = 0;
@@ -63,6 +77,11 @@ class PlacementEngine {
   int n_nodes_;
   PlacementPolicy policy_;
   std::vector<Extent> free_;  // sorted by first, pairwise disjoint
+
+  std::int64_t allocations_ = 0;
+  std::int64_t releases_ = 0;
+  std::int64_t extents_scanned_ = 0;
+  int peak_free_extents_ = 1;  // the initial all-free extent
 };
 
 }  // namespace opus::fleet

@@ -29,7 +29,18 @@ int rotor_rounds_for(int n_nodes) {
 }
 
 Cluster::Cluster(sim::Simulator& sim, ClusterConfig cfg)
-    : sim_(sim), cfg_(cfg), net_(sim), route_bytes_(6, 0) {
+    : Cluster(sim, nullptr, std::move(cfg)) {}
+
+Cluster::Cluster(sim::Simulator& sim, FluidNetwork& net, ClusterConfig cfg)
+    : Cluster(sim, &net, std::move(cfg)) {}
+
+Cluster::Cluster(sim::Simulator& sim, FluidNetwork* net, ClusterConfig cfg)
+    : sim_(sim),
+      cfg_(cfg),
+      owned_net_(net == nullptr ? std::make_unique<FluidNetwork>(sim)
+                                : nullptr),
+      net_(net == nullptr ? *owned_net_ : *net),
+      route_bytes_(6, 0) {
   ensure(cfg_.n_nodes > 0, "cluster requires nodes");
   ensure(cfg_.gpus_per_node > 0, "cluster requires GPUs per node");
   ensure(cfg_.nic_ports == 1 || cfg_.nic_ports == 2 || cfg_.nic_ports == 4,
@@ -58,15 +69,12 @@ Cluster::Cluster(sim::Simulator& sim, ClusterConfig cfg)
     cfg_.rotor_port_spread = 1;
   }
 
+  // Scale-up links are created on first use (nvl_in/nvl_out): only the id
+  // tables are sized here, so idle nodes cost 8 bytes of ids each instead
+  // of two solver-visible fluid links.
   const int n = n_gpus();
-  nvl_in_.reserve(static_cast<std::size_t>(n));
-  nvl_out_.reserve(static_cast<std::size_t>(n));
-  for (int g = 0; g < n; ++g) {
-    nvl_in_.push_back(
-        net_.add_link(cfg_.nvlink_bw, "nvl_in:" + std::to_string(g)));
-    nvl_out_.push_back(
-        net_.add_link(cfg_.nvlink_bw, "nvl_out:" + std::to_string(g)));
-  }
+  nvl_in_.assign(static_cast<std::size_t>(n), LinkId{});
+  nvl_out_.assign(static_cast<std::size_t>(n), LinkId{});
 
   const int rails = n_rails();
   if (photonic()) {
@@ -78,13 +86,13 @@ Cluster::Cluster(sim::Simulator& sim, ClusterConfig cfg)
           "rail" + std::to_string(r)));
     }
     if (cfg_.fabric == FabricKind::kRotor) {
-      // Pre-job rotor wiring: every rail starts on rotation round 0. The
-      // RotorTransport advances the schedule from there; it registers each
-      // round's matching as an OCS batch, which pins the matching's fluid
-      // links for the lifetime of the switch — so the dead-circuit cache
-      // needs no rotor-specific widening (rotation churn never reaches it).
       ensure(cfg_.n_nodes >= 2, "a rotor fabric needs at least two nodes");
       if (!cfg_.defer_fabric_wiring) {
+        // Legacy eager pre-wiring (compat flag): every rail starts on
+        // rotation round 0 before any transport exists. The default lazy
+        // path skips this — the RotorTransport wires its own span's round-0
+        // matchings at construction (and skips the force when they are
+        // already live), so eager and lazy runs are bit-identical.
         for (int r = 0; r < rails; ++r) {
           rail_ocs_[static_cast<std::size_t>(r)]->force_circuits(
               rotor_matching_circuits(RailId{r}, 0));
@@ -218,18 +226,30 @@ std::vector<PortId> Cluster::span_ports(NodeSpan span) const {
   return ports;
 }
 
+const Cluster::TenantSpan* Cluster::find_tenant_span(int node) const {
+  // Sorted, non-overlapping store: the candidate is the last entry starting
+  // at or before `node`.
+  const auto it = std::upper_bound(
+      tenant_spans_.begin(), tenant_spans_.end(), node,
+      [](int n, const TenantSpan& t) { return n < t.span.first; });
+  if (it == tenant_spans_.begin()) return nullptr;
+  const TenantSpan& cand = *std::prev(it);
+  return cand.span.contains(node) ? &cand : nullptr;
+}
+
 void Cluster::assign_tenant(int tenant, NodeSpan span) {
   check_span(span);
   ensure(tenant >= 0, "tenant id must be non-negative");
-  if (node_tenant_.empty()) {
-    node_tenant_.assign(static_cast<std::size_t>(cfg_.n_nodes), kNoTenant);
-  }
   tenant_accounting_ = true;
-  for (int node = span.first; node < span.end(); ++node) {
-    ensure(node_tenant_[static_cast<std::size_t>(node)] == kNoTenant,
-           "assign_tenant: node already owned by another tenant");
-    node_tenant_[static_cast<std::size_t>(node)] = tenant;
-  }
+  const auto it = std::lower_bound(
+      tenant_spans_.begin(), tenant_spans_.end(), span.first,
+      [](const TenantSpan& t, int first) { return t.span.first < first; });
+  ensure(it == tenant_spans_.end() || span.end() <= it->span.first,
+         "assign_tenant: node already owned by another tenant");
+  ensure(it == tenant_spans_.begin() ||
+             std::prev(it)->span.end() <= span.first,
+         "assign_tenant: node already owned by another tenant");
+  tenant_spans_.insert(it, TenantSpan{span, tenant, ++tenant_generation_});
   if (photonic()) {
     const std::vector<PortId> ports = span_ports(span);
     for (int r = 0; r < n_rails(); ++r) {
@@ -240,12 +260,25 @@ void Cluster::assign_tenant(int tenant, NodeSpan span) {
 
 void Cluster::release_tenant(NodeSpan span) {
   check_span(span);
-  ensure(!node_tenant_.empty(), "release_tenant: no tenants assigned");
-  for (int node = span.first; node < span.end(); ++node) {
-    ensure(node_tenant_[static_cast<std::size_t>(node)] != kNoTenant,
-           "release_tenant: node is not tenanted");
-    node_tenant_[static_cast<std::size_t>(node)] = kNoTenant;
+  ensure(!tenant_spans_.empty(), "release_tenant: no tenants assigned");
+  // The released range must tile exactly onto whole assigned spans (one or
+  // several, back to back): partial releases would shear a tenant's span.
+  const auto first = std::lower_bound(
+      tenant_spans_.begin(), tenant_spans_.end(), span.first,
+      [](const TenantSpan& t, int f) { return t.span.first < f; });
+  ensure(first != tenant_spans_.end() && first->span.first == span.first,
+         "release_tenant: node is not tenanted");
+  auto last = first;
+  int cursor = span.first;
+  while (last != tenant_spans_.end() && last->span.first == cursor &&
+         last->span.end() <= span.end()) {
+    cursor = last->span.end();
+    ++last;
   }
+  ensure(cursor == span.end(),
+         "release_tenant: span does not tile onto assigned tenant spans");
+  tenant_spans_.erase(first, last);
+  ++tenant_generation_;
   if (photonic()) {
     const std::vector<PortId> ports = span_ports(span);
     for (int r = 0; r < n_rails(); ++r) {
@@ -263,8 +296,8 @@ void Cluster::release_tenant(NodeSpan span) {
 
 int Cluster::tenant_of(NodeId node) const {
   ensure(node.valid() && node.value() < cfg_.n_nodes, "invalid node id");
-  if (node_tenant_.empty()) return kNoTenant;
-  return node_tenant_[static_cast<std::size_t>(node.value())];
+  const TenantSpan* t = find_tenant_span(node.value());
+  return t == nullptr ? kNoTenant : t->tenant;
 }
 
 Bytes Cluster::tenant_bytes_on_route(int tenant, Route r) const {
@@ -371,22 +404,38 @@ bool Cluster::rail_path_available(GpuId src, GpuId dst) const {
 void Cluster::account(Route r, GpuId src, Bytes bytes) {
   route_bytes_[static_cast<std::size_t>(r)] += bytes;
   if (!tenant_accounting_) return;
-  const int tenant = node_tenant_[static_cast<std::size_t>(
-      src.value() / cfg_.gpus_per_node)];
-  if (tenant == kNoTenant) return;
-  tenant_route_bytes_[tenant][static_cast<std::size_t>(r)] += bytes;
+  const TenantSpan* t = find_tenant_span(src.value() / cfg_.gpus_per_node);
+  if (t == nullptr) return;
+  tenant_route_bytes_[t->tenant][static_cast<std::size_t>(r)] += bytes;
 }
 
 Bytes Cluster::bytes_on_route(Route r) const {
   return route_bytes_[static_cast<std::size_t>(r)];
 }
 
+LinkId Cluster::nvl_in(GpuId g) {
+  LinkId& id = nvl_in_[static_cast<std::size_t>(g.value())];
+  if (!id.valid()) {
+    id = net_.add_link(cfg_.nvlink_bw,
+                       "nvl_in:" + std::to_string(g.value()));
+  }
+  return id;
+}
+
+LinkId Cluster::nvl_out(GpuId g) {
+  LinkId& id = nvl_out_[static_cast<std::size_t>(g.value())];
+  if (!id.valid()) {
+    id = net_.add_link(cfg_.nvlink_bw,
+                       "nvl_out:" + std::to_string(g.value()));
+  }
+  return id;
+}
+
 void Cluster::transfer_scale_up(GpuId src, GpuId dst, Bytes bytes,
                                 std::function<void()> on_complete) {
   account(Route::kScaleUp, src, bytes);
-  net_.start_flow({nvl_out_[static_cast<std::size_t>(src.value())],
-                   nvl_in_[static_cast<std::size_t>(dst.value())]},
-                  bytes, cfg_.nvlink_latency, std::move(on_complete));
+  net_.start_flow({nvl_out(src), nvl_in(dst)}, bytes, cfg_.nvlink_latency,
+                  std::move(on_complete));
 }
 
 std::vector<GpuId> Cluster::rail_multihop_path(GpuId src, GpuId dst) const {
@@ -403,14 +452,27 @@ std::vector<GpuId> Cluster::rail_multihop_path(GpuId src, GpuId dst) const {
   const RailId rail = rail_of(src);
   const auto& sw = ocs(rail);
   // BFS over nodes through live circuits, depth-limited when the fabric
-  // caps forwarding (rotor: direct-or-two-hop).
+  // caps forwarding. Visited state lives in epoch-stamped scratch arrays
+  // (allocated on the first BFS, so fabrics that never take this path pay
+  // nothing) — per query the search touches only reached nodes, not O(n).
   const int n = cfg_.n_nodes;
-  std::vector<int> prev(static_cast<std::size_t>(n), -2);  // -2 = unvisited
+  if (bfs_prev_.size() != static_cast<std::size_t>(n)) {
+    bfs_prev_.assign(static_cast<std::size_t>(n), -2);
+    bfs_epoch_.assign(static_cast<std::size_t>(n), 0);
+  }
+  const std::uint64_t epoch = ++bfs_epoch_counter_;
+  const auto visited = [&](int node) {
+    return bfs_epoch_[static_cast<std::size_t>(node)] == epoch;
+  };
+  const auto visit = [&](int node, int from) {
+    bfs_epoch_[static_cast<std::size_t>(node)] = epoch;
+    bfs_prev_[static_cast<std::size_t>(node)] = from;
+  };
   std::vector<int> frontier{node_of(src).value()};
-  prev[static_cast<std::size_t>(node_of(src).value())] = -1;
+  visit(node_of(src).value(), -1);
   const int target = node_of(dst).value();
   int depth = 0;
-  while (!frontier.empty() && prev[static_cast<std::size_t>(target)] == -2) {
+  while (!frontier.empty() && !visited(target)) {
     if (cfg_.max_multihop_hops > 0 && ++depth > cfg_.max_multihop_hops) {
       return {};
     }
@@ -422,17 +484,17 @@ std::vector<GpuId> Cluster::rail_multihop_path(GpuId src, GpuId dst) const {
         const auto peer = sw.peer(port);
         if (!peer || !sw.connected(port, *peer)) continue;
         const int peer_node = peer->value() / cfg_.nic_ports;
-        if (prev[static_cast<std::size_t>(peer_node)] != -2) continue;
-        prev[static_cast<std::size_t>(peer_node)] = node;
+        if (visited(peer_node)) continue;
+        visit(peer_node, node);
         next.push_back(peer_node);
       }
     }
     frontier = std::move(next);
   }
-  if (prev[static_cast<std::size_t>(target)] == -2) return {};
+  if (!visited(target)) return {};
   std::vector<GpuId> path;
   for (int node = target; node != -1;
-       node = prev[static_cast<std::size_t>(node)]) {
+       node = bfs_prev_[static_cast<std::size_t>(node)]) {
     path.push_back(gpu_at(NodeId{node}, rail.value()));
   }
   std::reverse(path.begin(), path.end());

@@ -127,13 +127,15 @@ struct ClusterConfig {
   /// static ring forwards arbitrarily far around the ring.
   int max_multihop_hops = 0;
 
-  /// Skip the pre-job fabric wiring the constructor would normally perform
-  /// (the rotor's round-0 matchings). A multi-tenant fleet sets this: each
-  /// placed job wires its own node span when its transport is built, so a
-  /// whole-fabric matching must not pre-connect ports across future tenant
-  /// boundaries. Fabric normalization (multi-hop settings, dead-circuit
-  /// cache sizing) still happens.
-  bool defer_fabric_wiring = false;
+  /// Lazy fabric wiring (the default): the constructor performs no pre-job
+  /// wiring — each transport wires its own node span when it is built (the
+  /// rotor's round-0 matchings, the static ring's circuits), so rails light
+  /// up on first traffic and a whole-fabric matching never pre-connects
+  /// ports across future tenant boundaries. Set to false to restore the
+  /// legacy eager pre-wiring (the rotor's round-0 matchings forced at
+  /// construction) — a compat flag kept so tests can pin lazy == eager.
+  /// Fabric normalization (multi-hop settings) happens either way.
+  bool defer_fabric_wiring = true;
 
   /// kRotor only: how many consecutive round-robin matchings are striped
   /// across the NIC ports. 1 (classic) points every port of a node at the
@@ -157,7 +159,12 @@ struct ClusterConfig {
 ///                                   the destination's local rank, then rail
 class Cluster {
  public:
+  /// Owns its FluidNetwork (the single-pod case).
   Cluster(sim::Simulator& sim, ClusterConfig cfg);
+  /// Shares an externally owned FluidNetwork — the multi-pod case: several
+  /// pod Clusters plus inter-pod trunks live on one data plane so cross-pod
+  /// and intra-pod traffic genuinely contend (see net::MultiPodFabric).
+  Cluster(sim::Simulator& sim, FluidNetwork& net, ClusterConfig cfg);
   Cluster(const Cluster&) = delete;
   Cluster& operator=(const Cluster&) = delete;
 
@@ -229,6 +236,14 @@ class Cluster {
   /// Tenant owning `node` (kNoTenant when unassigned).
   static constexpr int kNoTenant = -1;
   int tenant_of(NodeId node) const;
+  /// Occupied entries in the span-indexed tenant store — proportional to
+  /// *live tenants*, never to cluster size (the memory-proportionality tests
+  /// pin this).
+  std::size_t tenant_state_entries() const { return tenant_spans_.size(); }
+  /// Generation stamp of the tenant store, bumped by every assign/release.
+  /// A caller holding derived per-span state (cached reachability, port
+  /// sets) revalidates against this instead of subscribing to callbacks.
+  std::uint64_t tenant_state_generation() const { return tenant_generation_; }
   /// Photonic: cumulative dark time summed over the span's OCS ports on all
   /// rails (snapshot before/after a job to get its dark-time share).
   TimeNs ocs_dark_time_in_span(NodeSpan span) const;
@@ -271,6 +286,17 @@ class Cluster {
   Bytes bytes_on_route(Route r) const;
 
  private:
+  Cluster(sim::Simulator& sim, FluidNetwork* net, ClusterConfig cfg);
+
+  /// Lazy scale-up plumbing: the fluid link behind a GPU's NVSwitch
+  /// injection/ejection port, created on first use. A 4096-node pod whose
+  /// only tenant spans 64 nodes materializes 128 nodes' worth of NVLink
+  /// state, not 4096 (the id tables stay dense — 4 bytes per GPU — but the
+  /// heavy per-link solver state lives in the FluidNetwork and is
+  /// allocated here, on demand).
+  LinkId nvl_in(GpuId g);
+  LinkId nvl_out(GpuId g);
+
   void transfer_scale_up(GpuId src, GpuId dst, Bytes bytes,
                          std::function<void()> on_complete);
   void transfer_rail(GpuId src, GpuId dst, Bytes bytes,
@@ -291,10 +317,25 @@ class Cluster {
   void account(Route r, GpuId src, Bytes bytes);
   void check_span(NodeSpan span) const;
 
+  /// One entry of the span-indexed tenant store: an owned node range plus
+  /// the store generation at which it was assigned.
+  struct TenantSpan {
+    NodeSpan span;
+    int tenant = kNoTenant;
+    std::uint64_t generation = 0;
+  };
+  /// Entry owning `node`, or nullptr (binary search over the sorted store).
+  const TenantSpan* find_tenant_span(int node) const;
+
   sim::Simulator& sim_;
   ClusterConfig cfg_;
-  FluidNetwork net_;
-  // Scale-up: per-GPU injection/ejection links into the node's NVSwitch.
+  // Data plane: owned in the single-pod case, external when several pod
+  // Clusters share one network. owned_net_ must precede net_ so the
+  // reference can bind to it.
+  std::unique_ptr<FluidNetwork> owned_net_;
+  FluidNetwork& net_;
+  // Scale-up: per-GPU injection/ejection links into the node's NVSwitch,
+  // invalid until first use (see nvl_in/nvl_out).
   std::vector<LinkId> nvl_in_;
   std::vector<LinkId> nvl_out_;
   // One rail per local rank; exactly one of these is populated.
@@ -302,12 +343,20 @@ class Cluster {
   std::vector<std::unique_ptr<ElectricalSwitch>> rail_electrical_;
   std::unique_ptr<ElectricalSwitch> mgmt_;
   std::vector<Bytes> route_bytes_;
-  // Multi-tenant state: per-node owner tags (kNoTenant when unassigned) and
+  // Multi-tenant state: a sorted, non-overlapping span store (one entry per
+  // live tenant span — state scales with active spans, not nodes) and
   // per-tenant route-byte totals. tenant_accounting_ flips on first
-  // assignment so the single-tenant fast path skips the map entirely.
+  // assignment so the single-tenant fast path skips the lookups entirely.
   bool tenant_accounting_ = false;
-  std::vector<int> node_tenant_;
+  std::vector<TenantSpan> tenant_spans_;  // sorted by span.first
+  std::uint64_t tenant_generation_ = 0;
   std::unordered_map<int, std::array<Bytes, 6>> tenant_route_bytes_;
+  // Epoch-stamped BFS scratch for the unbounded multi-hop path search (the
+  // static ring's general case; sized lazily on first use so fabrics that
+  // never BFS — electrical, Opus, the two-hop rotor — allocate nothing).
+  mutable std::vector<std::int32_t> bfs_prev_;
+  mutable std::vector<std::uint64_t> bfs_epoch_;
+  mutable std::uint64_t bfs_epoch_counter_ = 0;
 };
 
 }  // namespace opus::net

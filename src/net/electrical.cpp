@@ -7,28 +7,47 @@ namespace opus::net {
 ElectricalSwitch::ElectricalSwitch(FluidNetwork& net, int n_endpoints,
                                    Bandwidth port_bw, TimeNs hop_latency,
                                    std::string name)
-    : port_bw_(port_bw), hop_latency_(hop_latency) {
+    : net_(net),
+      n_endpoints_(n_endpoints),
+      port_bw_(port_bw),
+      hop_latency_(hop_latency),
+      name_(std::move(name)),
+      uplinks_(static_cast<std::size_t>(n_endpoints > 0 ? n_endpoints : 0),
+               LinkId{}),
+      downlinks_(static_cast<std::size_t>(n_endpoints > 0 ? n_endpoints : 0),
+                 LinkId{}) {
   ensure(n_endpoints > 0, "electrical switch requires endpoints");
   ensure(port_bw.positive(), "electrical switch port bandwidth must be > 0");
   ensure(hop_latency >= 0, "hop latency must be non-negative");
-  uplinks_.reserve(static_cast<std::size_t>(n_endpoints));
-  downlinks_.reserve(static_cast<std::size_t>(n_endpoints));
-  for (int i = 0; i < n_endpoints; ++i) {
-    uplinks_.push_back(
-        net.add_link(port_bw, name + ":up" + std::to_string(i)));
-    downlinks_.push_back(
-        net.add_link(port_bw, name + ":down" + std::to_string(i)));
-  }
 }
 
 LinkId ElectricalSwitch::uplink(int i) const {
   ensure(i >= 0 && i < n_endpoints(), "invalid switch endpoint");
-  return uplinks_[static_cast<std::size_t>(i)];
+  LinkId& id = uplinks_[static_cast<std::size_t>(i)];
+  if (!id.valid()) {
+    id = net_.add_link(port_bw_, name_ + ":up" + std::to_string(i));
+  }
+  return id;
 }
 
 LinkId ElectricalSwitch::downlink(int i) const {
   ensure(i >= 0 && i < n_endpoints(), "invalid switch endpoint");
-  return downlinks_[static_cast<std::size_t>(i)];
+  LinkId& id = downlinks_[static_cast<std::size_t>(i)];
+  if (!id.valid()) {
+    id = net_.add_link(port_bw_, name_ + ":down" + std::to_string(i));
+  }
+  return id;
+}
+
+int ElectricalSwitch::touched_endpoints() const {
+  int touched = 0;
+  for (int i = 0; i < n_endpoints_; ++i) {
+    if (uplinks_[static_cast<std::size_t>(i)].valid() ||
+        downlinks_[static_cast<std::size_t>(i)].valid()) {
+      ++touched;
+    }
+  }
+  return touched;
 }
 
 }  // namespace opus::net

@@ -22,20 +22,31 @@ class ElectricalSwitch {
   ElectricalSwitch(FluidNetwork& net, int n_endpoints, Bandwidth port_bw,
                    TimeNs hop_latency, std::string name = {});
 
-  int n_endpoints() const { return static_cast<int>(uplinks_.size()); }
+  int n_endpoints() const { return n_endpoints_; }
   TimeNs hop_latency() const { return hop_latency_; }
   Bandwidth port_bandwidth() const { return port_bw_; }
 
-  /// Link carrying traffic from endpoint `i` into the switch.
+  /// Link carrying traffic from endpoint `i` into the switch. Created on
+  /// first use: an idle endpoint contributes no fluid-network state, so a
+  /// 4096-node rail whose tenants touch 64 nodes materializes 64 nodes'
+  /// worth of links (the memory-proportionality tests pin this).
   LinkId uplink(int i) const;
-  /// Link carrying traffic from the switch to endpoint `i`.
+  /// Link carrying traffic from the switch to endpoint `i` (lazy, as above).
   LinkId downlink(int i) const;
 
+  /// Endpoints whose uplink or downlink has been materialized so far.
+  int touched_endpoints() const;
+
  private:
+  FluidNetwork& net_;
+  int n_endpoints_;
   Bandwidth port_bw_;
   TimeNs hop_latency_;
-  std::vector<LinkId> uplinks_;
-  std::vector<LinkId> downlinks_;
+  std::string name_;
+  // Lazy link caches (4 bytes per endpoint until touched; the heavy
+  // per-link state lives in the FluidNetwork and is allocated on demand).
+  mutable std::vector<LinkId> uplinks_;
+  mutable std::vector<LinkId> downlinks_;
 };
 
 }  // namespace opus::net

@@ -1,0 +1,78 @@
+#include "net/pod.h"
+
+#include <string>
+
+#include "common/error.h"
+
+namespace opus::net {
+
+MultiPodFabric::MultiPodFabric(sim::Simulator& sim, MultiPodConfig cfg)
+    : sim_(sim), cfg_(cfg), net_(sim) {
+  ensure(cfg_.n_pods >= 1, "multi-pod fabric needs at least one pod");
+  ensure(cfg_.trunk_bw.positive(), "trunk bandwidth must be positive");
+  ensure(cfg_.trunk_latency >= 0, "trunk latency must be non-negative");
+  pods_.reserve(static_cast<std::size_t>(cfg_.n_pods));
+  for (int p = 0; p < cfg_.n_pods; ++p) {
+    pods_.push_back(std::make_unique<Cluster>(sim_, net_, cfg_.pod));
+  }
+}
+
+Cluster& MultiPodFabric::pod(PodId p) {
+  ensure(p.valid() && p.value() < cfg_.n_pods, "invalid pod id");
+  return *pods_[static_cast<std::size_t>(p.value())];
+}
+
+const Cluster& MultiPodFabric::pod(PodId p) const {
+  ensure(p.valid() && p.value() < cfg_.n_pods, "invalid pod id");
+  return *pods_[static_cast<std::size_t>(p.value())];
+}
+
+LinkId MultiPodFabric::trunk_egress(PodId p, RailId r) {
+  const auto [it, inserted] = trunk_egress_.try_emplace(trunk_key(p, r));
+  if (inserted) {
+    it->second = net_.add_link(cfg_.trunk_bw,
+                               "trunk_egress:pod" + std::to_string(p.value()) +
+                                   ":rail" + std::to_string(r.value()));
+  }
+  return it->second;
+}
+
+LinkId MultiPodFabric::trunk_ingress(PodId p, RailId r) {
+  const auto [it, inserted] = trunk_ingress_.try_emplace(trunk_key(p, r));
+  if (inserted) {
+    it->second = net_.add_link(
+        cfg_.trunk_bw, "trunk_ingress:pod" + std::to_string(p.value()) +
+                           ":rail" + std::to_string(r.value()));
+  }
+  return it->second;
+}
+
+void MultiPodFabric::transfer(PodId src_pod, GpuId src, PodId dst_pod,
+                              GpuId dst, Bytes bytes,
+                              std::function<void()> on_complete) {
+  ensure(bytes >= 0, "transfer size must be non-negative");
+  if (src_pod == dst_pod) {
+    pod(src_pod).transfer(src, dst, bytes, std::move(on_complete));
+    return;
+  }
+  Cluster& sp = pod(src_pod);
+  Cluster& dp = pod(dst_pod);
+  const RailId rail = dp.rail_of(dst);
+  cross_pod_bytes_ += bytes;
+  auto trunk_hop = [this, src_pod, dst_pod, rail, bytes,
+                    cb = std::move(on_complete)]() mutable {
+    net_.start_flow(
+        {trunk_egress(src_pod, rail), trunk_ingress(dst_pod, rail)}, bytes,
+        cfg_.trunk_latency, std::move(cb));
+  };
+  const GpuId bridge = sp.gpu_at(sp.node_of(src), rail.value());
+  if (bridge == src) {
+    trunk_hop();
+    return;
+  }
+  // PXN at the pod boundary: NVLink to the bridge GPU holding the
+  // destination's rail, store-and-forward, then the trunk.
+  sp.transfer(src, bridge, bytes, std::move(trunk_hop));
+}
+
+}  // namespace opus::net

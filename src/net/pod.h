@@ -1,0 +1,100 @@
+// Multi-pod fabric: several rail-optimized pods sharing one simulator and
+// one fluid data plane, stitched by per-(pod, rail) trunk links.
+//
+// The paper sizes photonic rails at pod scale; datacenter deployments are
+// multiple rail-connected pods (Opus's multi-pod setting). This layer keeps
+// each pod a self-contained net::Cluster — its own rails, OCS/electrical
+// switches, tenant table — while cross-pod rail-r traffic exits through the
+// source pod's rail-r trunk and enters through the destination pod's, both
+// capacity-limited fluid links. Because every pod Cluster is constructed on
+// the fabric's shared FluidNetwork, intra-pod and cross-pod flows genuinely
+// contend for bandwidth in one max-min solve.
+//
+// All trunk state is lazy: a trunk direction materializes on the first
+// cross-pod transfer that needs it, so an idle 8-pod fabric holds zero
+// trunk links (and, with lazy cluster wiring, zero fluid links overall) —
+// the multi-pod analogue of the span-proportional cluster state.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/units.h"
+#include "net/cluster.h"
+#include "net/fluid.h"
+#include "sim/simulator.h"
+
+namespace opus::net {
+
+struct MultiPodConfig {
+  int n_pods = 2;
+  /// Per-pod cluster shape; every pod is identical (the deployment grain).
+  ClusterConfig pod;
+  /// Capacity of one trunk direction (one pod's rail-r egress or ingress).
+  /// All cross-pod traffic leaving pod p on rail r shares p's rail-r egress
+  /// trunk; traffic entering pod q on rail r shares q's rail-r ingress.
+  Bandwidth trunk_bw = Bandwidth::gbps(800);
+  /// One-way latency of a trunk traversal (inter-pod fiber + aggregation).
+  TimeNs trunk_latency = usecs(5);
+};
+
+/// N pods on one simulator + one fluid network, rail-connected by lazily
+/// materialized trunk links.
+class MultiPodFabric {
+ public:
+  MultiPodFabric(sim::Simulator& sim, MultiPodConfig cfg);
+  MultiPodFabric(const MultiPodFabric&) = delete;
+  MultiPodFabric& operator=(const MultiPodFabric&) = delete;
+
+  const MultiPodConfig& config() const { return cfg_; }
+  int n_pods() const { return cfg_.n_pods; }
+  Cluster& pod(PodId p);
+  const Cluster& pod(PodId p) const;
+  /// The shared data plane every pod Cluster and every trunk link lives on.
+  FluidNetwork& network() { return net_; }
+  const FluidNetwork& network() const { return net_; }
+
+  /// Moves `bytes` from (src_pod, src) to (dst_pod, dst). Same pod defers
+  /// to Cluster::transfer. Cross-pod traffic rides the destination's rail:
+  /// when src is on a different local rank it first bridges over NVLink to
+  /// its node's GPU of dst's rank (PXN at the pod boundary,
+  /// store-and-forward), then crosses the source pod's egress trunk and the
+  /// destination pod's ingress trunk as one fluid flow — the ingress trunk
+  /// models the destination pod's rail-r aggregation, so incast onto one
+  /// pod contends there.
+  void transfer(PodId src_pod, GpuId src, PodId dst_pod, GpuId dst,
+                Bytes bytes, std::function<void()> on_complete);
+
+  /// Total bytes that crossed pod boundaries (trunk traffic).
+  Bytes cross_pod_bytes() const { return cross_pod_bytes_; }
+  /// Trunk links materialized so far (2 per active (pod, rail) direction
+  /// pair in use; 0 on an idle fabric).
+  std::size_t trunk_link_count() const {
+    return trunk_egress_.size() + trunk_ingress_.size();
+  }
+
+ private:
+  /// Lazy trunk accessors: the fluid link carrying cross-pod traffic out of
+  /// (into) pod `p` on rail `r`, created on first use.
+  LinkId trunk_egress(PodId p, RailId r);
+  LinkId trunk_ingress(PodId p, RailId r);
+  static std::int64_t trunk_key(PodId p, RailId r) {
+    return (static_cast<std::int64_t>(p.value()) << 32) | r.value();
+  }
+
+  sim::Simulator& sim_;
+  MultiPodConfig cfg_;
+  FluidNetwork net_;
+  std::vector<std::unique_ptr<Cluster>> pods_;
+  // Sparse trunk registries: one entry per (pod, rail) direction that has
+  // carried traffic.
+  std::unordered_map<std::int64_t, LinkId> trunk_egress_;
+  std::unordered_map<std::int64_t, LinkId> trunk_ingress_;
+  Bytes cross_pod_bytes_ = 0;
+};
+
+}  // namespace opus::net

@@ -159,7 +159,6 @@ net::ClusterConfig fleet_cluster_cfg(net::FabricKind fabric, int nodes) {
   cfg.nic_ports = 2;
   cfg.fabric = fabric;
   cfg.ocs_reconfig_delay = usecs(10);
-  cfg.defer_fabric_wiring = true;
   return cfg;
 }
 

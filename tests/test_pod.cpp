@@ -1,0 +1,160 @@
+// Tests for the multi-pod fabric layer: several rail-optimized pods on one
+// simulator + one fluid network, stitched by lazily materialized trunks.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "core/experiment.h"
+#include "net/pod.h"
+
+namespace opus {
+namespace {
+
+net::MultiPodConfig pod_cfg(int n_pods, int nodes_per_pod,
+                            net::FabricKind fabric) {
+  net::MultiPodConfig cfg;
+  cfg.n_pods = n_pods;
+  cfg.pod.n_nodes = nodes_per_pod;
+  cfg.pod.gpus_per_node = 2;
+  cfg.pod.nic_ports = 2;
+  cfg.pod.fabric = fabric;
+  cfg.trunk_bw = Bandwidth::gbps(800);
+  cfg.trunk_latency = usecs(5);
+  return cfg;
+}
+
+TEST(MultiPod, IdlePodsMaterializeNoFluidLinks) {
+  sim::Simulator sim;
+  net::MultiPodFabric fabric(
+      sim, pod_cfg(4, 64, net::FabricKind::kElectrical));
+  // Lazy wiring end to end: 4 pods x 64 nodes of NVLink, rail, and trunk
+  // plumbing exist as id tables only — not one solver-visible link.
+  EXPECT_EQ(fabric.network().link_count(), 0u);
+  EXPECT_EQ(fabric.trunk_link_count(), 0u);
+  // Every pod shares the fabric's data plane.
+  for (int p = 0; p < fabric.n_pods(); ++p) {
+    EXPECT_EQ(&fabric.pod(PodId{p}).network(), &fabric.network());
+  }
+}
+
+TEST(MultiPod, CrossPodTransferMovesBytesOverLazyTrunks) {
+  sim::Simulator sim;
+  net::MultiPodFabric fabric(sim,
+                             pod_cfg(2, 4, net::FabricKind::kElectrical));
+  const GpuId src = fabric.pod(PodId{0}).gpu_at(NodeId{0}, 0);
+  const GpuId dst = fabric.pod(PodId{1}).gpu_at(NodeId{2}, 0);
+  const Bytes bytes = 4000;
+  TimeNs done = -1;
+  fabric.transfer(PodId{0}, src, PodId{1}, dst, bytes,
+                  [&] { done = sim.now(); });
+  sim.run();
+  // 800 Gb/s = 100 B/ns: 40 ns of serialization + 5 us of trunk latency.
+  EXPECT_EQ(done, 40 + usecs(5));
+  EXPECT_EQ(fabric.cross_pod_bytes(), bytes);
+  // Exactly the two trunk directions the flow crossed materialized.
+  EXPECT_EQ(fabric.trunk_link_count(), 2u);
+  EXPECT_EQ(fabric.network().link_count(), 2u);
+}
+
+TEST(MultiPod, SharedTrunkDirectionHalvesThroughput) {
+  sim::Simulator sim;
+  net::MultiPodFabric fabric(sim,
+                             pod_cfg(2, 4, net::FabricKind::kElectrical));
+  net::Cluster& p0 = fabric.pod(PodId{0});
+  net::Cluster& p1 = fabric.pod(PodId{1});
+  const Bytes bytes = 4000;
+  TimeNs done_a = -1;
+  TimeNs done_b = -1;
+  // Two flows out of pod 0 on rail 0 share pod 0's egress trunk (and pod
+  // 1's ingress): each runs at half rate.
+  fabric.transfer(PodId{0}, p0.gpu_at(NodeId{0}, 0), PodId{1},
+                  p1.gpu_at(NodeId{0}, 0), bytes, [&] { done_a = sim.now(); });
+  fabric.transfer(PodId{0}, p0.gpu_at(NodeId{1}, 0), PodId{1},
+                  p1.gpu_at(NodeId{1}, 0), bytes, [&] { done_b = sim.now(); });
+  sim.run();
+  EXPECT_EQ(done_a, 80 + usecs(5));
+  EXPECT_EQ(done_b, 80 + usecs(5));
+  EXPECT_EQ(fabric.trunk_link_count(), 2u);
+}
+
+TEST(MultiPod, CrossRankCrossPodBridgesOverScaleUp) {
+  sim::Simulator sim;
+  net::MultiPodFabric fabric(sim,
+                             pod_cfg(2, 4, net::FabricKind::kElectrical));
+  net::Cluster& p0 = fabric.pod(PodId{0});
+  net::Cluster& p1 = fabric.pod(PodId{1});
+  const GpuId src = p0.gpu_at(NodeId{0}, 0);   // rank 0
+  const GpuId dst = p1.gpu_at(NodeId{1}, 1);   // rank 1: needs a bridge
+  const Bytes bytes = 1 << 20;
+  bool done = false;
+  fabric.transfer(PodId{0}, src, PodId{1}, dst, bytes, [&] { done = true; });
+  sim.run();
+  EXPECT_TRUE(done);
+  // The PXN-style bridge hop is charged to the source pod's scale-up domain.
+  EXPECT_EQ(p0.bytes_on_route(net::Cluster::Route::kScaleUp), bytes);
+  EXPECT_EQ(fabric.cross_pod_bytes(), bytes);
+}
+
+TEST(MultiPod, SamePodTransferDelegatesToTheCluster) {
+  sim::Simulator sim;
+  net::MultiPodFabric fabric(sim,
+                             pod_cfg(2, 4, net::FabricKind::kElectrical));
+  net::Cluster& p0 = fabric.pod(PodId{0});
+  const Bytes bytes = 1 << 16;
+  bool done = false;
+  fabric.transfer(PodId{0}, p0.gpu_at(NodeId{0}, 0), PodId{0},
+                  p0.gpu_at(NodeId{1}, 0), bytes, [&] { done = true; });
+  sim.run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(p0.bytes_on_route(net::Cluster::Route::kRail), bytes);
+  EXPECT_EQ(fabric.cross_pod_bytes(), 0);
+  EXPECT_EQ(fabric.trunk_link_count(), 0u);
+}
+
+TEST(MultiPod, InvalidPodIdThrows) {
+  sim::Simulator sim;
+  net::MultiPodFabric fabric(sim,
+                             pod_cfg(2, 4, net::FabricKind::kElectrical));
+  EXPECT_THROW(fabric.pod(PodId{2}), InvariantError);
+  EXPECT_THROW(fabric.pod(PodId{}), InvariantError);
+}
+
+// One experiment, several pods: two tenants running the same job on two
+// pods of one fabric (one simulator, one fluid network) finish in exactly
+// the isolated single-cluster time — pods share the data plane object but
+// no links, so neither perturbs the other.
+TEST(MultiPod, TenantsOnSeparatePodsMatchIsolatedRuns) {
+  core::ExperimentConfig job;
+  job.model = workload::ModelConfig::test_tiny();
+  job.parallelism.tp = 2;
+  job.parallelism.dp = 4;
+  job.gpus_per_node = 2;
+  job.fabric = net::FabricKind::kElectrical;
+  job.iterations = 2;
+  job.record_compute_trace = false;
+  const std::vector<TimeNs> isolated =
+      core::run_experiment(job).iteration_times;
+
+  sim::Simulator sim;
+  net::MultiPodConfig cfg;
+  cfg.n_pods = 2;
+  cfg.pod = core::cluster_config_for(job);
+  net::MultiPodFabric fabric(sim, cfg);
+  std::vector<core::Tenant> tenants;
+  for (int p = 0; p < 2; ++p) {
+    tenants.push_back(core::build_tenant(
+        sim, fabric.pod(PodId{p}), job,
+        net::NodeSpan{0, fabric.pod(PodId{p}).n_nodes()}));
+  }
+  int completed = 0;
+  for (core::Tenant& t : tenants) {
+    t.engine->run(t.dag, job.iterations, [&] { ++completed; });
+  }
+  sim.run();
+  ASSERT_EQ(completed, 2);
+  for (const core::Tenant& t : tenants) {
+    EXPECT_EQ(t.engine->iteration_times(), isolated);
+  }
+}
+
+}  // namespace
+}  // namespace opus
