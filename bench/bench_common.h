@@ -1,7 +1,11 @@
 // Shared helpers for the figure/table benches.
 #pragma once
 
+#include <chrono>
+#include <cstdio>
 #include <cstdlib>
+#include <string>
+#include <utility>
 
 namespace opus::bench {
 
@@ -11,6 +15,21 @@ namespace opus::bench {
 inline bool smoke_mode() {
   const char* v = std::getenv("OPUS_BENCH_SMOKE");
   return v != nullptr && v[0] == '1';
+}
+
+/// Runs `fn`, prints "[bench] <name>: <ms> ms" to stderr (stdout carries the
+/// tables), and returns fn's result — a named timed step so CI logs show
+/// where a bench cell's wall time goes.
+template <typename Fn>
+auto timed(const std::string& name, Fn&& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  auto result = std::forward<Fn>(fn)();
+  const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+  std::fprintf(stderr, "[bench] %s: %lld ms\n", name.c_str(),
+               static_cast<long long>(ms));
+  return result;
 }
 
 }  // namespace opus::bench

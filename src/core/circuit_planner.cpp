@@ -58,7 +58,8 @@ int CircuitPlanner::stripe_limit_for(collective::ParallelismDim dim) const {
 }
 
 std::optional<std::vector<RailCircuits>> CircuitPlanner::assign_ports(
-    const std::vector<RailEdge>& edges, int stripe_limit) const {
+    const std::vector<RailEdge>& edges, int stripe_limit,
+    bool best_effort) const {
   const int n_ports = cluster_.config().nic_ports;
 
   // Group edges per rail and compute node degrees.
@@ -88,7 +89,10 @@ std::optional<std::vector<RailCircuits>> CircuitPlanner::assign_ports(
     int max_degree = 0;
     for (const auto& [node, d] : degree) {
       max_degree = std::max(max_degree, d);
-      if (d > healthy_ports(node)) return std::nullopt;  // C1/C3 violation
+      // C1/C3 violation: some endpoint needs more circuits than it has
+      // healthy ports. Best-effort planning presses on and drops the
+      // overflow during allocation instead.
+      if (d > healthy_ports(node) && !best_effort) return std::nullopt;
       min_budget = std::min(min_budget, healthy_ports(node));
     }
 
@@ -101,19 +105,30 @@ std::optional<std::vector<RailCircuits>> CircuitPlanner::assign_ports(
     RailCircuits rc;
     rc.rail = RailId{rail};
     std::map<int, int> next_port;  // node -> next candidate NIC port
-    auto alloc_port = [&](int node) {
+    auto peek_port = [&](int node) -> int {
       const GpuId g = cluster_.gpu_at(NodeId{node}, rail);
       int& cursor = next_port[node];
       while (cursor < n_ports &&
              sw.failed(cluster_.ocs_port(g, cursor))) {
         ++cursor;
       }
-      ensure(cursor < n_ports,
+      return cursor < n_ports ? cursor : -1;
+    };
+    auto alloc_port = [&](int node) {
+      ensure(peek_port(node) >= 0,
              "circuit planner: port budget exceeded during striping");
-      return cluster_.ocs_port(g, cursor++);
+      const GpuId g = cluster_.gpu_at(NodeId{node}, rail);
+      return cluster_.ocs_port(g, next_port[node]++);
     };
     for (const RailEdge& e : rail_edges) {
       for (int s = 0; s < stripes; ++s) {
+        // Best-effort: an edge whose endpoints ran out of healthy ports is
+        // dropped whole (peek before touching either cursor, so the partner
+        // port is not leaked on a half-plannable circuit).
+        if (best_effort &&
+            (peek_port(e.node_a) < 0 || peek_port(e.node_b) < 0)) {
+          break;
+        }
         rc.circuits.push_back(
             net::CircuitRequest{alloc_port(e.node_a), alloc_port(e.node_b)});
       }
@@ -140,7 +155,8 @@ std::vector<RailCircuits> CircuitPlanner::plan_step(
     if (t.step == step) pairs.emplace(t.src, t.dst);
   }
   auto plan = assign_ports(lower_edges(group, {pairs.begin(), pairs.end()}),
-                           stripe_limit_for(group.dim));
+                           stripe_limit_for(group.dim),
+                           /*best_effort=*/cluster_.fault_tolerant());
   ensure(plan.has_value(),
          "circuit planner: a single step exceeds the NIC port budget; the "
          "algorithm chooser must fall back to a lower-degree algorithm (C1)");

@@ -51,7 +51,11 @@ class CircuitPlanner {
 
   /// Layout for one step of a peer-changing schedule. Throws if even a
   /// single step exceeds the port budget (the algorithm chooser should have
-  /// prevented that).
+  /// prevented that) — except on a fault-tolerant cluster, where failures
+  /// may have shrunk the budget mid-run after the algorithm was chosen:
+  /// there the step plan is best-effort, dropping the circuits that no
+  /// longer fit (their sends ride the cluster's multihop/park rescue paths
+  /// until repair restores the ports).
   std::vector<RailCircuits> plan_step(
       const collective::CommGroup& group,
       const collective::CollectiveSchedule& sched, int step) const;
@@ -77,8 +81,11 @@ class CircuitPlanner {
       const collective::CommGroup& group,
       const std::vector<std::pair<int, int>>& peer_pairs) const;
 
+  /// best_effort: instead of failing the whole layout when an endpoint's
+  /// degree exceeds its surviving ports, plan what fits and drop the rest.
   std::optional<std::vector<RailCircuits>> assign_ports(
-      const std::vector<RailEdge>& edges, int stripe_limit) const;
+      const std::vector<RailEdge>& edges, int stripe_limit,
+      bool best_effort = false) const;
   int stripe_limit_for(collective::ParallelismDim dim) const;
 
   const net::Cluster& cluster_;

@@ -55,6 +55,18 @@ void Tenant::shutdown_transport() {
   if (rotor != nullptr) rotor->shutdown();
 }
 
+void Tenant::react_to_fault(const net::NicFault& fault) {
+  if (!fault.node.valid() || !span.contains(fault.node.value())) return;
+  if (ring != nullptr && !fault.failed) ring->resplice();
+  if (rotor != nullptr) rotor->poke();
+}
+
+void Tenant::abort(net::Cluster& cluster) {
+  if (engine != nullptr) engine->abort();
+  shutdown_transport();
+  cluster.abort_span_traffic(span);
+}
+
 Tenant build_tenant(sim::Simulator& sim, net::Cluster& cluster,
                     const ExperimentConfig& config, net::NodeSpan span) {
   config.parallelism.validate();
@@ -98,9 +110,12 @@ Tenant build_tenant(sim::Simulator& sim, net::Cluster& cluster,
       tenant.transport = std::move(t);
       break;
     }
-    case net::FabricKind::kStaticRing:
-      tenant.transport = std::make_unique<StaticRingTransport>(cluster, span);
+    case net::FabricKind::kStaticRing: {
+      auto t = std::make_unique<StaticRingTransport>(cluster, span);
+      tenant.ring = t.get();
+      tenant.transport = std::move(t);
       break;
+    }
     case net::FabricKind::kRotor: {
       RotorTransport::Options opts;
       opts.slot_time = config.rotor_slot_time;
@@ -124,6 +139,16 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   // the whole cluster, driven to completion on a private simulator.
   Tenant tenant =
       build_tenant(sim, cluster, config, net::NodeSpan{0, cluster.n_nodes()});
+
+  // Failure churn, when requested: schedule the seeded fault trace and let
+  // the single tenant continue degraded (the fleet driver, not this path,
+  // implements eviction/re-placement for disconnecting failures).
+  std::unique_ptr<FaultProcess> faults;
+  if (config.faults.enabled) {
+    faults = std::make_unique<FaultProcess>(sim, cluster, config.faults);
+    cluster.set_fault_listener(
+        [&tenant](const net::NicFault& f) { tenant.react_to_fault(f); });
+  }
 
   ExperimentResult result;
   result.iteration_times =
@@ -160,9 +185,18 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
     // single-tenant rotor fabric, and every counted rotation is exactly one
     // state-changing reconfiguration of one rail OCS — so the per-rail OCS
     // stats must sum to the rotation tally (pinned by test_rotor.cpp).
-    ensure(result.ocs_reconfigurations == result.rotor_rotations,
+    // Fault churn breaks the 1:1 mapping legitimately: a rotation into
+    // failed ports widens to a generic reconfiguration (or none at all when
+    // no circuit survives), and repairs/resplices reconfigure without a
+    // rotation — so the invariant only holds fault-free.
+    ensure(config.faults.enabled ||
+               result.ocs_reconfigurations == result.rotor_rotations,
            "rotor: summed per-rail OCS reconfigurations diverge from the "
            "rotation count");
+  }
+  if (faults != nullptr) {
+    result.fault_stats = faults->stats();
+    result.fault_trace_size = faults->trace_size();
   }
   result.rail_bytes = cluster.bytes_on_route(net::Cluster::Route::kRail);
   result.scale_up_bytes = cluster.bytes_on_route(net::Cluster::Route::kScaleUp);

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "collective/transport.h"
+#include "core/faults.h"
 #include "core/opus_transport.h"
 #include "net/cluster.h"
 #include "sim/simulator.h"
@@ -28,6 +29,7 @@
 namespace opus::core {
 
 class RotorTransport;
+class StaticRingTransport;
 
 struct ExperimentConfig {
   workload::ModelConfig model = workload::ModelConfig::llama3_8b();
@@ -67,6 +69,13 @@ struct ExperimentConfig {
   /// are bit-identical either way (pinned by the regression tests); eager
   /// wiring just materializes whole-fabric state up front.
   bool eager_fabric_wiring = false;
+
+  /// Mid-run failure/repair churn. Disabled (zero overhead, legacy
+  /// semantics) unless faults.enabled is set; then run_experiment schedules
+  /// a FaultProcess, switches the cluster to fault-tolerant rescue/park
+  /// semantics, and wires the per-fabric reactions (static-ring resplice,
+  /// rotor drain poke; Opus re-plans per collective anyway).
+  FaultConfig faults;
 };
 
 struct ExperimentResult {
@@ -94,6 +103,9 @@ struct ExperimentResult {
   Bytes mgmt_bytes = 0;
   /// Logical bytes that needed multi-hop forwarding (static topologies).
   Bytes multihop_bytes = 0;
+  /// Failure churn (all zero unless config.faults.enabled).
+  FaultProcess::Stats fault_stats;
+  int fault_trace_size = 0;
 };
 
 /// One training job instantiated on (a node sub-range of) a shared cluster:
@@ -111,12 +123,25 @@ struct Tenant {
   /// Fabric-specific views into `transport` (null for the other fabrics).
   OpusTransport* opus = nullptr;
   RotorTransport* rotor = nullptr;
+  StaticRingTransport* ring = nullptr;
   std::unique_ptr<workload::IterationEngine> engine;
 
   /// Stops demand-driven control-plane activity (rotor rotation, Opus
   /// speculative provisioning) so the span's OCS ports can quiesce and be
   /// recycled. Idempotent; no-op for passive transports.
   void shutdown_transport();
+
+  /// Per-fabric reaction to a fault event inside the span: the ring
+  /// resplices repaired segments, the rotor re-checks its drain guards.
+  /// (Opus needs nothing here — every collective re-plans around failed
+  /// ports.) Safe to call for faults outside the span.
+  void react_to_fault(const net::NicFault& fault);
+
+  /// Kills the tenant mid-run (fleet eviction after a disconnecting
+  /// failure): aborts the engine — completed iterations remain as the
+  /// checkpoint — stops the control plane, and aborts all span traffic so
+  /// no orphaned completion fires. Idempotent.
+  void abort(net::Cluster& cluster);
 };
 
 /// The cluster an ExperimentConfig implies (node count derived from the

@@ -1,0 +1,70 @@
+#include "core/faults.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace opus::core {
+
+FaultProcess::FaultProcess(sim::Simulator& sim, net::Cluster& cluster,
+                           const FaultConfig& cfg)
+    : sim_(sim), cluster_(cluster) {
+  ensure(cfg.enabled, "FaultProcess: config is disabled");
+  ensure(cfg.mtbf_per_port > 0, "FaultProcess: MTBF must be positive");
+  ensure(cfg.mttr > 0, "FaultProcess: MTTR must be positive");
+  ensure(cfg.horizon > 0 || cfg.max_failures > 0,
+         "FaultProcess: unbounded trace (set horizon or max_failures)");
+
+  cluster_.set_fault_tolerant(true);
+
+  const auto& ccfg = cluster_.config();
+  const int rails = ccfg.gpus_per_node;
+  const std::int64_t total_ports =
+      static_cast<std::int64_t>(ccfg.n_nodes) * rails * ccfg.nic_ports;
+  // Superposition of per-port Poisson processes: one aggregate stream at
+  // rate total_ports / mtbf, each event landing on a uniform port.
+  const double mean_gap =
+      static_cast<double>(cfg.mtbf_per_port) / static_cast<double>(total_ports);
+
+  SplitMix64 mix(cfg.seed ^ 0xfa017C0FFEE51ULL);
+  Xoshiro256 rng(mix.next());
+  const auto exponential = [&rng](double mean) {
+    return std::max<TimeNs>(
+        1, static_cast<TimeNs>(-std::log(1.0 - rng.uniform()) * mean));
+  };
+
+  TimeNs t = sim_.now();
+  while (cfg.max_failures <= 0 ||
+         static_cast<int>(trace_.size()) < cfg.max_failures) {
+    t += exponential(mean_gap);
+    if (cfg.horizon > 0 && t > cfg.horizon) break;
+    FaultEvent ev;
+    ev.at = t;
+    const auto port = static_cast<std::int64_t>(
+        rng.below(static_cast<std::uint64_t>(total_ports)));
+    ev.node = NodeId{static_cast<std::int32_t>(
+        port / (rails * ccfg.nic_ports))};
+    ev.rail = static_cast<int>(port / ccfg.nic_ports % rails);
+    ev.slot = static_cast<int>(port % ccfg.nic_ports);
+    ev.repair_after = exponential(static_cast<double>(cfg.mttr));
+    trace_.push_back(ev);
+  }
+
+  for (const FaultEvent& ev : trace_) {
+    sim_.schedule_at(ev.at, [this, ev] {
+      if (cluster_.nic_port_failed(ev.node, ev.rail, ev.slot)) {
+        ++stats_.failures_skipped;  // already down; the repair is queued
+        return;
+      }
+      cluster_.fail_nic_port(ev.node, ev.rail, ev.slot);
+      ++stats_.failures_injected;
+      sim_.schedule_after(ev.repair_after, [this, ev] {
+        cluster_.repair_nic_port(ev.node, ev.rail, ev.slot);
+        ++stats_.repairs_completed;
+      });
+    });
+  }
+}
+
+}  // namespace opus::core

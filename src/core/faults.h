@@ -1,0 +1,73 @@
+// Seeded Poisson failure/repair churn for NIC ports.
+//
+// A FaultProcess turns (MTBF, MTTR, seed) into a deterministic fault trace
+// and drives it through the Cluster's runtime fault API: each event force-
+// fails one uniformly chosen NIC port (OCS port on photonic rails, one NIC
+// lane on electrical rails) and schedules its exponential repair. The whole
+// trace — instants, targets, and repair delays — is drawn up front from one
+// RNG stream, so it depends only on the config, never on simulation state:
+// two runs with the same seed inject bit-identical churn, and changing the
+// seed moves every instant (the determinism tests pin both properties).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/units.h"
+#include "net/cluster.h"
+#include "sim/simulator.h"
+
+namespace opus::core {
+
+struct FaultConfig {
+  /// Master switch: everything below is inert (and the cluster stays on the
+  /// zero-overhead fault-free paths) until this is set.
+  bool enabled = false;
+  /// Mean time between failures of ONE NIC port. The aggregate failure rate
+  /// is total_ports / mtbf_per_port (ports fail independently).
+  TimeNs mtbf_per_port = secs(1);
+  /// Mean time to repair a failed port (exponential).
+  TimeNs mttr = msecs(50);
+  std::uint64_t seed = 1;
+  /// No failures are injected after this instant (repairs still land).
+  /// Zero = unbounded; then max_failures must bound the trace.
+  TimeNs horizon = 0;
+  /// Hard cap on injected failures (0 = unbounded; then horizon must be set).
+  int max_failures = 64;
+};
+
+class FaultProcess {
+ public:
+  struct Stats {
+    int failures_injected = 0;  ///< fail_nic_port calls that took effect
+    int failures_skipped = 0;   ///< target already failed at fire time
+    int repairs_completed = 0;
+  };
+
+  /// Generates the trace and schedules every event on `sim`. The cluster is
+  /// switched to fault-tolerant mode (rescue/park instead of the legacy
+  /// InvariantError contract) as a side effect.
+  FaultProcess(sim::Simulator& sim, net::Cluster& cluster,
+               const FaultConfig& cfg);
+
+  const Stats& stats() const { return stats_; }
+  /// Events in the pre-generated trace (>= failures injected: a trace entry
+  /// whose target is already down at fire time is skipped, not re-drawn).
+  int trace_size() const { return static_cast<int>(trace_.size()); }
+
+ private:
+  struct FaultEvent {
+    TimeNs at = 0;
+    NodeId node;
+    int rail = 0;
+    int slot = 0;
+    TimeNs repair_after = 0;
+  };
+
+  sim::Simulator& sim_;
+  net::Cluster& cluster_;
+  std::vector<FaultEvent> trace_;
+  Stats stats_;
+};
+
+}  // namespace opus::core

@@ -33,6 +33,27 @@ RotorTransport::RotorTransport(sim::Simulator& sim, net::Cluster& cluster,
 
 void RotorTransport::shutdown() { stopped_ = true; }
 
+bool RotorTransport::drained(int rail) const {
+  const RailState& state = rails_[static_cast<std::size_t>(rail)];
+  if (state.in_flight == 0) return true;
+  if (!cluster_.fault_tolerant()) return false;
+  // Failure churn can park an in-flight transfer's bytes (its circuit died
+  // and no surviving path exists yet). A parked transfer holds no fluid
+  // flows, so waiting for its completion would deadlock against the very
+  // rotation that could give it a path: when everything still in flight on
+  // this rail is parked, the matching is drained for rotation purposes.
+  return cluster_.parked_rail_transfers(rail, span_) > 0 &&
+         cluster_.rail_span_active_flows(RailId{rail}, span_) == 0;
+}
+
+void RotorTransport::poke() {
+  if (stopped_) return;
+  for (int rail = 0; rail < cluster_.n_rails(); ++rail) {
+    RailState& st = rails_[static_cast<std::size_t>(rail)];
+    if (st.drain_pending && !st.rotating && drained(rail)) rotate(rail);
+  }
+}
+
 int RotorTransport::current_round(RailId rail) const {
   ensure(rail.valid() && rail.value() < cluster_.n_rails(), "invalid rail");
   return rails_[static_cast<std::size_t>(rail.value())].round;
@@ -57,11 +78,15 @@ void RotorTransport::on_slot_end(int rail) {
   RailState& state = rails_[static_cast<std::size_t>(rail)];
   state.timer_armed = false;
   if (stopped_) return;
-  if (state.in_flight > 0) {
+  if (!drained(rail)) {
     state.drain_pending = true;  // guard band: rotate once flows drain
     return;
   }
-  if (state.waiting.empty()) return;  // idle: freeze on this matching
+  if (state.waiting.empty() && state.in_flight == 0) {
+    return;  // idle: freeze on this matching
+  }
+  // Either sends are waiting for their matching, or parked (fault-churn)
+  // transfers count as drained but still need a topology change — rotate.
   rotate(rail);
 }
 
@@ -120,7 +145,7 @@ void RotorTransport::launch(int rail, PendingSend send) {
         RailState& st = rails_[static_cast<std::size_t>(rail)];
         --st.in_flight;
         if (done) done();
-        if (st.drain_pending && st.in_flight == 0) rotate(rail);
+        if (st.drain_pending && !st.rotating && drained(rail)) rotate(rail);
       });
 }
 

@@ -94,6 +94,13 @@ class RotorTransport final : public collective::Transport {
   /// before recycling them. Idempotent.
   void shutdown();
 
+  /// Re-checks every rail's pending rotation against the drain state. Fault
+  /// churn needs this: a failure can park an in-flight transfer's bytes
+  /// (see drained()), and the rotation that was waiting on it must proceed
+  /// or the rail deadlocks. Called by the fault reaction path; harmless (and
+  /// a no-op) on a healthy rotor.
+  void poke();
+
  private:
   struct PendingSend {
     GpuId src;
@@ -119,6 +126,7 @@ class RotorTransport final : public collective::Transport {
   };
 
   void start_round(int rail);
+  bool drained(int rail) const;
   void on_slot_end(int rail);
   void rotate(int rail);
   void flush_waiting(int rail);

@@ -16,8 +16,10 @@ StaticRingTransport::StaticRingTransport(net::Cluster& cluster,
   ensure(cluster_.config().nic_ports >= 2 || span.count == 2,
          "a ring over >2 nodes needs 2 NIC ports");
   const int nodes = span.count;
+  ring_circuits_.resize(static_cast<std::size_t>(cluster_.n_rails()));
   for (int rail = 0; rail < cluster_.n_rails(); ++rail) {
-    std::vector<net::CircuitRequest> circuits;
+    std::vector<net::CircuitRequest>& circuits =
+        ring_circuits_[static_cast<std::size_t>(rail)];
     if (nodes == 2) {
       const GpuId a = cluster_.gpu_at(NodeId{span.first}, rail);
       const GpuId b = cluster_.gpu_at(NodeId{span.first + 1}, rail);
@@ -34,6 +36,20 @@ StaticRingTransport::StaticRingTransport(net::Cluster& cluster,
       }
     }
     cluster_.ocs(RailId{rail}).force_circuits(circuits);
+  }
+}
+
+void StaticRingTransport::resplice() {
+  // Re-issue the original ring wiring: force_circuits skips any circuit
+  // whose endpoint is still failed, so this restores exactly the segments
+  // whose ports have been repaired. Re-forcing an already-live pair tears
+  // and re-establishes the same instantaneous link — traffic on other
+  // segments is untouched.
+  for (int rail = 0; rail < cluster_.n_rails(); ++rail) {
+    const auto& circuits = ring_circuits_[static_cast<std::size_t>(rail)];
+    if (!cluster_.ocs(RailId{rail}).satisfied(circuits)) {
+      cluster_.ocs(RailId{rail}).force_circuits(circuits);
+    }
   }
 }
 

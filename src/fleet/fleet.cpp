@@ -21,13 +21,18 @@ core::ExperimentConfig job_experiment_config(const FleetConfig& cfg,
   c.parallelism = spec.shape.parallelism;
   c.iterations = spec.iterations;
   c.engine.seed = spec.engine_seed;
+  // Isolated baselines (this config's only consumer besides the per-tenant
+  // build, which ignores the field) are the fault-free yardstick: churn is a
+  // property of the shared fleet, not of the job.
+  c.faults = core::FaultConfig{};
   return c;
 }
 
 /// The event-driven fleet state machine: arrival -> place-or-queue -> run ->
-/// shutdown -> quiesce -> wipe/release -> place queued. All members are
-/// plain references into run_fleet's stack frame; the driver outlives the
-/// simulation loop.
+/// shutdown -> quiesce -> wipe/release -> place queued. Under failure churn
+/// a second loop closes over it: fault -> degrade (or evict + checkpoint ->
+/// re-queue -> re-place) -> repair -> pump. All members are plain references
+/// into run_fleet's stack frame; the driver outlives the simulation loop.
 struct Driver {
   const FleetConfig& cfg;
   sim::Simulator& sim;
@@ -37,6 +42,11 @@ struct Driver {
   std::vector<std::unique_ptr<core::Tenant>>& tenants;
   std::deque<int> queue;               // FCFS job indices awaiting nodes
   std::vector<TimeNs> dark_at_start;   // per-job span dark-time snapshot
+  /// Evicted tenants parked until end of run: their aborted engines and
+  /// transports may still be named by in-flight simulator events, so they
+  /// must outlive the simulation even after the job re-placed into a fresh
+  /// tenant object.
+  std::vector<std::unique_ptr<core::Tenant>> graveyard = {};
 
   void on_arrival(int i) {
     FleetJobResult& jr = result.jobs[static_cast<std::size_t>(i)];
@@ -50,18 +60,34 @@ struct Driver {
     if (!queue.empty() || !try_place(i)) queue.push_back(i);
   }
 
+  bool span_healthy(net::NodeSpan span) const {
+    for (int n = span.first; n < span.end(); ++n) {
+      if (cluster.node_disconnected(NodeId{n})) return false;
+    }
+    return true;
+  }
+
   bool try_place(int i) {
     FleetJobResult& jr = result.jobs[static_cast<std::size_t>(i)];
     const int nodes = jr.spec.shape.n_nodes(cfg.base.gpus_per_node);
     const auto span = placement.allocate(nodes);
     if (!span.has_value()) return false;
+    // Never place onto a span with a fully disconnected node — the job
+    // would be evicted at its first send. Give the extent back and wait;
+    // the repair that reconnects the node pumps the queue again.
+    if (!span_healthy(*span)) {
+      placement.release(*span);
+      return false;
+    }
     result.peak_fragmentation =
         std::max(result.peak_fragmentation, placement.fragmentation());
     result.peak_free_extents =
         std::max(result.peak_free_extents, placement.free_extent_count());
 
     jr.placement = *span;
-    jr.start = sim.now();
+    // A re-placement after eviction keeps the original start: queueing
+    // delay measures the first wait, availability absorbs the gaps.
+    if (jr.start == 0 && jr.replacements == 0) jr.start = sim.now();
     cluster.assign_tenant(jr.spec.id, *span);
     dark_at_start[static_cast<std::size_t>(i)] =
         cluster.photonic() ? cluster.ocs_dark_time_in_span(*span) : 0;
@@ -69,8 +95,11 @@ struct Driver {
     auto& tenant = tenants[static_cast<std::size_t>(i)];
     tenant = std::make_unique<core::Tenant>(core::build_tenant(
         sim, cluster, job_experiment_config(cfg, jr.spec), *span));
-    tenant->engine->run(tenant->dag, jr.spec.iterations,
-                        [this, i] { on_job_done(i); });
+    // Checkpoint semantics: iterations completed before an eviction are
+    // banked in jr.iteration_times; the fresh tenant runs only the rest.
+    const int remaining =
+        jr.spec.iterations - static_cast<int>(jr.iteration_times.size());
+    tenant->engine->run(tenant->dag, remaining, [this, i] { on_job_done(i); });
     return true;
   }
 
@@ -78,10 +107,12 @@ struct Driver {
     FleetJobResult& jr = result.jobs[static_cast<std::size_t>(i)];
     core::Tenant& tenant = *tenants[static_cast<std::size_t>(i)];
     jr.finish = sim.now();
-    jr.iteration_times = tenant.engine->iteration_times();
+    for (const TimeNs t : tenant.engine->iteration_times()) {
+      jr.iteration_times.push_back(t);
+    }
     if (tenant.rotor != nullptr) {
-      jr.rotor_rotations = tenant.rotor->rotations();
-      jr.rotor_deferred_sends = tenant.rotor->deferred_sends();
+      jr.rotor_rotations += tenant.rotor->rotations();
+      jr.rotor_deferred_sends += tenant.rotor->deferred_sends();
     }
     // Stop the tenant's control plane FIRST (synchronously): the very event
     // that completed the job may still trigger a trailing rotor rotation or
@@ -94,13 +125,78 @@ struct Driver {
     FleetJobResult& jr = result.jobs[static_cast<std::size_t>(i)];
     const net::NodeSpan span = jr.placement;
     if (cluster.photonic()) {
-      jr.dark_time = cluster.ocs_dark_time_in_span(span) -
-                     dark_at_start[static_cast<std::size_t>(i)];
+      jr.dark_time += cluster.ocs_dark_time_in_span(span) -
+                      dark_at_start[static_cast<std::size_t>(i)];
     }
     cluster.release_tenant(span);
     placement.release(span);
+    pump_queue();
+  }
+
+  void pump_queue() {
     // Head-of-line jobs that now fit start immediately (same instant).
     while (!queue.empty() && try_place(queue.front())) queue.pop_front();
+  }
+
+  /// True while job `i` owns a span and its engine is live (between
+  /// try_place and on_job_done/evict).
+  bool running(int i) const {
+    const auto& tenant = tenants[static_cast<std::size_t>(i)];
+    return tenant != nullptr && !tenant->engine->aborted() &&
+           result.jobs[static_cast<std::size_t>(i)].finish == 0;
+  }
+
+  void on_fault(const net::NicFault& fault) {
+    const int id = cluster.tenant_of(fault.node);
+    if (id != net::Cluster::kNoTenant && running(id)) {
+      FleetJobResult& jr = result.jobs[static_cast<std::size_t>(id)];
+      core::Tenant& tenant = *tenants[static_cast<std::size_t>(id)];
+      if (fault.failed) {
+        ++jr.ports_lost;
+        tenant.react_to_fault(fault);
+        // Kill criterion: a node that lost ALL ports of some rail cannot
+        // carry its collectives even degraded — checkpoint and re-place.
+        if (cluster.node_disconnected(fault.node)) evict(id);
+      } else {
+        tenant.react_to_fault(fault);  // resplice rings, poke the rotor
+      }
+      return;
+    }
+    // Repaired capacity on unowned (or draining) nodes: a queued job that
+    // was blocked on an unhealthy span may fit now.
+    if (!fault.failed) pump_queue();
+  }
+
+  void evict(int i) {
+    FleetJobResult& jr = result.jobs[static_cast<std::size_t>(i)];
+    core::Tenant& tenant = *tenants[static_cast<std::size_t>(i)];
+    ++jr.replacements;
+    // Bank completed iterations (the checkpoint), then hard-stop the tenant:
+    // engine callbacks become no-ops, the control plane stops, and every
+    // flow touching the span is aborted so no orphaned completion fires.
+    for (const TimeNs t : tenant.engine->iteration_times()) {
+      jr.iteration_times.push_back(t);
+    }
+    if (tenant.rotor != nullptr) {
+      jr.rotor_rotations += tenant.rotor->rotations();
+      jr.rotor_deferred_sends += tenant.rotor->deferred_sends();
+    }
+    tenant.abort(cluster);
+    const net::NodeSpan span = jr.placement;
+    if (cluster.photonic()) {
+      jr.dark_time += cluster.ocs_dark_time_in_span(span) -
+                      dark_at_start[static_cast<std::size_t>(i)];
+    }
+    graveyard.push_back(std::move(tenants[static_cast<std::size_t>(i)]));
+    cluster.quiesce_span_ports(span, [this, i, span] {
+      cluster.release_tenant(span);
+      placement.release(span);
+      // Strict FCFS would let the evicted job jump ahead of jobs that
+      // queued while it ran; it re-queues at the back instead — it already
+      // had its turn on the nodes it lost.
+      queue.push_back(i);
+      pump_queue();
+    });
   }
 };
 
@@ -158,6 +254,16 @@ FleetResult run_fleet(const FleetConfig& cfg) {
 
   Driver driver{cfg,    sim,     cluster, placement,
                 result, tenants, {},      std::vector<TimeNs>(specs.size(), 0)};
+  // Failure/repair churn: schedule the seeded fault trace against the
+  // shared cluster and route every event through the driver's reaction
+  // (degrade, evict + re-place, or pump the queue on repairs).
+  std::unique_ptr<core::FaultProcess> faults;
+  if (cfg.base.faults.enabled) {
+    faults = std::make_unique<core::FaultProcess>(sim, cluster,
+                                                  cfg.base.faults);
+    cluster.set_fault_listener(
+        [&driver](const net::NicFault& f) { driver.on_fault(f); });
+  }
   for (const JobSpec& spec : specs) {
     sim.schedule_at(spec.arrival,
                     [&driver, i = spec.id] { driver.on_arrival(i); });
@@ -184,6 +290,13 @@ FleetResult run_fleet(const FleetConfig& cfg) {
       jr.slowdown = static_cast<double>(jr.jct()) /
                     static_cast<double>(jr.isolated_time);
     }
+    if (jr.service_time() > 0) {
+      const TimeNs productive =
+          std::accumulate(jr.iteration_times.begin(),
+                          jr.iteration_times.end(), static_cast<TimeNs>(0));
+      jr.availability = static_cast<double>(productive) /
+                        static_cast<double>(jr.service_time());
+    }
     const std::int64_t port_time =
         static_cast<std::int64_t>(jr.placement.count) *
         cluster.config().nic_ports * cluster.n_rails() * jr.service_time();
@@ -206,7 +319,8 @@ FleetResult run_fleet(const FleetConfig& cfg) {
 
 TextTable fleet_job_table(const FleetResult& result) {
   TextTable table({"Job", "Shape", "Nodes", "Span", "Arrival", "Queue",
-                   "JCT", "Slowdown", "Dark%", "Rail bytes", "Multihop"});
+                   "JCT", "Slowdown", "Dark%", "Rail bytes", "Multihop",
+                   "Avail", "PortsLost", "Repl"});
   for (const FleetJobResult& jr : result.jobs) {
     if (!result.shard.owns(static_cast<std::size_t>(jr.spec.id))) continue;
     if (jr.rejected) {
@@ -214,7 +328,7 @@ TextTable fleet_job_table(const FleetResult& result) {
                      std::to_string(jr.spec.shape.n_nodes(
                          result.config.base.gpus_per_node)),
                      "-", format_time(jr.spec.arrival), "-", "rejected", "-",
-                     "-", "-", "-"});
+                     "-", "-", "-", "-", "-", "-"});
       continue;
     }
     table.add_row(
@@ -226,7 +340,9 @@ TextTable fleet_job_table(const FleetResult& result) {
          format_time(jr.jct()),
          jr.slowdown > 0 ? fmt_double(jr.slowdown, 2) + "x" : "-",
          fmt_double(100.0 * jr.dark_share, 2), format_bytes(jr.rail_bytes),
-         format_bytes(jr.multihop_bytes)});
+         format_bytes(jr.multihop_bytes),
+         jr.availability > 0 ? fmt_double(jr.availability, 3) : "-",
+         std::to_string(jr.ports_lost), std::to_string(jr.replacements)});
   }
   return table;
 }

@@ -33,7 +33,10 @@ namespace opus::fleet {
 struct FleetConfig {
   /// Shared cluster size; every other cluster knob (fabric, NIC, bandwidth,
   /// OCS delay, engine options) comes from `base`. base.model/parallelism/
-  /// iterations are overridden per job by the arrival trace.
+  /// iterations are overridden per job by the arrival trace. base.faults
+  /// drives fleet-wide failure/repair churn: the driver evicts, checkpoints,
+  /// and re-places jobs whose span loses a node's whole rail connectivity
+  /// (isolated baselines always run fault-free).
   int n_nodes = 32;
   core::ExperimentConfig base;
   ArrivalConfig arrivals;
@@ -94,6 +97,17 @@ struct FleetJobResult {
   /// share of the tenant's port-time (ports x rails x service time).
   TimeNs dark_time = 0;
   double dark_share = 0.0;
+
+  // ---- failure-churn accounting (all zero on a fault-free run) ------------
+  /// NIC-port failures that landed inside the job's span while it ran.
+  int ports_lost = 0;
+  /// Eviction -> checkpoint -> re-queue -> re-place cycles the job survived
+  /// (a job is evicted when a failure disconnects one of its nodes).
+  int replacements = 0;
+  /// Productive fraction of the job's wall presence: completed-iteration
+  /// time / service_time(). 1.0 means no time lost to degraded stalls,
+  /// eviction gaps, or re-placement queueing; 0 when never placed.
+  double availability = 0.0;
 };
 
 struct FleetResult {

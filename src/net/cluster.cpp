@@ -84,6 +84,12 @@ Cluster::Cluster(sim::Simulator& sim, FluidNetwork* net, ClusterConfig cfg)
           sim_, net_, cfg_.n_nodes * cfg_.nic_ports, cfg_.port_bw(),
           cfg_.rail_latency, cfg_.ocs_reconfig_delay,
           "rail" + std::to_string(r)));
+      // Fault plumbing: traffic on a circuit killed mid-run is rescued here
+      // (no-op abort when fault tolerance is off), and every topology change
+      // re-attempts parked transfers (immediate return while none exist).
+      OpticalCircuitSwitch* sw = rail_ocs_.back().get();
+      sw->set_flow_rescuer([this](FlowId f) { rescue_flow(f); });
+      sw->set_topology_listener([this] { retry_parked(); });
     }
     if (cfg_.fabric == FabricKind::kRotor) {
       ensure(cfg_.n_nodes >= 2, "a rotor fabric needs at least two nodes");
@@ -509,9 +515,22 @@ void Cluster::transfer_rail(GpuId src, GpuId dst, Bytes bytes,
     // same-rail GPUs over live circuits (§5). The per-hop accounting below
     // exposes the bandwidth tax.
     const std::vector<GpuId> path = rail_multihop_path(src, dst);
-    ensure(path.size() >= 2,
-           "photonic rail transfer: destination unreachable through live "
-           "circuits even with multi-hop forwarding");
+    if (path.size() < 2) {
+      if (fault_tolerant_) {
+        // Destination currently unreachable (failure cut every live path):
+        // charge the logical payload once and park — a repair or the next
+        // reconfiguration retries it.
+        account(Route::kRailMultiHop, src, bytes);
+        account(Route::kRail, src, bytes);
+        parked_.push_back({src, dst, bytes,
+                           std::make_shared<std::function<void()>>(
+                               std::move(on_complete))});
+        return;
+      }
+      ensure(false,
+             "photonic rail transfer: destination unreachable through live "
+             "circuits even with multi-hop forwarding");
+    }
     account(Route::kRailMultiHop, src, bytes);
     // Chain the hops back to front so each callback launches the next.
     std::function<void()> chain = std::move(on_complete);
@@ -540,27 +559,344 @@ void Cluster::transfer_rail_hop(GpuId src, GpuId dst, Bytes bytes,
                     std::move(on_complete));
     return;
   }
+  start_rail_circuit_flows(src, dst, bytes, std::move(on_complete));
+}
+
+void Cluster::start_rail_circuit_flows(GpuId src, GpuId dst, Bytes bytes,
+                                       std::function<void()> on_complete) {
   const std::vector<LinkId> circuits = live_circuit_links(src, dst);
-  ensure(!circuits.empty(),
-         "photonic rail transfer without a live circuit: the control plane "
-         "must reconfigure the rail before communication starts");
-  if (circuits.size() == 1) {
-    net_.start_flow({circuits[0]}, bytes, cfg_.rail_latency,
-                    std::move(on_complete));
+  if (circuits.empty()) {
+    if (fault_tolerant_) {
+      // The circuit died between path selection and issue (or a rescue
+      // raced a second failure): park until the topology changes.
+      parked_.push_back({src, dst, bytes,
+                         std::make_shared<std::function<void()>>(
+                             std::move(on_complete))});
+      return;
+    }
+    ensure(false,
+           "photonic rail transfer without a live circuit: the control plane "
+           "must reconfigure the rail before communication starts");
+  }
+  if (!fault_tolerant_) {
+    if (circuits.size() == 1) {
+      net_.start_flow({circuits[0]}, bytes, cfg_.rail_latency,
+                      std::move(on_complete));
+      return;
+    }
+    // Stripe across parallel circuits; complete when every stripe lands.
+    const auto n = static_cast<Bytes>(circuits.size());
+    auto pending = std::make_shared<int>(static_cast<int>(n));
+    auto done = std::make_shared<std::function<void()>>(std::move(on_complete));
+    for (std::size_t i = 0; i < circuits.size(); ++i) {
+      const Bytes stripe =
+          bytes / n + (static_cast<Bytes>(i) < bytes % n ? 1 : 0);
+      net_.start_flow({circuits[i]}, stripe, cfg_.rail_latency,
+                      [pending, done] {
+                        if (--*pending == 0 && *done) (*done)();
+                      });
+    }
     return;
   }
-  // Stripe across parallel circuits; complete when every stripe lands.
+  // Fault-tolerant: the same single/striped flows, but each one registered
+  // so a mid-flight circuit failure can rescue its remaining bytes. Identical
+  // flow shapes and timing — the registry is bookkeeping, not a data path.
+  if (circuits.size() == 1) {
+    track_rail_flow(circuits[0], src, dst, bytes,
+                    std::make_shared<std::function<void()>>(
+                        std::move(on_complete)));
+    return;
+  }
   const auto n = static_cast<Bytes>(circuits.size());
   auto pending = std::make_shared<int>(static_cast<int>(n));
   auto done = std::make_shared<std::function<void()>>(std::move(on_complete));
   for (std::size_t i = 0; i < circuits.size(); ++i) {
     const Bytes stripe =
         bytes / n + (static_cast<Bytes>(i) < bytes % n ? 1 : 0);
-    net_.start_flow({circuits[i]}, stripe, cfg_.rail_latency,
-                    [pending, done] {
+    track_rail_flow(circuits[i], src, dst, stripe,
+                    std::make_shared<std::function<void()>>([pending, done] {
                       if (--*pending == 0 && *done) (*done)();
-                    });
+                    }));
   }
+}
+
+void Cluster::track_rail_flow(LinkId link, GpuId src, GpuId dst, Bytes bytes,
+                              std::shared_ptr<std::function<void()>> done) {
+  // The completion learns its own registry key through a shared cell written
+  // after start_flow returns — safe because flows never complete
+  // synchronously (even zero-byte flows deliver via a scheduled event).
+  auto key = std::make_shared<std::uint64_t>(0);
+  const FlowId f =
+      net_.start_flow({link}, bytes, cfg_.rail_latency, [this, key, done] {
+        rescuable_.erase(*key);
+        if (*done) (*done)();
+        // A completed flow frees its circuit: that is exactly the moment a
+        // parked transfer's emergency-steal escalation can find an idle
+        // port pair, so give stranded traffic another chance (no-op while
+        // nothing is parked).
+        retry_parked();
+      });
+  *key = f.value();
+  rescuable_.emplace(f.value(), RescuableFlow{src, dst, std::move(done)});
+}
+
+void Cluster::rescue_flow(FlowId f) {
+  const auto it = rescuable_.find(f.value());
+  if (it == rescuable_.end()) {
+    // Untracked (the owner opted out of fault tolerance): abort outright.
+    net_.abort_flow(f);
+    return;
+  }
+  const RescuableFlow ctx = it->second;
+  const Bytes remaining = net_.flow_remaining(f);
+  net_.abort_flow(f);
+  rescuable_.erase(it);
+  resend_rescued(ctx.src, ctx.dst, remaining, ctx.done);
+}
+
+void Cluster::resend_rescued(GpuId src, GpuId dst, Bytes bytes,
+                             std::shared_ptr<std::function<void()>> done) {
+  // The logical payload was charged at original issue; every rescue path
+  // below is unaccounted so conservation sees each byte exactly once.
+  if (has_live_circuit(src, dst)) {
+    start_rail_circuit_flows(src, dst, bytes,
+                             [done] { if (*done) (*done)(); });
+    return;
+  }
+  // Degraded continuation: forward over surviving circuits even on fabrics
+  // that normally forbid multi-hop (Opus re-plans future collectives, but
+  // in-flight bytes cannot wait for the next layout).
+  const std::vector<GpuId> path = rail_multihop_path(src, dst);
+  if (path.size() >= 2) {
+    std::function<void()> chain = [done] { if (*done) (*done)(); };
+    for (std::size_t i = path.size() - 1; i >= 1; --i) {
+      const GpuId hop_src = path[i - 1];
+      const GpuId hop_dst = path[i];
+      chain = [this, hop_src, hop_dst, bytes, next = std::move(chain)] {
+        start_rail_circuit_flows(hop_src, hop_dst, bytes, next);
+      };
+    }
+    chain();
+    return;
+  }
+  if (try_emergency_circuit(src, dst) && has_live_circuit(src, dst)) {
+    start_rail_circuit_flows(src, dst, bytes,
+                             [done] { if (*done) (*done)(); });
+    return;
+  }
+  parked_.push_back({src, dst, bytes, std::move(done)});
+}
+
+bool Cluster::try_emergency_circuit(GpuId src, GpuId dst) {
+  if (cfg_.fabric != FabricKind::kOpusPhotonic) return false;
+  auto& sw = ocs(rail_of(src));
+  // First choice: a completely unused (peerless) port on each endpoint.
+  // Escalation: steal a healthy port whose circuit is established but
+  // carries no active flows in either direction. Under churn a node's whole
+  // port budget can end up wired into stale circuits that no longer serve
+  // the parked transfer; without the steal it would strand forever. The
+  // owner is unharmed — its next controller request re-establishes whatever
+  // it still needs (the satisfied() check sees the stolen pair).
+  const auto spare = [&](GpuId g, bool allow_steal) -> PortId {
+    const int base = node_of(g).value() * cfg_.nic_ports;
+    for (int p = 0; p < cfg_.nic_ports; ++p) {
+      const PortId port{base + p};
+      if (sw.failed(port) || sw.dark(port) || sw.peer(port)) continue;
+      return port;
+    }
+    if (!allow_steal) return PortId{};
+    for (int p = 0; p < cfg_.nic_ports; ++p) {
+      const PortId port{base + p};
+      if (sw.failed(port) || sw.dark(port)) continue;
+      const auto peer = sw.peer(port);
+      if (!peer || sw.failed(*peer) || sw.dark(*peer)) continue;
+      if (net_.active_flows_on(sw.link(port, *peer)) == 0 &&
+          net_.active_flows_on(sw.link(*peer, port)) == 0) {
+        return port;
+      }
+    }
+    return PortId{};
+  };
+  for (const bool steal : {false, true}) {
+    const PortId sp = spare(src, steal);
+    const PortId dp = spare(dst, steal);
+    if (!sp.valid() || !dp.valid() || sp == dp) continue;
+    if (sw.port_owner(sp) != sw.port_owner(dp)) continue;
+    // Fires the topology listener; retry_parked is reentrancy-guarded.
+    sw.force_circuits({{sp, dp}});
+    return true;
+  }
+  return false;
+}
+
+void Cluster::retry_parked() {
+  if (retrying_parked_ || parked_.empty()) return;
+  retrying_parked_ = true;
+  std::vector<ParkedTransfer> waiting;
+  waiting.swap(parked_);
+  for (ParkedTransfer& t : waiting) {
+    resend_rescued(t.src, t.dst, t.bytes, std::move(t.done));
+  }
+  retrying_parked_ = false;
+}
+
+int Cluster::parked_rail_transfers(int rail, NodeSpan span) const {
+  int n = 0;
+  for (const ParkedTransfer& t : parked_) {
+    if (t.src.value() % cfg_.gpus_per_node != rail) continue;
+    if (!span.contains(t.src.value() / cfg_.gpus_per_node)) continue;
+    ++n;
+  }
+  return n;
+}
+
+int Cluster::rail_span_active_flows(RailId rail, NodeSpan span) const {
+  ensure(photonic(), "rail_span_active_flows: cluster has electrical rails");
+  check_span(span);
+  const auto& sw = ocs(rail);
+  int n = 0;
+  for (int node = span.first; node < span.end(); ++node) {
+    for (int p = 0; p < cfg_.nic_ports; ++p) {
+      const LinkId l = sw.live_tx_link(node * cfg_.nic_ports + p);
+      if (l.valid()) n += net_.active_flows_on(l);
+    }
+  }
+  return n;
+}
+
+void Cluster::fail_nic_port(NodeId node, int rail, int slot) {
+  ensure(node.valid() && node.value() < cfg_.n_nodes, "invalid node id");
+  ensure(rail >= 0 && rail < n_rails(), "invalid rail");
+  ensure(slot >= 0 && slot < cfg_.nic_ports, "invalid NIC port slot");
+  if (nic_port_failed(node, rail, slot)) return;  // idempotent
+  if (photonic()) {
+    ocs(RailId{rail}).fail_port(PortId{node.value() * cfg_.nic_ports + slot},
+                                /*force=*/true);
+  } else {
+    const auto key =
+        static_cast<std::int64_t>(node.value()) * n_rails() + rail;
+    electrical_failed_[key] |= 1u << slot;
+    apply_electrical_degrade(node, rail);
+  }
+  if (fault_listener_) fault_listener_({node, rail, slot, true});
+}
+
+void Cluster::repair_nic_port(NodeId node, int rail, int slot) {
+  ensure(node.valid() && node.value() < cfg_.n_nodes, "invalid node id");
+  ensure(rail >= 0 && rail < n_rails(), "invalid rail");
+  ensure(slot >= 0 && slot < cfg_.nic_ports, "invalid NIC port slot");
+  if (!nic_port_failed(node, rail, slot)) return;  // idempotent
+  if (photonic()) {
+    // repair_port fires the topology listener, so parked traffic retries
+    // before the fault listener reacts at fleet scope.
+    ocs(RailId{rail}).repair_port(
+        PortId{node.value() * cfg_.nic_ports + slot});
+  } else {
+    const auto key =
+        static_cast<std::int64_t>(node.value()) * n_rails() + rail;
+    const auto it = electrical_failed_.find(key);
+    it->second &= ~(1u << slot);
+    if (it->second == 0) electrical_failed_.erase(it);
+    apply_electrical_degrade(node, rail);
+  }
+  if (fault_listener_) fault_listener_({node, rail, slot, false});
+}
+
+void Cluster::fail_rail(NodeId node, int rail) {
+  for (int p = 0; p < cfg_.nic_ports; ++p) fail_nic_port(node, rail, p);
+}
+
+bool Cluster::nic_port_failed(NodeId node, int rail, int slot) const {
+  ensure(node.valid() && node.value() < cfg_.n_nodes, "invalid node id");
+  ensure(rail >= 0 && rail < n_rails(), "invalid rail");
+  ensure(slot >= 0 && slot < cfg_.nic_ports, "invalid NIC port slot");
+  if (photonic()) {
+    return ocs(RailId{rail}).failed(
+        PortId{node.value() * cfg_.nic_ports + slot});
+  }
+  const auto it = electrical_failed_.find(
+      static_cast<std::int64_t>(node.value()) * n_rails() + rail);
+  return it != electrical_failed_.end() && ((it->second >> slot) & 1u) != 0;
+}
+
+int Cluster::live_nic_ports(NodeId node, int rail) const {
+  int live = 0;
+  for (int p = 0; p < cfg_.nic_ports; ++p) {
+    if (!nic_port_failed(node, rail, p)) ++live;
+  }
+  return live;
+}
+
+bool Cluster::node_disconnected(NodeId node) const {
+  for (int r = 0; r < n_rails(); ++r) {
+    if (live_nic_ports(node, r) == 0) return true;
+  }
+  return false;
+}
+
+void Cluster::apply_electrical_degrade(NodeId node, int rail) {
+  auto& sw = *rail_electrical_[static_cast<std::size_t>(rail)];
+  const double scale =
+      static_cast<double>(live_nic_ports(node, rail)) / cfg_.nic_ports;
+  sw.set_endpoint_capacity_scale(node.value(), scale);
+}
+
+void Cluster::abort_span_traffic(NodeSpan span) {
+  check_span(span);
+  // Tracked rescuable flows touching the span first: this covers zero-byte
+  // flows, which never attach to links and are invisible to per-link sweeps.
+  if (!rescuable_.empty()) {
+    std::vector<std::uint64_t> doomed;
+    for (const auto& [key, ctx] : rescuable_) {
+      if (span.contains(ctx.src.value() / cfg_.gpus_per_node) ||
+          span.contains(ctx.dst.value() / cfg_.gpus_per_node)) {
+        doomed.push_back(key);
+      }
+    }
+    for (const std::uint64_t key : doomed) {
+      net_.abort_flow(FlowId{key});
+      rescuable_.erase(key);
+    }
+  }
+  // Link-attached traffic. Tenant isolation keeps a span's circuits inside
+  // the span, so sweeping each span node's tx direction covers both ends.
+  for (int node = span.first; node < span.end(); ++node) {
+    if (photonic()) {
+      for (int r = 0; r < n_rails(); ++r) {
+        const auto& sw = ocs(RailId{r});
+        for (int p = 0; p < cfg_.nic_ports; ++p) {
+          const LinkId l = sw.live_tx_link(node * cfg_.nic_ports + p);
+          if (l.valid()) net_.abort_flows_on(l);
+        }
+      }
+    } else {
+      for (int r = 0; r < n_rails(); ++r) {
+        const auto& sw = *rail_electrical_[static_cast<std::size_t>(r)];
+        const LinkId up = sw.peek_uplink(node);
+        const LinkId down = sw.peek_downlink(node);
+        if (up.valid()) net_.abort_flows_on(up);
+        if (down.valid()) net_.abort_flows_on(down);
+      }
+    }
+    for (int local = 0; local < cfg_.gpus_per_node; ++local) {
+      const GpuId g = gpu_at(NodeId{node}, local);
+      const LinkId in = nvl_in_[static_cast<std::size_t>(g.value())];
+      const LinkId out = nvl_out_[static_cast<std::size_t>(g.value())];
+      if (in.valid()) net_.abort_flows_on(in);
+      if (out.valid()) net_.abort_flows_on(out);
+      if (mgmt_ != nullptr) {
+        const LinkId mu = mgmt_->peek_uplink(g.value());
+        const LinkId md = mgmt_->peek_downlink(g.value());
+        if (mu.valid()) net_.abort_flows_on(mu);
+        if (md.valid()) net_.abort_flows_on(md);
+      }
+    }
+  }
+  // Parked transfers touching the span never restart.
+  std::erase_if(parked_, [&](const ParkedTransfer& t) {
+    return span.contains(t.src.value() / cfg_.gpus_per_node) ||
+           span.contains(t.dst.value() / cfg_.gpus_per_node);
+  });
 }
 
 void Cluster::transfer(GpuId src, GpuId dst, Bytes bytes,

@@ -86,6 +86,17 @@ struct NodeSpan {
 /// cycles.
 int rotor_rounds_for(int n_nodes);
 
+/// One NIC-port-level fault event, as reported to the fault listener: NIC
+/// port `slot` of `node` on `rail` failed (or was repaired). On photonic
+/// rails this is an OCS port; on electrical rails one lane of the node's
+/// rail NIC (its bandwidth degrades proportionally).
+struct NicFault {
+  NodeId node;
+  int rail = 0;
+  int slot = 0;
+  bool failed = true;  ///< false = repair
+};
+
 struct ClusterConfig {
   int n_nodes = 4;
   int gpus_per_node = 4;  ///< size of the scale-up domain == number of rails
@@ -285,6 +296,57 @@ class Cluster {
   /// Total bytes moved per route class (diagnostics / bandwidth-tax studies).
   Bytes bytes_on_route(Route r) const;
 
+  // ---- runtime fault injection (failure/repair churn) ---------------------
+  /// Fault-tolerant transfer mode: a photonic rail transfer that finds no
+  /// live circuit parks instead of throwing, flows on a circuit killed by
+  /// fail_nic_port are rescued (re-routed over surviving circuits, multi-hop
+  /// if needed, else parked), and parked traffic retries on every topology
+  /// change. Off by default — the legacy InvariantError contract stands, so
+  /// fabrics without a fault process pay nothing.
+  void set_fault_tolerant(bool on) { fault_tolerant_ = on; }
+  bool fault_tolerant() const { return fault_tolerant_; }
+
+  /// Fails NIC port `slot` of `node` on `rail`, mid-run: photonic rails tear
+  /// the port's circuit and rescue/abort its flows (OCS fail_port, forced);
+  /// electrical rails degrade the node's rail bandwidth to the surviving
+  /// lane fraction. Fires the fault listener. Idempotent.
+  void fail_nic_port(NodeId node, int rail, int slot);
+  /// Repairs a failed NIC port: the port may carry circuits again (photonic;
+  /// the old circuit is NOT restored — owners re-wire on their own schedule)
+  /// or the lane's bandwidth returns (electrical). Fires the fault listener.
+  void repair_nic_port(NodeId node, int rail, int slot);
+  /// Fails every NIC port of `node` on `rail` (a whole-NIC/rail cut).
+  void fail_rail(NodeId node, int rail);
+  bool nic_port_failed(NodeId node, int rail, int slot) const;
+  /// NIC ports of (node, rail) currently not failed.
+  int live_nic_ports(NodeId node, int rail) const;
+  /// True iff some rail of `node` has lost every NIC port — the node cannot
+  /// reach that rail's fabric at all (the fleet's kill/re-place criterion).
+  bool node_disconnected(NodeId node) const;
+
+  /// Observer for fail/repair events (the fleet's reaction hook). One
+  /// listener; called after the fabric state change has been applied.
+  void set_fault_listener(std::function<void(const NicFault&)> cb) {
+    fault_listener_ = std::move(cb);
+  }
+
+  /// Transfers parked by fault tolerance, fleet-wide / on one rail within
+  /// `span` (the rotor's drain guard must not wait on parked traffic).
+  int parked_transfer_count() const { return static_cast<int>(parked_.size()); }
+  int parked_rail_transfers(int rail, NodeSpan span) const;
+  /// Active fluid flows on the span's OCS circuits of `rail` (photonic).
+  int rail_span_active_flows(RailId rail, NodeSpan span) const;
+  /// Re-attempts every parked transfer against the current topology (also
+  /// invoked automatically on every OCS topology change and repair).
+  void retry_parked();
+
+  /// Kills a churned tenant's in-flight traffic (fleet checkpoint/kill):
+  /// aborts every flow on the span's OCS circuits, NVLink endpoints,
+  /// electrical rail lanes, and mgmt ports; drops the span's rescue-registry
+  /// entries and parked transfers. No completion callbacks fire — abort the
+  /// tenant's engine first.
+  void abort_span_traffic(NodeSpan span);
+
  private:
   Cluster(sim::Simulator& sim, FluidNetwork* net, ClusterConfig cfg);
 
@@ -316,6 +378,48 @@ class Cluster {
   GpuId two_hop_via(GpuId src, GpuId dst) const;
   void account(Route r, GpuId src, Bytes bytes);
   void check_span(NodeSpan span) const;
+
+  // ---- fault-tolerance internals ------------------------------------------
+  /// A rail transfer (or transfer fragment) waiting for a usable path after
+  /// failure killed its circuit. Retried FIFO on every topology change.
+  struct ParkedTransfer {
+    GpuId src;
+    GpuId dst;
+    Bytes bytes = 0;
+    std::shared_ptr<std::function<void()>> done;
+  };
+  /// Registry entry for a fault-tolerant rail flow: enough context to
+  /// re-issue the flow's remaining bytes when its circuit dies.
+  struct RescuableFlow {
+    GpuId src;
+    GpuId dst;
+    std::shared_ptr<std::function<void()>> done;
+  };
+
+  /// The photonic rail-hop data path (direct circuits only): starts the
+  /// striped flows, or — fault-tolerant mode — tracks them for rescue and
+  /// parks when no circuit is live. Accounting happens in the caller.
+  void start_rail_circuit_flows(GpuId src, GpuId dst, Bytes bytes,
+                                std::function<void()> on_complete);
+  void track_rail_flow(LinkId link, GpuId src, GpuId dst, Bytes bytes,
+                       std::shared_ptr<std::function<void()>> done);
+  /// OCS flow-rescuer hook: aborts `f` and re-issues its remaining bytes
+  /// (unaccounted — the logical payload was charged at original issue).
+  void rescue_flow(FlowId f);
+  /// Routes rescued/parked bytes over the current topology: direct circuits,
+  /// else multi-hop over live circuits (degraded continuation — even for
+  /// fabrics that normally forbid forwarding), else an emergency spare
+  /// circuit (Opus), else back to the parking lot.
+  void resend_rescued(GpuId src, GpuId dst, Bytes bytes,
+                      std::shared_ptr<std::function<void()>> done);
+  /// Opus only: cross-connect a spare (unconnected, live, same-owner) port
+  /// pair of src's and dst's nodes so parked traffic can drain — the
+  /// control-plane patch a real operator would apply. False when no spare
+  /// pair exists.
+  bool try_emergency_circuit(GpuId src, GpuId dst);
+  /// Electrical: re-derive the endpoint's capacity scale from its failed-
+  /// lane mask.
+  void apply_electrical_degrade(NodeId node, int rail);
 
   /// One entry of the span-indexed tenant store: an owned node range plus
   /// the store generation at which it was assigned.
@@ -357,6 +461,16 @@ class Cluster {
   mutable std::vector<std::int32_t> bfs_prev_;
   mutable std::vector<std::uint64_t> bfs_epoch_;
   mutable std::uint64_t bfs_epoch_counter_ = 0;
+  // Fault-injection state (all empty/off until a fault process opts in, so
+  // fault-free runs carry no overhead and no behavior change).
+  bool fault_tolerant_ = false;
+  bool retrying_parked_ = false;  ///< retry_parked reentrancy guard
+  std::function<void(const NicFault&)> fault_listener_;
+  std::vector<ParkedTransfer> parked_;
+  /// FlowId.value() -> rescue context for fault-tolerant rail flows.
+  std::unordered_map<std::uint64_t, RescuableFlow> rescuable_;
+  /// Electrical rails: (node * n_rails + rail) -> failed-lane bitmask.
+  std::unordered_map<std::int64_t, std::uint32_t> electrical_failed_;
 };
 
 }  // namespace opus::net

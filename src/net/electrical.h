@@ -9,6 +9,7 @@
 #pragma once
 
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/ids.h"
@@ -37,7 +38,24 @@ class ElectricalSwitch {
   /// Endpoints whose uplink or downlink has been materialized so far.
   int touched_endpoints() const;
 
+  /// The endpoint's uplink if it has been materialized, an invalid id
+  /// otherwise. Failure teardown uses these: aborting traffic on a node that
+  /// never touched the switch must not allocate links just to find nothing.
+  LinkId peek_uplink(int i) const;
+  LinkId peek_downlink(int i) const;
+
+  /// Degrades (or restores) endpoint `i`'s up/down capacity to
+  /// `scale` x port bandwidth — failure injection: a node that lost k of
+  /// its n NIC-port lanes keeps (n-k)/n of its electrical bandwidth.
+  /// Active flows immediately re-share; scale 1.0 restores full rate and
+  /// drops the (sparse) override. Scale 0 leaves the links stalled rather
+  /// than retiring them — the fabric stays wired, just dark.
+  void set_endpoint_capacity_scale(int i, double scale);
+  double endpoint_capacity_scale(int i) const;
+
  private:
+  Bandwidth scaled_bw(int i) const;
+
   FluidNetwork& net_;
   int n_endpoints_;
   Bandwidth port_bw_;
@@ -47,6 +65,9 @@ class ElectricalSwitch {
   // per-link state lives in the FluidNetwork and is allocated on demand).
   mutable std::vector<LinkId> uplinks_;
   mutable std::vector<LinkId> downlinks_;
+  /// Sparse capacity overrides (endpoint -> scale in (0, 1]); absent = 1.0.
+  /// Sparse so a 4096-node rail with three degraded nodes stays O(3).
+  std::unordered_map<int, double> capacity_scale_;
 };
 
 }  // namespace opus::net

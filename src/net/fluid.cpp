@@ -192,6 +192,21 @@ bool FluidNetwork::abort_flow(FlowId flow) {
   return true;
 }
 
+int FluidNetwork::abort_flows_on(LinkId link) {
+  check_live_link(link);
+  const auto li = static_cast<std::size_t>(link.value());
+  // abort_flow mutates the per-link index (swap-with-last), so iterate a
+  // snapshot. Stale ids (a multi-link flow already aborted via an earlier
+  // link in some caller's loop) are rejected by generation, so double
+  // aborts are harmless here.
+  const std::vector<FlowId> doomed = link_state_[li].flows;
+  int aborted = 0;
+  for (const FlowId f : doomed) {
+    if (abort_flow(f)) ++aborted;
+  }
+  return aborted;
+}
+
 void FluidNetwork::remove_from_draining(Flow& f) {
   const std::uint32_t last_slot = draining_.back();
   draining_[f.draining_pos] = last_slot;

@@ -99,6 +99,19 @@ class FluidNetwork {
   /// was since reused are rejected by their generation stamp.
   bool abort_flow(FlowId flow);
 
+  /// Aborts every active flow whose path crosses `link` (failure injection:
+  /// a failed port kills the traffic on its circuit). Completion callbacks
+  /// never fire. Returns the number of flows aborted.
+  int abort_flows_on(LinkId link);
+
+  /// Snapshot of the active flows whose path crosses `link` (failure
+  /// injection enumerates a dying circuit's flows to rescue or abort them).
+  /// Pending zero-byte flows hold no links and never appear here.
+  std::vector<FlowId> flows_on(LinkId link) const {
+    check_live_link(link);
+    return link_state_[static_cast<std::size_t>(link.value())].flows;
+  }
+
   /// Current rate of an active flow in bits/sec (0 for stalled flows and
   /// pending zero-byte flows).
   double flow_rate_bps(FlowId flow) const;

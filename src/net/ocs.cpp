@@ -170,20 +170,63 @@ bool OpticalCircuitSwitch::failed(PortId p) const {
 
 int OpticalCircuitSwitch::failed_port_count() const { return failed_ports_; }
 
-void OpticalCircuitSwitch::fail_port(PortId p) {
+void OpticalCircuitSwitch::fail_port(PortId p, bool force) {
   check_port(p);
-  ensure(!dark(p), "fail_port: port is mid-reconfiguration");
-  const auto q = peer_[static_cast<std::size_t>(p.value())];
-  if (q >= 0) {
-    for (auto i : {p.value(), q}) {
-      const LinkId l = port_tx_link_[static_cast<std::size_t>(i)];
-      ensure(!l.valid() || net_.active_flows_on(l) == 0,
-             "fail_port: circuit still carrying traffic");
+  const auto i = static_cast<std::size_t>(p.value());
+  if (failed_[i]) return;  // idempotent: a double fault changes nothing
+  if (!force) {
+    // Legacy between-kernels injection: the port must be quiescent.
+    ensure(!dark(p), "fail_port: port is mid-reconfiguration");
+    const auto q = peer_[i];
+    if (q >= 0) {
+      for (auto j : {p.value(), q}) {
+        const LinkId l = port_tx_link_[static_cast<std::size_t>(j)];
+        ensure(!l.valid() || net_.active_flows_on(l) == 0,
+               "fail_port: circuit still carrying traffic");
+      }
     }
+  } else {
+    // Mid-run failure. A port failing while dark holds no circuit — it was
+    // torn down when its reconfiguration began and its dark time charged up
+    // front — so marking it failed suffices and sum(port_dark_time) is
+    // unaffected; the reconfiguration's completion skips re-establishing
+    // any circuit with a failed endpoint. A live circuit's traffic is
+    // handed to the rescuer (re-route or park) or aborted outright. The
+    // port is marked failed BEFORE the rescuer runs: a rescue resend that
+    // consults connectivity must not route back onto the dying circuit.
+    failed_[i] = true;
+    ++failed_ports_;
+    const auto q = peer_[i];
+    if (q >= 0) {
+      for (auto j : {p.value(), q}) {
+        const LinkId l = port_tx_link_[static_cast<std::size_t>(j)];
+        if (!l.valid()) continue;
+        if (flow_rescuer_) {
+          for (const FlowId f : net_.flows_on(l)) flow_rescuer_(f);
+          ensure(net_.active_flows_on(l) == 0,
+                 "fail_port: flow rescuer left traffic on a failed circuit");
+        } else {
+          net_.abort_flows_on(l);
+        }
+      }
+    }
+    tear_down(p);
+    return;
   }
   tear_down(p);
-  if (!failed_[static_cast<std::size_t>(p.value())]) ++failed_ports_;
-  failed_[static_cast<std::size_t>(p.value())] = true;
+  failed_[i] = true;
+  ++failed_ports_;
+}
+
+void OpticalCircuitSwitch::repair_port(PortId p) {
+  check_port(p);
+  const auto i = static_cast<std::size_t>(p.value());
+  if (!failed_[i]) return;  // idempotent
+  failed_[i] = false;
+  --failed_ports_;
+  // The circuit is not restored — owners re-wire on their own schedule —
+  // but parked traffic may now have a path, so poke the owning layer.
+  if (topology_listener_) topology_listener_();
 }
 
 bool OpticalCircuitSwitch::satisfied(
@@ -310,10 +353,12 @@ void OpticalCircuitSwitch::force_circuits(
     ensure(c.a != c.b, "OCS circuit cannot loop a port to itself");
     ensure(port_owner(c.a) == port_owner(c.b),
            "OCS circuit may not cross port ownership (tenant isolation)");
+    if (failed(c.a) || failed(c.b)) continue;  // failed endpoints stay down
     tear_down(c.a);
     tear_down(c.b);
     establish(c.a, c.b);
   }
+  if (topology_listener_) topology_listener_();
 }
 
 void OpticalCircuitSwitch::reconfigure(
@@ -384,8 +429,18 @@ void OpticalCircuitSwitch::reconfigure(
           dark_[static_cast<std::size_t>(p.value())] = false;
         }
         dark_ports_ -= static_cast<int>(touched.size());
-        for (const CircuitRequest& c : circuits) establish(c.a, c.b);
+        for (const CircuitRequest& c : circuits) {
+          // A port that failed during the dark window stays down: its
+          // circuit is skipped (the peer comes up unconnected and re-wires
+          // on the owner's next request).
+          if (failed_[static_cast<std::size_t>(c.a.value())] ||
+              failed_[static_cast<std::size_t>(c.b.value())]) {
+            continue;
+          }
+          establish(c.a, c.b);
+        }
         if (cb) cb();
+        if (topology_listener_) topology_listener_();
         pump_undark_waiters();
       });
 }
@@ -511,9 +566,35 @@ void OpticalCircuitSwitch::reconfigure_batch(BatchId batch,
     }
   }
   if (failed_ports_ > 0) {
+    // Fallback widening: a batch whose port set lost members to failure
+    // drops the dead circuits and applies the survivors through the generic
+    // path (the pinned batch transaction assumes the full matching). The
+    // refs above are not held across the call — reconfigure neither
+    // registers batches nor runs callbacks synchronously past its
+    // satisfied fast-path.
+    bool any_failed = false;
     for (const std::int32_t p : b.ports) {
-      ensure(!failed_[static_cast<std::size_t>(p)],
-             "OCS reconfigure_batch: circuit requests a failed port");
+      if (failed_[static_cast<std::size_t>(p)]) {
+        any_failed = true;
+        break;
+      }
+    }
+    if (any_failed) {
+      std::vector<CircuitRequest> survivors;
+      survivors.reserve(b.circuits.size());
+      for (const BatchCircuit& c : b.circuits) {
+        if (failed_[static_cast<std::size_t>(c.a)] ||
+            failed_[static_cast<std::size_t>(c.b)]) {
+          continue;
+        }
+        survivors.push_back({PortId{c.a}, PortId{c.b}});
+      }
+      if (survivors.empty()) {
+        if (on_done) on_done();
+        return;
+      }
+      reconfigure(survivors, std::move(on_done));
+      return;
     }
   }
   if (owned_ports_ > 0) {
@@ -550,12 +631,18 @@ void OpticalCircuitSwitch::reconfigure_batch(BatchId batch,
     Batch& bb = batches_[static_cast<std::size_t>(batch)];
     dark_groups_[static_cast<std::size_t>(bb.group)].dark = false;
     for (const BatchCircuit& c : bb.circuits) {
+      // Endpoints that failed during the dark window stay down.
+      if (failed_ports_ > 0 && (failed_[static_cast<std::size_t>(c.a)] ||
+                                failed_[static_cast<std::size_t>(c.b)])) {
+        continue;
+      }
       peer_[static_cast<std::size_t>(c.a)] = c.b;
       peer_[static_cast<std::size_t>(c.b)] = c.a;
       port_tx_link_[static_cast<std::size_t>(c.a)] = c.ab;
       port_tx_link_[static_cast<std::size_t>(c.b)] = c.ba;
     }
     if (cb) cb();
+    if (topology_listener_) topology_listener_();
     pump_undark_waiters();
   });
 }

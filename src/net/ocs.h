@@ -127,14 +127,36 @@ class OpticalCircuitSwitch {
     return port_tx_link_[static_cast<std::size_t>(port)];
   }
 
-  /// Permanently fails a port (fiber cut / transceiver death): its circuit
-  /// is torn down and no future circuit may use it. The port must be
-  /// quiescent (no in-flight traffic, not mid-reconfiguration) — fail
-  /// injection between kernels, matching the recovery model of LUMION
-  /// (the paper's fault-recovery companion work).
-  void fail_port(PortId p);
+  /// Fails a port (fiber cut / transceiver death): its circuit is torn down
+  /// and no future circuit may use it until repair_port. The default
+  /// (`force = true`) models a mid-run failure — traffic on the dying
+  /// circuit is handed to the flow rescuer (set_flow_rescuer) or aborted
+  /// outright, and a failure mid-reconfiguration simply marks the port so
+  /// the completion skips re-establishing its circuit. `force = false`
+  /// keeps the legacy between-kernels precondition (quiescent, not dark) —
+  /// the recovery model of LUMION, the paper's fault-recovery companion
+  /// work. Idempotent on an already-failed port.
+  void fail_port(PortId p, bool force = true);
+  /// Repairs a failed port: future circuits may use it again. The old
+  /// circuit is NOT restored — owners re-wire on their own schedule (rotor
+  /// next rotation, ring re-splice, Opus next plan); the topology listener
+  /// fires so parked traffic retries. Idempotent.
+  void repair_port(PortId p);
   bool failed(PortId p) const;
   int failed_port_count() const;
+
+  /// Called whenever port-level connectivity changes outside a caller's own
+  /// request — reconfiguration completions, force_circuits, repair_port —
+  /// so the owning layer can retry traffic parked on a dead topology.
+  void set_topology_listener(std::function<void()> cb) {
+    topology_listener_ = std::move(cb);
+  }
+  /// When set, a forced fail_port hands each flow on the dying circuit to
+  /// this callback (which must abort and re-route or park it) instead of
+  /// aborting it silently.
+  void set_flow_rescuer(std::function<void(FlowId)> cb) {
+    flow_rescuer_ = std::move(cb);
+  }
 
   /// True iff every requested circuit is already established and live —
   /// the idempotence fast-path used by the Opus controller's config cache.
@@ -288,6 +310,8 @@ class OpticalCircuitSwitch {
   /// Pending call_when_undark registrations, in arrival order.
   std::vector<std::pair<std::vector<PortId>, std::function<void()>>>
       undark_waiters_;
+  std::function<void()> topology_listener_;
+  std::function<void(FlowId)> flow_rescuer_;
   // Unordered port pair -> (link low->high, link high->low). Hashed on the
   // packed pair: whole-rail reconfiguration (the rotor) performs ~1e8
   // lookups per large run, where an ordered map's log-factor dominated.

@@ -68,7 +68,14 @@ std::vector<TimeNs> IterationEngine::run_to_completion(const IterationDag& dag,
   return iter_times_;
 }
 
+void IterationEngine::abort() {
+  aborted_ = true;
+  dag_ = nullptr;
+  on_done_ = {};
+}
+
 void IterationEngine::start_iteration() {
+  if (aborted_) return;
   ++iteration_index_;
   iteration_start_ = sim_.now();
   if (recorder_) recorder_->begin_iteration(sim_.now());
@@ -115,8 +122,10 @@ void IterationEngine::op_ready(OpId id) {
     case OpKind::kCollective: {
       const TimeNs dispatch = dispatch_latency(id);
       if (dispatch > 0) {
-        sim_.schedule_after(dispatch,
-                            [this, id] { start_collective(dag_->op(id)); });
+        sim_.schedule_after(dispatch, [this, id] {
+          if (aborted_) return;
+          start_collective(dag_->op(id));
+        });
       } else {
         start_collective(op);
       }
@@ -165,6 +174,7 @@ void IterationEngine::record_compute_span(int gpu, OpId id, TimeNs start) {
 
 void IterationEngine::finish_cohort(OpId id, const std::vector<int>& gpus,
                                     TimeNs start) {
+  if (aborted_) return;
   for (int gpu : gpus) record_compute_span(gpu, id, start);
   auto& parts = parts_remaining_[static_cast<std::size_t>(id.value())];
   parts -= static_cast<int>(gpus.size());
@@ -187,6 +197,7 @@ void IterationEngine::run_next_on_gpu(int gpu) {
   const Op& op = dag_->op(id);
   const TimeNs start = sim_.now();
   sim_.schedule_after(op.duration, [this, gpu, id, start] {
+    if (aborted_) return;
     record_compute_span(gpu, id, start);
     gpu_finished_part(gpu, id);
   });
@@ -228,6 +239,7 @@ void IterationEngine::start_collective(const Op& op) {
                   [this, id = op.id, gi, issue,
                    payload = op.payload](const collective::CollectiveExecutor::
                                              Result& result) {
+      if (aborted_) return;
       const Op& op = dag_->op(id);
       if (recorder_) {
         const collective::CommGroup& group =

@@ -63,6 +63,14 @@ class IterationEngine {
 
   const std::vector<TimeNs>& iteration_times() const { return iter_times_; }
 
+  /// Kills the run mid-iteration (failure churn evicted the tenant): every
+  /// already-scheduled engine callback becomes a no-op and on_done never
+  /// fires. Completed iterations stay in iteration_times() — the fleet's
+  /// checkpoint when it re-places the job. Terminal: an aborted engine is
+  /// never reused (a re-placed job gets a fresh tenant).
+  void abort();
+  bool aborted() const { return aborted_; }
+
  private:
   void start_iteration();
   void finish_iteration();
@@ -92,6 +100,7 @@ class IterationEngine {
   collective::CollectiveExecutor executor_;
 
   const IterationDag* dag_ = nullptr;
+  bool aborted_ = false;
   int iterations_left_ = 0;
   int iteration_index_ = -1;
   TimeNs iteration_start_ = 0;

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include "common/error.h"
+#include "net/cluster.h"
 #include "net/fluid.h"
 #include "sim/simulator.h"
 
@@ -326,6 +327,61 @@ TEST_F(FluidEdgeTest, ChurnReusesSlotsInsteadOfGrowingTheRegistry) {
     EXPECT_FALSE(net.flow_active(f));
   }
   EXPECT_EQ(net.completed_flow_count(), 32u);
+}
+
+// ---------------------------------------------------------------------------
+// Zero-byte flows under fault churn: a zero-byte transfer attaches to no
+// link, so per-link failure sweeps cannot see it — only its FlowId can kill
+// it. The cluster's fault paths must honour both halves of that contract.
+// ---------------------------------------------------------------------------
+
+TEST_F(FluidEdgeTest, ZeroByteTransferRidesOutACircuitFailure) {
+  // The control message was already "in flight" (latency only, no capacity
+  // needed), so tearing the circuit under it must not lose it.
+  Cluster c(sim, [] {
+    ClusterConfig cfg;
+    cfg.n_nodes = 2;
+    cfg.gpus_per_node = 2;
+    cfg.nic_ports = 2;
+    cfg.fabric = FabricKind::kOpusPhotonic;
+    cfg.ocs_reconfig_delay = usecs(10);
+    return cfg;
+  }());
+  c.set_fault_tolerant(true);
+  auto& sw = c.ocs(RailId{0});
+  sw.force_circuits({{PortId{0}, PortId{2}}});
+  int done = 0;
+  c.transfer(c.gpu_at(NodeId{0}, 0), c.gpu_at(NodeId{1}, 0), 0,
+             [&] { ++done; });
+  c.fail_nic_port(NodeId{0}, 0, 0);  // same instant: delivery still pends
+  sim.run();
+  EXPECT_EQ(done, 1) << "an in-flight zero-byte send survives the failure";
+}
+
+TEST_F(FluidEdgeTest, SpanAbortKillsPendingZeroByteTransfers) {
+  // Eviction (abort_span_traffic) must catch zero-byte sends through the
+  // rescuable-flow registry — the per-link sweep alone would miss them and
+  // leak an orphaned completion into the re-placed job's timeline.
+  Cluster c(sim, [] {
+    ClusterConfig cfg;
+    cfg.n_nodes = 2;
+    cfg.gpus_per_node = 2;
+    cfg.nic_ports = 2;
+    cfg.fabric = FabricKind::kOpusPhotonic;
+    cfg.ocs_reconfig_delay = usecs(10);
+    return cfg;
+  }());
+  c.set_fault_tolerant(true);
+  auto& sw = c.ocs(RailId{0});
+  sw.force_circuits({{PortId{0}, PortId{2}}});
+  int done = 0;
+  c.transfer(c.gpu_at(NodeId{0}, 0), c.gpu_at(NodeId{1}, 0), 0,
+             [&] { ++done; });
+  c.transfer(c.gpu_at(NodeId{0}, 0), c.gpu_at(NodeId{1}, 0), mib(1),
+             [&] { ++done; });
+  c.abort_span_traffic({0, 2});
+  sim.run();
+  EXPECT_EQ(done, 0) << "no aborted transfer may deliver after eviction";
 }
 
 TEST_F(FluidEdgeTest, RetiredLinksDoNotAffectActiveSolves) {
