@@ -16,6 +16,7 @@
 
 #include "bench_common.h"
 #include "common/table.h"
+#include "config/presets.h"
 #include "core/sweep.h"
 #include "fleet/fleet.h"
 
@@ -115,35 +116,25 @@ int main() {
         net::FabricKind::kElectrical, net::FabricKind::kOpusPhotonic,
         net::FabricKind::kStaticRing, net::FabricKind::kRotor};
     for (net::FabricKind fabric : all_fabrics) {
-      fleet::FleetConfig cfg;
-      cfg.n_nodes = smoke ? 16 : 32;
-      cfg.base.fabric = fabric;
-      cfg.base.gpus_per_node = 4;
-      cfg.base.ocs_reconfig_delay = usecs(100);
-      cfg.base.rotor_slot_time = msecs(1);
-      cfg.policy = fleet::PlacementPolicy::kRailAware;
-      cfg.arrivals.seed = 2026;
-      cfg.arrivals.n_jobs = smoke ? 8 : 16;
-      cfg.arrivals.iterations = 2;
-      cfg.arrivals.mean_interarrival = msecs(1);
-
+      // The cells come from the config layer's shared builder — the same
+      // configs the "fleet_churn_*" presets and goldens run, so this bench
+      // and the declarative path can never drift apart. Churn is tuned hot
+      // enough that repairs overlap new failures and availability actually
+      // separates from 1.0 (see config::fleet_churn_cell).
       const auto clean = bench::timed(
           std::string("fleet churn ablation (clean) ") +
               net::fabric_name(fabric),
-          [&] { return fleet::run_fleet(cfg); });
+          [&] {
+            return fleet::run_fleet(
+                config::fleet_churn_cell(fabric, /*churn=*/false, smoke));
+          });
 
-      // Churn hot enough that repairs overlap new failures: some node
-      // eventually loses a whole rail and its job is evicted, so the
-      // availability column actually separates from 1.0.
-      cfg.base.faults.enabled = true;
-      cfg.base.faults.seed = 3;
-      cfg.base.faults.mtbf_per_port = msecs(8);
-      cfg.base.faults.mttr = msecs(40);
-      cfg.base.faults.max_failures = smoke ? 48 : 96;
+      const fleet::FleetConfig churn_cfg =
+          config::fleet_churn_cell(fabric, /*churn=*/true, smoke);
       const auto churned = bench::timed(
           std::string("fleet churn ablation (churn) ") +
               net::fabric_name(fabric),
-          [&] { return fleet::run_fleet(cfg); });
+          [&] { return fleet::run_fleet(churn_cfg); });
 
       double avail_sum = 0.0;
       int ports_lost = 0;
@@ -157,7 +148,8 @@ int main() {
         ++placed;
       }
       churn_table.add_row(
-          {net::fabric_name(fabric), std::to_string(cfg.arrivals.n_jobs),
+          {net::fabric_name(fabric),
+           std::to_string(churn_cfg.arrivals.n_jobs),
            fmt_double(fleet::fleet_slowdown_stats(clean).p99, 2) + "x",
            fmt_double(fleet::fleet_slowdown_stats(churned).p99, 2) + "x",
            fmt_double(placed > 0 ? avail_sum / placed : 0.0, 3),

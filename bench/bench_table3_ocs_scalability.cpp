@@ -17,32 +17,10 @@
 
 #include "bench_common.h"
 #include "common/table.h"
+#include "config/presets.h"
 #include "core/experiment.h"
 #include "core/sweep.h"
 #include "costmodel/ocs_catalog.h"
-
-namespace {
-
-using namespace opus;
-
-core::ExperimentConfig scale_cell(int nodes) {
-  core::ExperimentConfig cfg;
-  cfg.model = workload::ModelConfig::test_tiny();
-  cfg.model.n_layers = 4;
-  cfg.parallelism.tp = 1;
-  cfg.parallelism.dp = nodes / 2;
-  cfg.parallelism.pp = 2;
-  cfg.parallelism.n_microbatches = 4;
-  cfg.parallelism.microbatch_size = 1;
-  cfg.gpus_per_node = 1;
-  cfg.iterations = 2;
-  cfg.record_compute_trace = false;
-  cfg.fabric = net::FabricKind::kOpusPhotonic;
-  cfg.ocs_reconfig_delay = msecs(1);
-  return cfg;
-}
-
-}  // namespace
 
 int main() {
   using namespace opus;
@@ -82,9 +60,12 @@ int main() {
           ? std::vector<int>{8, 512}
           : std::vector<int>{8,   16,   32,   64,  128,
                              256, 512, 1024, 2048, 4096};
+  // The cell builder is the config layer's — the same configs the named
+  // presets ("table3_opus_8" etc.) and configs/*.json goldens run, so this
+  // bench and the declarative path can never drift apart.
   std::vector<core::ExperimentConfig> cells;
   cells.reserve(node_counts.size());
-  for (int n : node_counts) cells.push_back(scale_cell(n));
+  for (int n : node_counts) cells.push_back(config::table3_cell(n));
 
   const int threads = core::sweep_thread_count();
   const core::SweepShard shard = core::sweep_shard();

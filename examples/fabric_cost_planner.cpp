@@ -4,12 +4,15 @@
 // ring (robotic patch-panel OCS), and the RotorNet-style rotor (fast OCS) —
 // plus the classic fat-tree reference, and prints the full bill of
 // materials with power draw (the Fig. 7 methodology as an interactive
-// tool).
+// tool). --json appends the machine-readable document (TextTable::to_json)
+// for downstream plotting, mirroring opus_run's table+JSON convention.
 //
-//   ./build/examples/fabric_cost_planner [n_gpus] [gpus_per_node]
+//   ./build/examples/fabric_cost_planner [n_gpus] [gpus_per_node] [--json]
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
+#include "common/json.h"
 #include "common/table.h"
 #include "costmodel/fabric_cost.h"
 #include "net/cluster.h"
@@ -38,9 +41,18 @@ int main(int argc, char** argv) {
   using namespace opus;
   using namespace opus::costmodel;
 
-  const int n_gpus = argc > 1 ? std::atoi(argv[1]) : 4096;
+  bool emit_json = false;
+  std::vector<const char*> positional;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      emit_json = true;
+    } else {
+      positional.push_back(argv[i]);
+    }
+  }
+  const int n_gpus = positional.size() > 0 ? std::atoi(positional[0]) : 4096;
   CostParams params;
-  params.gpus_per_node = argc > 2 ? std::atoi(argv[2]) : 8;
+  params.gpus_per_node = positional.size() > 1 ? std::atoi(positional[1]) : 8;
 
   std::printf("== Fabric planner: %d GPUs, %d per scale-up domain ==\n\n",
               n_gpus, params.gpus_per_node);
@@ -63,6 +75,13 @@ int main(int argc, char** argv) {
                    fmt_double(f.total_power_w() / n_gpus, 1)});
   }
   std::printf("%s\n", table.render().c_str());
+  if (emit_json) {
+    json::Value doc = json::Value::object();
+    doc.set("n_gpus", json::Value(n_gpus));
+    doc.set("gpus_per_node", json::Value(params.gpus_per_node));
+    doc.set("table", table.to_json());
+    std::printf("%s\n\n", json::dump(doc).c_str());
+  }
 
   const FabricCost rail_electrical =
       cost_of(net::FabricKind::kElectrical, n_gpus, params);

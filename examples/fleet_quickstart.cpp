@@ -1,42 +1,39 @@
 // Fleet-scenario quickstart: a multi-tenant datacenter in ~40 lines.
 //
 // Eight mixed-shape training jobs arrive on a Poisson trace and share one
-// 16-node Opus photonic cluster: the placement engine carves node spans,
-// per-tenant transports own disjoint OCS port blocks, and the jobs contend
-// for rail bandwidth on one shared fluid network. Prints the per-job table
-// (JCT, queueing, slowdown versus an isolated run, dark-time share) and the
-// fleet-level aggregates.
+// 16-node cluster: the placement engine carves node spans, per-tenant
+// transports own disjoint OCS port blocks, and the jobs contend for rail
+// bandwidth on one shared fluid network. The scenario is the config layer's
+// "fleet_quickstart_opus" preset — the same cell `opus_run
+// configs/fleet_quickstart_opus.json` runs and goldens/ pins — with the
+// fabric swapped from the command line. Prints the per-job table (JCT,
+// queueing, slowdown versus an isolated run, dark-time share), the
+// fleet-level aggregates, and optionally the JSON result document.
 //
 //   ./build/examples/fleet_quickstart [fabric: electrical|opus|ring|rotor]
+//                                     [--json]
 #include <cstdio>
 #include <cstring>
 
+#include "config/presets.h"
+#include "config/serde.h"
 #include "fleet/fleet.h"
 
 int main(int argc, char** argv) {
   using namespace opus;
 
   net::FabricKind fabric = net::FabricKind::kOpusPhotonic;
-  if (argc > 1) {
-    if (std::strcmp(argv[1], "electrical") == 0) {
-      fabric = net::FabricKind::kElectrical;
-    } else if (std::strcmp(argv[1], "ring") == 0) {
-      fabric = net::FabricKind::kStaticRing;
-    } else if (std::strcmp(argv[1], "rotor") == 0) {
-      fabric = net::FabricKind::kRotor;
+  bool emit_json = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      emit_json = true;
+    } else {
+      // The serde token set ("electrical"|"opus"|"ring"|"rotor").
+      fabric = config::fabric_kind_from_token(argv[i], "$.argv");
     }
   }
 
-  fleet::FleetConfig cfg;
-  cfg.n_nodes = 16;
-  cfg.base.fabric = fabric;
-  cfg.base.gpus_per_node = 4;
-  cfg.base.ocs_reconfig_delay = usecs(100);
-  cfg.arrivals.seed = 7;
-  cfg.arrivals.n_jobs = 8;
-  cfg.arrivals.iterations = 2;
-  cfg.arrivals.mean_interarrival = msecs(20);
-  cfg.policy = fleet::PlacementPolicy::kRailAware;
+  fleet::FleetConfig cfg = config::fleet_quickstart_cell(fabric);
 
   std::printf("== Fleet quickstart: %d jobs on %d nodes, %s rails ==\n\n",
               cfg.arrivals.n_jobs, cfg.n_nodes, net::fabric_name(fabric));
@@ -50,9 +47,14 @@ int main(int argc, char** argv) {
       "%.2fx | peak fragmentation %.2f\n",
       format_time(result.makespan).c_str(), 100.0 * result.utilization,
       slow.mean, slow.p99, result.peak_fragmentation);
+  if (emit_json) {
+    std::printf("\n%s\n", json::dump(config::to_json(result)).c_str());
+  }
   std::printf(
       "\nSlowdown folds queueing and rail contention together; rerun with\n"
       "electrical/ring/rotor to see how each fabric shares (or fails to\n"
-      "share) the rails. bench_fleet_multitenant sweeps this comparison.\n");
+      "share) the rails. bench_fleet_multitenant sweeps this comparison;\n"
+      "opus_run configs/fleet_quickstart_opus.json runs this exact cell\n"
+      "declaratively (goldens/ pins its document byte-for-byte).\n");
   return 0;
 }

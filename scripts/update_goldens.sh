@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Regenerates goldens/<name>.json from configs/<name>.json through opus_run.
+#
+#   scripts/update_goldens.sh [build_dir] [output_dir]
+#
+# Defaults: build_dir=build, output_dir=goldens. Every configs/*.json is a
+# run spec; its result document lands in output_dir under the same stem.
+# The documents are deterministic (no wall-clock content, insertion-ordered
+# keys, shortest-round-trip doubles), so CI regenerates them into a temp
+# directory and byte-diffs against the checked-in goldens/ — any behavior
+# change must re-run this script and commit the diff deliberately.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+OUT_DIR="${2:-goldens}"
+OPUS_RUN="$BUILD_DIR/tools/opus_run"
+
+if [[ ! -x "$OPUS_RUN" ]]; then
+  echo "error: $OPUS_RUN not built (cmake --build $BUILD_DIR --target opus_run)" >&2
+  exit 1
+fi
+
+mkdir -p "$OUT_DIR"
+for spec in configs/*.json; do
+  name="$(basename "$spec" .json)"
+  # Unset sweep sharding/thread knobs: goldens are the unsharded documents.
+  env -u OPUS_SWEEP_SHARD -u OPUS_SWEEP_THREADS \
+    "$OPUS_RUN" "$spec" -o "$OUT_DIR/$name.json" > /dev/null
+  echo "updated $OUT_DIR/$name.json"
+done

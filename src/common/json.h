@@ -1,0 +1,125 @@
+// Minimal dependency-free JSON: a value model, a strict parser with precise
+// error locations (line/col AND the JSON path being parsed), and a
+// deterministic writer.
+//
+// This is the substrate of the declarative-experiment layer (config/serde):
+// every ExperimentConfig/FleetConfig can be loaded from a JSON file and
+// every result serialized next to its text table, so experiments are data,
+// not compiled code, and golden-file regression can diff bytes.
+//
+// Determinism contract (what makes byte-exact goldens possible):
+//  - objects preserve insertion order (a sorted map would also be
+//    deterministic, but insertion order keeps emitted configs readable in
+//    declaration order);
+//  - doubles are written with the shortest round-trip representation
+//    (std::to_chars), with ".0" appended to integral-looking values so a
+//    double never silently re-parses as an integer;
+//  - the writer has exactly one output form per value tree — no locale, no
+//    precision knobs, no trailing-space variance.
+//
+// Strictness: duplicate object keys are a parse error (config files where a
+// later key silently wins are a footgun), as are NaN/Inf (not JSON).
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace opus::json {
+
+enum class Kind { kNull, kBool, kInt, kDouble, kString, kArray, kObject };
+
+/// Stable display name ("null", "bool", "int", "double", "string", "array",
+/// "object") — used in serde's wrong-type error messages.
+const char* kind_name(Kind k);
+
+/// Parse error with the exact location: 1-based line/column plus the JSON
+/// path of the innermost container being parsed (e.g. "$.model.n_layers" or
+/// "$.cells[3]").
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(std::string message, int line, int col, std::string path);
+
+  int line() const { return line_; }
+  int col() const { return col_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  int line_;
+  int col_;
+  std::string path_;
+};
+
+class Value {
+ public:
+  Value() : kind_(Kind::kNull) {}
+  Value(std::nullptr_t) : kind_(Kind::kNull) {}
+  Value(bool b) : kind_(Kind::kBool), bool_(b) {}
+  Value(std::int64_t i) : kind_(Kind::kInt), int_(i) {}
+  Value(int i) : kind_(Kind::kInt), int_(i) {}
+  Value(double d);  // throws InvariantError on NaN/Inf
+  Value(std::string s) : kind_(Kind::kString), str_(std::move(s)) {}
+  Value(const char* s) : kind_(Kind::kString), str_(s) {}
+
+  static Value array() { Value v; v.kind_ = Kind::kArray; return v; }
+  static Value object() { Value v; v.kind_ = Kind::kObject; return v; }
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_int() const { return kind_ == Kind::kInt; }
+  bool is_double() const { return kind_ == Kind::kDouble; }
+  /// Int or double — serde accepts an integer literal for a double field.
+  bool is_number() const { return is_int() || is_double(); }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  // Accessors throw InvariantError on kind mismatch (serde wraps them with
+  // path-carrying errors; direct users get the blunt check).
+  bool as_bool() const;
+  std::int64_t as_int() const;
+  /// Numeric value; accepts kInt (exact conversion) and kDouble.
+  double as_double() const;
+  const std::string& as_string() const;
+
+  // ---- array ---------------------------------------------------------------
+  std::size_t size() const;  ///< array or object element count
+  const Value& operator[](std::size_t i) const;
+  void push_back(Value v);
+
+  // ---- object (insertion-ordered, unique keys) -----------------------------
+  /// Appends a key; throws InvariantError if the key already exists.
+  void set(std::string key, Value v);
+  /// The member value, or nullptr when absent (or not an object).
+  const Value* find(std::string_view key) const;
+  bool has(std::string_view key) const { return find(key) != nullptr; }
+  const std::vector<std::pair<std::string, Value>>& entries() const;
+
+  /// Deep structural equality (int 2 != double 2.0 — kinds must match).
+  friend bool operator==(const Value& a, const Value& b);
+
+ private:
+  Kind kind_;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  double dbl_ = 0.0;
+  std::string str_;
+  std::vector<Value> arr_;
+  std::vector<std::pair<std::string, Value>> obj_;
+};
+
+/// Parses a complete JSON document (trailing garbage is an error). Throws
+/// ParseError with line/col/path on malformed input.
+Value parse(std::string_view text);
+
+/// Serializes deterministically. indent > 0 pretty-prints with that many
+/// spaces per level (objects/arrays one element per line); indent == 0 emits
+/// the compact single-line form. Output has no trailing newline — callers
+/// writing files append one.
+std::string dump(const Value& v, int indent = 2);
+
+}  // namespace opus::json

@@ -41,18 +41,53 @@ std::string TextTable::render() const {
   return os.str();
 }
 
+namespace {
+
+// RFC 4180: quote a cell iff it contains a delimiter, a quote, or a line
+// break; embedded quotes are doubled. Everything else passes through
+// verbatim so existing numeric CSV output stays byte-identical.
+std::string csv_escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\r\n") == std::string::npos) return cell;
+  std::string out;
+  out.reserve(cell.size() + 2);
+  out.push_back('"');
+  for (char c : cell) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+}  // namespace
+
 std::string TextTable::to_csv() const {
   std::ostringstream os;
   auto emit = [&](const std::vector<std::string>& row) {
     for (std::size_t c = 0; c < row.size(); ++c) {
       if (c) os << ',';
-      os << row[c];
+      os << csv_escape(row[c]);
     }
     os << '\n';
   };
   emit(headers_);
   for (const auto& row : rows_) emit(row);
   return os.str();
+}
+
+json::Value TextTable::to_json() const {
+  json::Value headers = json::Value::array();
+  for (const auto& h : headers_) headers.push_back(json::Value(h));
+  json::Value rows = json::Value::array();
+  for (const auto& row : rows_) {
+    json::Value cells = json::Value::array();
+    for (const auto& cell : row) cells.push_back(json::Value(cell));
+    rows.push_back(std::move(cells));
+  }
+  json::Value table = json::Value::object();
+  table.set("headers", std::move(headers));
+  table.set("rows", std::move(rows));
+  return table;
 }
 
 std::string fmt_double(double v, int precision) {

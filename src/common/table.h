@@ -5,6 +5,8 @@
 #include <string>
 #include <vector>
 
+#include "common/json.h"
+
 namespace opus {
 
 /// A simple column-aligned text table.
@@ -18,8 +20,14 @@ class TextTable {
   /// Renders the table with aligned columns and a header separator.
   std::string render() const;
 
-  /// Renders as CSV (no alignment padding).
+  /// Renders as RFC-4180 CSV (no alignment padding): cells containing a
+  /// comma, a double quote, or a line break are quoted, with embedded
+  /// quotes doubled — a model name like `llama3, 8b` stays one column.
   std::string to_csv() const;
+
+  /// Machine-readable form: {"headers": [...], "rows": [[...], ...]} — the
+  /// JSON twin every bench/driver can emit next to render()/to_csv().
+  json::Value to_json() const;
 
   std::size_t row_count() const { return rows_.size(); }
 

@@ -1,0 +1,113 @@
+#include "config/presets.h"
+
+namespace opus::config {
+
+core::ExperimentConfig table3_cell(int nodes) {
+  core::ExperimentConfig cfg;
+  cfg.model = workload::ModelConfig::test_tiny();
+  cfg.model.n_layers = 4;
+  cfg.parallelism.tp = 1;
+  cfg.parallelism.dp = nodes / 2;
+  cfg.parallelism.pp = 2;
+  cfg.parallelism.n_microbatches = 4;
+  cfg.parallelism.microbatch_size = 1;
+  cfg.gpus_per_node = 1;
+  cfg.iterations = 2;
+  cfg.record_compute_trace = false;
+  cfg.fabric = net::FabricKind::kOpusPhotonic;
+  cfg.ocs_reconfig_delay = msecs(1);
+  return cfg;
+}
+
+fleet::FleetConfig fleet_quickstart_cell(net::FabricKind fabric) {
+  fleet::FleetConfig cfg;
+  cfg.n_nodes = 16;
+  cfg.base.fabric = fabric;
+  cfg.base.gpus_per_node = 4;
+  cfg.base.ocs_reconfig_delay = usecs(100);
+  cfg.arrivals.seed = 7;
+  cfg.arrivals.n_jobs = 8;
+  cfg.arrivals.iterations = 2;
+  cfg.arrivals.mean_interarrival = msecs(20);
+  cfg.policy = fleet::PlacementPolicy::kRailAware;
+  return cfg;
+}
+
+fleet::FleetConfig fleet_churn_cell(net::FabricKind fabric, bool churn,
+                                    bool smoke) {
+  fleet::FleetConfig cfg;
+  cfg.n_nodes = smoke ? 16 : 32;
+  cfg.base.fabric = fabric;
+  cfg.base.gpus_per_node = 4;
+  cfg.base.ocs_reconfig_delay = usecs(100);
+  cfg.base.rotor_slot_time = msecs(1);
+  cfg.policy = fleet::PlacementPolicy::kRailAware;
+  cfg.arrivals.seed = 2026;
+  cfg.arrivals.n_jobs = smoke ? 8 : 16;
+  cfg.arrivals.iterations = 2;
+  cfg.arrivals.mean_interarrival = msecs(1);
+  if (churn) {
+    // Hot enough that repairs overlap new failures, so availability
+    // actually separates from 1.0 (see bench_fleet_multitenant).
+    cfg.base.faults.enabled = true;
+    cfg.base.faults.seed = 3;
+    cfg.base.faults.mtbf_per_port = msecs(8);
+    cfg.base.faults.mttr = msecs(40);
+    cfg.base.faults.max_failures = smoke ? 48 : 96;
+  }
+  return cfg;
+}
+
+const std::vector<ExperimentPreset>& experiment_presets() {
+  static const std::vector<ExperimentPreset> presets = {
+      {"perlmutter_llama3_8b",
+       "Llama-3 8B on a Perlmutter-like A100 partition (the validation "
+       "anchor, core::perlmutter_llama3_8b_config)",
+       core::perlmutter_llama3_8b_config()},
+      {"table3_opus_8",
+       "Table-3 scalability leg: 8-node Opus warm-up cell",
+       table3_cell(8)},
+      {"table3_opus_64",
+       "Table-3 scalability leg: 64-node Opus cell",
+       table3_cell(64)},
+      {"table3_opus_512",
+       "Table-3 scalability leg: 512-node Opus regression cell",
+       table3_cell(512)},
+  };
+  return presets;
+}
+
+const std::vector<FleetPreset>& fleet_presets() {
+  static const std::vector<FleetPreset> presets = {
+      {"fleet_quickstart_opus",
+       "8 mixed-shape jobs sharing a 16-node Opus cluster (the "
+       "fleet_quickstart example)",
+       fleet_quickstart_cell(net::FabricKind::kOpusPhotonic)},
+      {"fleet_churn_clean_opus",
+       "Churn-ablation baseline: the fixed trace, fault-free (CI-sized)",
+       fleet_churn_cell(net::FabricKind::kOpusPhotonic, /*churn=*/false,
+                        /*smoke=*/true)},
+      {"fleet_churn_opus",
+       "Churn ablation: the same trace under seeded failure/repair churn "
+       "(CI-sized)",
+       fleet_churn_cell(net::FabricKind::kOpusPhotonic, /*churn=*/true,
+                        /*smoke=*/true)},
+  };
+  return presets;
+}
+
+const core::ExperimentConfig* find_experiment_preset(std::string_view name) {
+  for (const ExperimentPreset& p : experiment_presets()) {
+    if (p.name == name) return &p.config;
+  }
+  return nullptr;
+}
+
+const fleet::FleetConfig* find_fleet_preset(std::string_view name) {
+  for (const FleetPreset& p : fleet_presets()) {
+    if (p.name == name) return &p.config;
+  }
+  return nullptr;
+}
+
+}  // namespace opus::config

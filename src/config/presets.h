@@ -1,0 +1,63 @@
+// Named experiment/fleet presets: the single source of truth for the
+// configurations the benches, examples, and checked-in configs/*.json run.
+//
+// A preset is a plain config struct; opus_run resolves {"preset": "<name>"}
+// through these registries and config/serde applies any further JSON keys
+// on top (override semantics). The benches build their cells through the
+// same cell functions, so a golden produced from configs/<name>.json and a
+// bench row produced from the compiled-in path are byte-identical — the
+// property tests/test_opus_run.cpp pins.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/experiment.h"
+#include "fleet/fleet.h"
+
+namespace opus::config {
+
+// ---- cell builders (shared with bench/) ------------------------------------
+
+/// One simulated cell of Table 3's scalability leg: a test_tiny DP x 2-stage
+/// pipeline on `nodes` single-GPU nodes over the Opus fabric with a 1 ms
+/// piezo/MEMS-class reconfiguration delay (bench_table3_ocs_scalability).
+core::ExperimentConfig table3_cell(int nodes);
+
+/// The fleet_quickstart example scenario: 8 mixed-shape jobs on a shared
+/// 16-node cluster of 4-GPU nodes, rail-aware placement.
+fleet::FleetConfig fleet_quickstart_cell(net::FabricKind fabric);
+
+/// One cell of bench_fleet_multitenant's failure-churn ablation: a fixed
+/// arrival trace with (`churn`) or without a seeded Poisson port-failure
+/// process. `smoke` selects the CI-sized cell (16 nodes / 8 jobs) the
+/// goldens pin; full is 32 nodes / 16 jobs.
+fleet::FleetConfig fleet_churn_cell(net::FabricKind fabric, bool churn,
+                                    bool smoke);
+
+// ---- registries ------------------------------------------------------------
+
+struct ExperimentPreset {
+  std::string name;
+  std::string description;
+  core::ExperimentConfig config;
+};
+
+struct FleetPreset {
+  std::string name;
+  std::string description;
+  fleet::FleetConfig config;
+};
+
+/// All named single-experiment presets, in stable display order.
+const std::vector<ExperimentPreset>& experiment_presets();
+
+/// All named fleet presets, in stable display order.
+const std::vector<FleetPreset>& fleet_presets();
+
+/// Lookup by name; nullptr when unknown.
+const core::ExperimentConfig* find_experiment_preset(std::string_view name);
+const fleet::FleetConfig* find_fleet_preset(std::string_view name);
+
+}  // namespace opus::config

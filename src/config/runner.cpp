@@ -1,0 +1,370 @@
+#include "config/runner.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "common/error.h"
+#include "common/table.h"
+#include "config/presets.h"
+#include "core/experiment.h"
+#include "fleet/fleet.h"
+
+namespace opus::config {
+
+namespace {
+
+using json::Value;
+
+[[noreturn]] void fail(const std::string& path, const std::string& message) {
+  throw SerdeError(path, message);
+}
+
+const char* mode_token(RunSpec::Mode m) {
+  switch (m) {
+    case RunSpec::Mode::kExperiment: return "experiment";
+    case RunSpec::Mode::kSweep: return "sweep";
+    case RunSpec::Mode::kFleet: return "fleet";
+  }
+  return "?";
+}
+
+std::string read_key_string(const Value& j, const std::string& path) {
+  if (!j.is_string()) {
+    fail(path, std::string("expected string, got ") +
+                   json::kind_name(j.kind()));
+  }
+  return j.as_string();
+}
+
+std::vector<std::string> split_dotted(const std::string& dotted,
+                                      const std::string& path) {
+  std::vector<std::string> segs;
+  std::string::size_type start = 0;
+  while (true) {
+    const auto dot = dotted.find('.', start);
+    const std::string seg = dotted.substr(
+        start, dot == std::string::npos ? std::string::npos : dot - start);
+    if (seg.empty()) {
+      fail(path, "malformed field path \"" + dotted + "\"");
+    }
+    segs.push_back(seg);
+    if (dot == std::string::npos) break;
+    start = dot + 1;
+  }
+  return segs;
+}
+
+}  // namespace
+
+RunSpec parse_run_spec(const json::Value& j) {
+  const std::string path = "$";
+  if (!j.is_object()) {
+    fail(path, std::string("expected object, got ") +
+                   json::kind_name(j.kind()));
+  }
+
+  RunSpec spec;
+  const Value* mode = j.find("mode");
+  if (mode == nullptr) {
+    fail(path + ".mode", "missing required key \"mode\"");
+  }
+  const std::string mode_str = read_key_string(*mode, path + ".mode");
+  if (mode_str == "experiment") {
+    spec.mode = RunSpec::Mode::kExperiment;
+  } else if (mode_str == "sweep") {
+    spec.mode = RunSpec::Mode::kSweep;
+  } else if (mode_str == "fleet") {
+    spec.mode = RunSpec::Mode::kFleet;
+  } else {
+    fail(path + ".mode", "unknown mode \"" + mode_str +
+                             "\" (expected experiment|sweep|fleet)");
+  }
+  const bool is_fleet = spec.mode == RunSpec::Mode::kFleet;
+  const bool is_sweep = spec.mode == RunSpec::Mode::kSweep;
+
+  for (const auto& [key, value] : j.entries()) {
+    const std::string kpath = path + "." + key;
+    if (key == "mode") {
+      continue;
+    } else if (key == "preset") {
+      spec.preset = read_key_string(value, kpath);
+    } else if (key == "output") {
+      spec.output = read_key_string(value, kpath);
+    } else if (key == "experiment") {
+      if (is_fleet) {
+        fail(kpath, "key \"experiment\" does not apply to mode \"fleet\" "
+                    "(use \"fleet\")");
+      }
+      spec.overrides = value;
+    } else if (key == "fleet") {
+      if (!is_fleet) {
+        fail(kpath, std::string("key \"fleet\" does not apply to mode \"") +
+                        mode_token(spec.mode) + "\" (use \"experiment\")");
+      }
+      spec.overrides = value;
+    } else if (key == "axes") {
+      if (!is_sweep) {
+        fail(kpath, std::string("key \"axes\" does not apply to mode \"") +
+                        mode_token(spec.mode) + "\"");
+      }
+      if (!value.is_object()) {
+        fail(kpath, std::string("expected object, got ") +
+                        json::kind_name(value.kind()));
+      }
+      for (const auto& [axis_path, axis_values] : value.entries()) {
+        const std::string apath = kpath + "." + axis_path;
+        split_dotted(axis_path, apath);  // validate segments early
+        if (!axis_values.is_array()) {
+          fail(apath, std::string("expected array of values, got ") +
+                          json::kind_name(axis_values.kind()));
+        }
+        if (axis_values.size() == 0) {
+          fail(apath, "sweep axis must list at least one value");
+        }
+        SweepAxis axis;
+        axis.path = axis_path;
+        for (std::size_t i = 0; i < axis_values.size(); ++i) {
+          axis.values.push_back(axis_values[i]);
+        }
+        spec.axes.push_back(std::move(axis));
+      }
+    } else if (key == "sweep") {
+      if (!is_sweep) {
+        fail(kpath, std::string("key \"sweep\" does not apply to mode \"") +
+                        mode_token(spec.mode) + "\"");
+      }
+      from_json(value, spec.sweep, kpath);
+    } else {
+      fail(kpath, "unknown key \"" + key + "\"");
+    }
+  }
+  return spec;
+}
+
+core::ExperimentConfig resolve_experiment(const RunSpec& spec) {
+  ensure(spec.mode != RunSpec::Mode::kFleet,
+         "resolve_experiment: spec is a fleet run");
+  core::ExperimentConfig cfg;
+  if (!spec.preset.empty()) {
+    const core::ExperimentConfig* preset =
+        find_experiment_preset(spec.preset);
+    if (preset == nullptr) {
+      std::string known;
+      for (const ExperimentPreset& p : experiment_presets()) {
+        if (!known.empty()) known += ", ";
+        known += p.name;
+      }
+      fail("$.preset", "unknown experiment preset \"" + spec.preset +
+                           "\" (known: " + known + ")");
+    }
+    cfg = *preset;
+  }
+  if (!spec.overrides.is_null()) {
+    from_json(spec.overrides, cfg, "$.experiment");
+  }
+  return cfg;
+}
+
+fleet::FleetConfig resolve_fleet(const RunSpec& spec) {
+  ensure(spec.mode == RunSpec::Mode::kFleet,
+         "resolve_fleet: spec is not a fleet run");
+  fleet::FleetConfig cfg;
+  if (!spec.preset.empty()) {
+    const fleet::FleetConfig* preset = find_fleet_preset(spec.preset);
+    if (preset == nullptr) {
+      std::string known;
+      for (const FleetPreset& p : fleet_presets()) {
+        if (!known.empty()) known += ", ";
+        known += p.name;
+      }
+      fail("$.preset", "unknown fleet preset \"" + spec.preset +
+                           "\" (known: " + known + ")");
+    }
+    cfg = *preset;
+  }
+  if (!spec.overrides.is_null()) {
+    from_json(spec.overrides, cfg, "$.fleet");
+  }
+  return cfg;
+}
+
+std::vector<json::Value> expand_axes(const std::vector<SweepAxis>& axes) {
+  std::vector<Value> combos;
+  combos.push_back(Value::object());  // the base cell
+  for (const SweepAxis& axis : axes) {
+    std::vector<Value> next;
+    next.reserve(combos.size() * axis.values.size());
+    for (const Value& combo : combos) {
+      for (const Value& v : axis.values) {
+        Value extended = combo;
+        extended.set(axis.path, v);
+        next.push_back(std::move(extended));
+      }
+    }
+    combos = std::move(next);
+  }
+  return combos;
+}
+
+void apply_axis_overrides(const json::Value& flat, core::ExperimentConfig& cfg,
+                          const std::string& path_prefix) {
+  for (const auto& [dotted, value] : flat.entries()) {
+    const std::vector<std::string> segs =
+        split_dotted(dotted, path_prefix + "." + dotted);
+    Value nested = value;
+    for (auto it = segs.rbegin(); it != segs.rend(); ++it) {
+      Value obj = Value::object();
+      obj.set(*it, std::move(nested));
+      nested = std::move(obj);
+    }
+    from_json(nested, cfg, path_prefix);
+  }
+}
+
+namespace {
+
+RunOutput run_single(const RunSpec& spec) {
+  const core::ExperimentConfig cfg = resolve_experiment(spec);
+  const core::ExperimentResult result = core::run_experiment(cfg);
+
+  Value doc = Value::object();
+  doc.set("mode", Value("experiment"));
+  if (!spec.preset.empty()) doc.set("preset", Value(spec.preset));
+  doc.set("config", to_json(cfg));
+  doc.set("result", to_json(result));
+
+  TextTable table({"Metric", "Value"});
+  table.add_row({"Steady iteration", format_time(result.steady_iteration_time)});
+  table.add_row({"OCS reconfigurations",
+                 fmt_count(result.ocs_reconfigurations)});
+  table.add_row({"OCS dark time", format_time(result.ocs_dark_time)});
+  table.add_row({"Rotor rotations", fmt_count(result.rotor_rotations)});
+  table.add_row({"Rail bytes", format_bytes(result.rail_bytes)});
+  table.add_row({"Scale-up bytes", format_bytes(result.scale_up_bytes)});
+  table.add_row({"Mgmt bytes", format_bytes(result.mgmt_bytes)});
+  return {std::move(doc), table.render()};
+}
+
+RunOutput run_sweep_mode(const RunSpec& spec) {
+  const core::ExperimentConfig base = resolve_experiment(spec);
+  const std::vector<Value> combos = expand_axes(spec.axes);
+
+  std::vector<core::ExperimentConfig> cells;
+  cells.reserve(combos.size());
+  for (const Value& combo : combos) {
+    core::ExperimentConfig cfg = base;
+    apply_axis_overrides(combo, cfg, "$.axes");
+    cells.push_back(std::move(cfg));
+  }
+
+  const std::vector<core::ExperimentResult> results =
+      core::run_sweep(cells, spec.sweep);
+  const core::SweepShard shard =
+      spec.sweep.use_shard ? core::sweep_shard() : core::SweepShard{};
+
+  Value axes_echo = Value::object();
+  for (const SweepAxis& axis : spec.axes) {
+    Value vals = Value::array();
+    for (const Value& v : axis.values) vals.push_back(v);
+    axes_echo.set(axis.path, std::move(vals));
+  }
+
+  Value cell_docs = Value::array();
+  std::vector<std::string> headers;
+  headers.push_back("Cell");
+  for (const SweepAxis& axis : spec.axes) headers.push_back(axis.path);
+  headers.insert(headers.end(),
+                 {"Steady iter", "OCS reconfigs", "Dark time"});
+  TextTable table(std::move(headers));
+
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const bool owned = shard.owns(i);
+    Value cell = Value::object();
+    cell.set("overrides", combos[i]);
+    cell.set("result", owned ? to_json(results[i]) : Value());
+    cell_docs.push_back(std::move(cell));
+
+    std::vector<std::string> row;
+    row.push_back(std::to_string(i));
+    for (const auto& [key, v] : combos[i].entries()) {
+      row.push_back(json::dump(v, 0));
+    }
+    if (owned) {
+      row.insert(row.end(),
+                 {format_time(results[i].steady_iteration_time),
+                  fmt_count(results[i].ocs_reconfigurations),
+                  format_time(results[i].ocs_dark_time)});
+    } else {
+      row.insert(row.end(), {"-", "-", "-"});  // another process's cell
+    }
+    table.add_row(std::move(row));
+  }
+
+  Value doc = Value::object();
+  doc.set("mode", Value("sweep"));
+  if (!spec.preset.empty()) doc.set("preset", Value(spec.preset));
+  doc.set("base", to_json(base));
+  doc.set("axes", std::move(axes_echo));
+  Value shard_doc = Value::object();
+  shard_doc.set("index", Value(shard.index));
+  shard_doc.set("count", Value(shard.count));
+  doc.set("shard", std::move(shard_doc));
+  doc.set("cells", std::move(cell_docs));
+  return {std::move(doc), table.render()};
+}
+
+RunOutput run_fleet_mode(const RunSpec& spec) {
+  const fleet::FleetConfig cfg = resolve_fleet(spec);
+  const fleet::FleetResult result = fleet::run_fleet(cfg);
+  const fleet::SlowdownStats slow = fleet::fleet_slowdown_stats(result);
+
+  Value doc = Value::object();
+  doc.set("mode", Value("fleet"));
+  if (!spec.preset.empty()) doc.set("preset", Value(spec.preset));
+  doc.set("config", to_json(cfg));
+  doc.set("result", to_json(result));
+
+  std::ostringstream text;
+  text << fleet_job_table(result).render();
+  text << "\nmakespan " << format_time(result.makespan) << " | utilization "
+       << fmt_double(100.0 * result.utilization, 1) << "% | mean slowdown "
+       << fmt_double(slow.mean, 2) << "x | p99 " << fmt_double(slow.p99, 2)
+       << "x | rejected " << result.rejected_jobs << "\n";
+  return {std::move(doc), text.str()};
+}
+
+}  // namespace
+
+RunOutput run(const RunSpec& spec) {
+  switch (spec.mode) {
+    case RunSpec::Mode::kExperiment: return run_single(spec);
+    case RunSpec::Mode::kSweep: return run_sweep_mode(spec);
+    case RunSpec::Mode::kFleet: return run_fleet_mode(spec);
+  }
+  throw InvariantError("run: bad mode");
+}
+
+RunOutput run_file(const std::string& path) {
+  return run(parse_run_spec(json::parse(read_text_file(path))));
+}
+
+std::string read_text_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  ensure(in.good(), "cannot open file for reading: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  ensure(!in.bad(), "read failed: " + path);
+  return buf.str();
+}
+
+void write_text_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  ensure(out.good(), "cannot open file for writing: " + path);
+  out << content;
+  out.flush();
+  ensure(out.good(), "write failed: " + path);
+}
+
+}  // namespace opus::config

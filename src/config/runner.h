@@ -1,0 +1,97 @@
+// The declarative-experiment driver behind tools/opus_run: parse a JSON run
+// spec, dispatch the right engine (run_experiment / run_sweep / run_fleet),
+// and return a deterministic result document plus a human-readable table.
+//
+// Run-spec schema (unknown keys rejected with their JSON path):
+//   {
+//     "mode": "experiment" | "sweep" | "fleet",        // required
+//     "preset": "<name>",                              // optional; registry
+//                                                      // depends on mode
+//     "experiment": { ...ExperimentConfig overrides }, // experiment/sweep
+//     "fleet": { ...FleetConfig overrides },           // fleet only
+//     "axes": { "<dotted.path>": [v, ...], ... },      // sweep only
+//     "sweep": { "threads": N, "use_shard": bool },    // sweep only
+//     "output": "<path>"                               // optional; where
+//                                                      // opus_run writes the
+//                                                      // result document
+//   }
+//
+// Sweep axes name any serde-known scalar field by its dotted JSON path
+// ("parallelism.dp", "ocs_reconfig_delay_ns", "fabric"); the cell list is
+// the cartesian product in declaration order (last axis fastest), fanned
+// through core::run_sweep, honoring OPUS_SWEEP_THREADS and — with
+// "use_shard" — OPUS_SWEEP_SHARD process sharding (unowned cells report
+// null results).
+//
+// The result document is deterministic (no wall-clock content): golden-file
+// regression (goldens/, scripts/update_goldens.sh) diffs it byte-exact.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "config/serde.h"
+#include "core/sweep.h"
+
+namespace opus::config {
+
+struct SweepAxis {
+  std::string path;           ///< dotted field path, e.g. "parallelism.dp"
+  std::vector<json::Value> values;
+};
+
+struct RunSpec {
+  enum class Mode { kExperiment, kSweep, kFleet };
+  Mode mode = Mode::kExperiment;
+  std::string preset;         ///< empty = start from the struct defaults
+  /// Overrides applied on top of the preset/defaults ("experiment" or
+  /// "fleet" key; null when absent).
+  json::Value overrides;
+  std::vector<SweepAxis> axes;
+  core::SweepOptions sweep;
+  std::string output;         ///< empty = opus_run picks/stdout-only
+};
+
+/// Parses and validates a run spec. Throws SerdeError (with JSON path) on
+/// unknown keys, keys that do not apply to the mode, unknown presets, or
+/// malformed axes.
+RunSpec parse_run_spec(const json::Value& j);
+
+struct RunOutput {
+  json::Value document;       ///< deterministic result document
+  std::string table_text;     ///< rendered human-readable table(s)
+};
+
+/// Resolves the spec's config (preset, then overrides), runs it, and builds
+/// the result document. Configs echo as diffs against struct defaults.
+RunOutput run(const RunSpec& spec);
+
+/// Reads `path`, parses it (json::ParseError on malformed text, SerdeError
+/// on schema violations), and runs it.
+RunOutput run_file(const std::string& path);
+
+/// Resolved config helpers (preset + overrides, no run) — the benches and
+/// tests use these to pin that the JSON path and the compiled-in path build
+/// identical configs.
+core::ExperimentConfig resolve_experiment(const RunSpec& spec);
+fleet::FleetConfig resolve_fleet(const RunSpec& spec);
+
+/// Expands the sweep axes into per-cell override documents (cartesian
+/// product, last axis fastest). Each entry is a flat {dotted.path: value}
+/// object, in axis declaration order.
+std::vector<json::Value> expand_axes(const std::vector<SweepAxis>& axes);
+
+/// Applies one flat {dotted.path: value} override object onto `cfg`
+/// (errors carry `path_prefix` + the dotted path).
+void apply_axis_overrides(const json::Value& flat, core::ExperimentConfig& cfg,
+                          const std::string& path_prefix);
+
+/// Whole-file read/write (InvariantError on I/O failure). write_text_file
+/// writes atomically-enough for golden scripts: content then rename is NOT
+/// used — it truncates in place — but it always ends the file with exactly
+/// the given bytes.
+std::string read_text_file(const std::string& path);
+void write_text_file(const std::string& path, const std::string& content);
+
+}  // namespace opus::config

@@ -76,6 +76,10 @@ struct ExperimentConfig {
   /// semantics, and wires the per-fabric reactions (static-ring resplice,
   /// rotor drain poke; Opus re-plans per collective anyway).
   FaultConfig faults;
+
+  /// Field-wise equality (config/serde skips fields equal to the default).
+  friend bool operator==(const ExperimentConfig&,
+                         const ExperimentConfig&) = default;
 };
 
 struct ExperimentResult {

@@ -34,6 +34,9 @@ struct FaultConfig {
   TimeNs horizon = 0;
   /// Hard cap on injected failures (0 = unbounded; then horizon must be set).
   int max_failures = 64;
+
+  /// Field-wise equality (config/serde skips fields equal to the default).
+  friend bool operator==(const FaultConfig&, const FaultConfig&) = default;
 };
 
 class FaultProcess {

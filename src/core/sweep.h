@@ -32,6 +32,9 @@ struct SweepOptions {
   /// Tests leave this off — a shard variable must never silently skip their
   /// cells.
   bool use_shard = false;
+
+  /// Field-wise equality (config/serde skips fields equal to the default).
+  friend bool operator==(const SweepOptions&, const SweepOptions&) = default;
 };
 
 /// Process-level shard of a sweep: this process owns cells with

@@ -32,6 +32,9 @@ struct JobShape {
   int n_nodes(int gpus_per_node) const {
     return parallelism.world_size() / gpus_per_node;
   }
+
+  /// Field-wise equality (config/serde skips fields equal to the default).
+  friend bool operator==(const JobShape&, const JobShape&) = default;
 };
 
 /// The Table 1/2-style default mix: small DP-only jobs through DP x PP
@@ -51,6 +54,9 @@ struct ArrivalConfig {
   int iterations = 2;
   /// Weighted shape mix; empty defers to table_mix_shapes(gpus_per_node).
   std::vector<JobShape> shapes;
+
+  /// Field-wise equality (config/serde skips fields equal to the default).
+  friend bool operator==(const ArrivalConfig&, const ArrivalConfig&) = default;
 };
 
 /// One generated arrival.

@@ -59,6 +59,9 @@ struct FleetConfig {
   /// shared column). Unowned jobs' isolated/slowdown fields stay 0.
   /// Tests leave this off — a shard variable must never skip their jobs.
   bool use_shard = false;
+
+  /// Field-wise equality (config/serde skips fields equal to the default).
+  friend bool operator==(const FleetConfig&, const FleetConfig&) = default;
 };
 
 struct FleetJobResult {

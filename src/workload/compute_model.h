@@ -21,6 +21,9 @@ struct GpuSpec {
   static GpuSpec a100() { return {}; }
   static GpuSpec h100() { return {"H100-SXM5", 989e12, 3.35e12}; }
   static GpuSpec h200() { return {"H200-SXM5", 989e12, 4.8e12}; }
+
+  /// Field-wise equality (config/serde skips fields equal to the default).
+  friend bool operator==(const GpuSpec&, const GpuSpec&) = default;
 };
 
 class ComputeModel {

@@ -41,6 +41,9 @@ class IterationEngine {
     TimeNs dispatch_min = usecs(300);
     TimeNs dispatch_max = msecs(3);
     std::uint64_t seed = 42;
+
+    /// Field-wise equality (config/serde skips fields equal to the default).
+    friend bool operator==(const Options&, const Options&) = default;
   };
 
   IterationEngine(sim::Simulator& sim, net::Cluster& cluster,

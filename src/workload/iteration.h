@@ -95,8 +95,16 @@ struct IterationOptions {
   /// Simulate MoE expert-parallel AllToAll per layer (requires ep > 1 and an
   /// MoE model).
   bool simulate_ep_comm = true;
-  /// Scale-up bandwidth used for folded TP communication time.
+  /// Scale-up bandwidth used for folded TP communication time. NOTE: only
+  /// authoritative when IterationOptions is used standalone —
+  /// core::build_tenant overwrites it with ExperimentConfig::nvlink_bw so
+  /// the experiment has exactly one scale-up-bandwidth knob (config/serde
+  /// therefore does not expose this field; set the experiment-level one).
   Bandwidth nvlink_bw = Bandwidth::gbps(2400);
+
+  /// Field-wise equality (config/serde skips fields equal to the default).
+  friend bool operator==(const IterationOptions&,
+                         const IterationOptions&) = default;
 };
 
 /// Builds the DAG of one training iteration. `mapper` supplies the groups;

@@ -32,6 +32,9 @@ struct ModelConfig {
   /// MoE: experts activated per token (top-k routing).
   int experts_per_token = 0;
 
+  /// Field-wise equality (config/serde skips fields equal to the default).
+  friend bool operator==(const ModelConfig&, const ModelConfig&) = default;
+
   bool moe() const { return n_experts > 0; }
   int head_dim() const { return hidden / n_heads; }
   int kv_dim() const { return n_kv_heads * head_dim(); }

@@ -26,6 +26,10 @@ struct ParallelismConfig {
   int n_microbatches = 8;
   int microbatch_size = 2;  ///< sequences per microbatch
 
+  /// Field-wise equality (config/serde skips fields equal to the default).
+  friend bool operator==(const ParallelismConfig&,
+                         const ParallelismConfig&) = default;
+
   int world_size() const { return tp * cp * dp * pp; }
   int global_batch() const { return dp * n_microbatches * microbatch_size; }
 

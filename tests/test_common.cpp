@@ -120,6 +120,34 @@ TEST(Table, RowArityMismatchThrows) {
   EXPECT_THROW(t.add_row({"only-one"}), InvariantError);
 }
 
+// RFC-4180: cells containing a comma, a double quote, or a line break are
+// quoted with embedded quotes doubled — `llama3, 8b` must stay one column.
+TEST(Table, CsvQuotesDelimitersAndQuotes) {
+  TextTable t({"model", "note"});
+  t.add_row({"llama3, 8b", "plain"});
+  t.add_row({"says \"hi\"", "multi\nline"});
+  t.add_row({"crlf\r\n", "trailing,"});
+  EXPECT_EQ(t.to_csv(),
+            "model,note\n"
+            "\"llama3, 8b\",plain\n"
+            "\"says \"\"hi\"\"\",\"multi\nline\"\n"
+            "\"crlf\r\n\",\"trailing,\"\n");
+}
+
+TEST(Table, CsvPlainCellsStayUnquoted) {
+  TextTable t({"n", "v"});
+  t.add_row({"1", "2.5"});
+  EXPECT_EQ(t.to_csv(), "n,v\n1,2.5\n");
+}
+
+TEST(Table, ToJsonMirrorsHeadersAndRows) {
+  TextTable t({"fabric", "cost"});
+  t.add_row({"Opus", "$1"});
+  const json::Value j = t.to_json();
+  EXPECT_EQ(json::dump(j, 0),
+            R"({"headers":["fabric","cost"],"rows":[["Opus","$1"]]})");
+}
+
 TEST(Table, NumberFormatting) {
   EXPECT_EQ(fmt_count(20736), "20,736");
   EXPECT_EQ(fmt_count(-1234567), "-1,234,567");

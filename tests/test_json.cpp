@@ -1,0 +1,236 @@
+// common/json: value model, strict parser (precise line/col + JSON-path
+// errors), deterministic writer. Includes a malformed-input corpus and a
+// seeded mutation fuzz pass — the parser must reject or accept, never
+// crash, hang, or mis-locate its errors.
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/json.h"
+#include "common/rng.h"
+
+namespace {
+
+using namespace opus;
+using json::Kind;
+using json::ParseError;
+using json::Value;
+
+TEST(JsonParse, Scalars) {
+  EXPECT_TRUE(json::parse("null").is_null());
+  EXPECT_EQ(json::parse("true").as_bool(), true);
+  EXPECT_EQ(json::parse("false").as_bool(), false);
+  EXPECT_EQ(json::parse("42").as_int(), 42);
+  EXPECT_EQ(json::parse("-7").as_int(), -7);
+  EXPECT_EQ(json::parse("\"hi\"").as_string(), "hi");
+  EXPECT_DOUBLE_EQ(json::parse("2.5").as_double(), 2.5);
+  EXPECT_DOUBLE_EQ(json::parse("1e3").as_double(), 1000.0);
+  EXPECT_DOUBLE_EQ(json::parse("-0.125").as_double(), -0.125);
+}
+
+TEST(JsonParse, IntVersusDoubleKind) {
+  EXPECT_EQ(json::parse("2").kind(), Kind::kInt);
+  EXPECT_EQ(json::parse("2.0").kind(), Kind::kDouble);
+  EXPECT_EQ(json::parse("2e0").kind(), Kind::kDouble);
+  // Kinds are part of equality: serde's int readers reject doubles.
+  EXPECT_FALSE(json::parse("2") == json::parse("2.0"));
+}
+
+TEST(JsonParse, Int64Boundaries) {
+  EXPECT_EQ(json::parse("9223372036854775807").as_int(),
+            std::numeric_limits<std::int64_t>::max());
+  EXPECT_EQ(json::parse("-9223372036854775808").as_int(),
+            std::numeric_limits<std::int64_t>::min());
+  // One past the boundary overflows into a double, not an error.
+  EXPECT_EQ(json::parse("9223372036854775808").kind(), Kind::kDouble);
+}
+
+TEST(JsonParse, NestedContainers) {
+  const Value v = json::parse(R"({"a": [1, {"b": null}], "c": {}})");
+  EXPECT_EQ(v.size(), 2u);
+  EXPECT_EQ((*v.find("a"))[1].find("b")->kind(), Kind::kNull);
+  EXPECT_EQ(v.find("c")->size(), 0u);
+}
+
+TEST(JsonParse, StringEscapes) {
+  EXPECT_EQ(json::parse(R"("a\"b\\c\/d\b\f\n\r\t")").as_string(),
+            "a\"b\\c/d\b\f\n\r\t");
+  EXPECT_EQ(json::parse(R"("\u0041\u00e9")").as_string(), "A\xc3\xa9");
+  // Surrogate pair -> 4-byte UTF-8.
+  EXPECT_EQ(json::parse(R"("\ud83d\ude00")").as_string(),
+            "\xf0\x9f\x98\x80");
+}
+
+TEST(JsonParse, DuplicateKeysRejected) {
+  EXPECT_THROW(json::parse(R"({"a": 1, "a": 2})"), ParseError);
+}
+
+TEST(JsonParse, ErrorCarriesLineColAndPath) {
+  try {
+    json::parse("{\n  \"model\": {\n    \"n_layers\": oops\n  }\n}");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 3);
+    EXPECT_EQ(e.col(), 17);
+    EXPECT_EQ(e.path(), "$.model.n_layers");
+  }
+}
+
+TEST(JsonParse, ErrorPathIndexesArrays) {
+  try {
+    json::parse(R"({"cells": [1, 2, }]})");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.path(), "$.cells[2]");
+    EXPECT_EQ(e.line(), 1);
+  }
+}
+
+// The malformed corpus: every entry must throw ParseError (never crash,
+// never accept).
+TEST(JsonParse, MalformedCorpusRejected) {
+  const std::vector<std::string> corpus = {
+      "",
+      "   ",
+      "{",
+      "}",
+      "[",
+      "]",
+      "{]",
+      "[}",
+      "{\"a\"}",
+      "{\"a\":}",
+      "{\"a\":1,}",
+      "{,}",
+      "{\"a\" 1}",
+      "[1,]",
+      "[,1]",
+      "[1 2]",
+      "nul",
+      "tru",
+      "falsee",
+      "TRUE",
+      "None",
+      "+1",
+      "01",
+      "1.",
+      ".5",
+      "1e",
+      "1e+",
+      "0x10",
+      "1 2",
+      "{} {}",
+      "\"unterminated",
+      "\"bad\\q\"",
+      "\"\\u12\"",
+      "\"\\ud83d\"",          // lone high surrogate
+      "\"\\ude00\"",          // lone low surrogate
+      "\"ctrl\x01char\"",     // raw control character in a string
+      "NaN",
+      "Infinity",
+      "-",
+      "--1",
+      "{\"a\": 1 \"b\": 2}",
+      "[[[[",
+      "{\"\\u0000\": 1",
+      "/* comment */ 1",
+      "1 // trailing",
+  };
+  for (const std::string& text : corpus) {
+    EXPECT_THROW(json::parse(text), ParseError) << "accepted: " << text;
+  }
+}
+
+TEST(JsonDump, DeterministicPretty) {
+  Value o = Value::object();
+  o.set("b", Value(1));
+  o.set("a", Value::array());
+  EXPECT_EQ(json::dump(o), "{\n  \"b\": 1,\n  \"a\": []\n}");
+  EXPECT_EQ(json::dump(o, 0), R"({"b":1,"a":[]})");
+}
+
+TEST(JsonDump, DoubleKindStability) {
+  // Integral-looking doubles keep a ".0" so they re-parse as doubles.
+  EXPECT_EQ(json::dump(Value(2.0), 0), "2.0");
+  EXPECT_EQ(json::dump(Value(-3.0), 0), "-3.0");
+  EXPECT_EQ(json::dump(Value(0.125), 0), "0.125");
+  EXPECT_EQ(json::dump(Value(static_cast<std::int64_t>(2)), 0), "2");
+  EXPECT_EQ(json::parse(json::dump(Value(2.0), 0)).kind(), Kind::kDouble);
+}
+
+TEST(JsonDump, StringEscaping) {
+  EXPECT_EQ(json::dump(Value("a\"b\\c\n\t\x01"), 0),
+            R"("a\"b\\c\n\t\u0001")");
+}
+
+TEST(JsonDump, NanInfRejectedAtConstruction) {
+  EXPECT_THROW(Value(std::numeric_limits<double>::quiet_NaN()),
+               InvariantError);
+  EXPECT_THROW(Value(std::numeric_limits<double>::infinity()),
+               InvariantError);
+}
+
+TEST(JsonValue, ObjectDuplicateSetThrows) {
+  Value o = Value::object();
+  o.set("a", Value(1));
+  EXPECT_THROW(o.set("a", Value(2)), InvariantError);
+}
+
+TEST(JsonValue, AccessorKindMismatchThrows) {
+  EXPECT_THROW(json::parse("1").as_string(), InvariantError);
+  EXPECT_THROW(json::parse("\"s\"").as_int(), InvariantError);
+  EXPECT_THROW(json::parse("2.5").as_int(), InvariantError);
+  EXPECT_NO_THROW(json::parse("2").as_double());  // int widens to double
+}
+
+// Round trip: parse(dump(v)) == v for a tree covering every kind.
+TEST(JsonRoundTrip, FullTree) {
+  const std::string text =
+      R"({"i":-3,"d":2.5,"s":"x\ny","b":true,"n":null,)"
+      R"("a":[1,2.0,"three",{"k":false}],"o":{"nested":[[]]}})";
+  const Value v = json::parse(text);
+  EXPECT_EQ(json::parse(json::dump(v)), v);
+  EXPECT_EQ(json::dump(json::parse(json::dump(v, 0)), 0), json::dump(v, 0));
+}
+
+// Seeded mutation fuzz: flip/insert/delete bytes of valid documents. The
+// parser must either throw ParseError or produce a value that survives a
+// dump/parse round trip — anything else (crash, hang, bad accept) fails.
+TEST(JsonFuzz, MutatedDocumentsNeverCrash) {
+  const std::vector<std::string> seeds = {
+      R"({"mode":"experiment","preset":"table3_opus_8"})",
+      R"({"a":[1,2.0,"x",null,true],"b":{"c":[{"d":-7e2}]}})",
+      R"([",{}[]\\\"",1e-3,{"u":"\u00e9\ud83d\ude00"}])",
+  };
+  const char mutations[] = {'{', '}', '[', ']', '"', ',', ':', '\\', '0',
+                            'e', '.', '-', ' ', '\n', '\x01', '\x7f'};
+  Xoshiro256 rng(20260808);
+  int accepted = 0;
+  for (int round = 0; round < 2000; ++round) {
+    std::string doc = seeds[rng.next() % seeds.size()];
+    const int edits = 1 + static_cast<int>(rng.next() % 4);
+    for (int e = 0; e < edits; ++e) {
+      const std::size_t pos = rng.next() % (doc.size() + 1);
+      const char c = mutations[rng.next() % sizeof(mutations)];
+      switch (rng.next() % 3) {
+        case 0: doc.insert(doc.begin() + pos, c); break;
+        case 1: if (pos < doc.size()) doc[pos] = c; break;
+        default: if (pos < doc.size()) doc.erase(doc.begin() + pos); break;
+      }
+    }
+    try {
+      const json::Value v = json::parse(doc);
+      ++accepted;
+      EXPECT_EQ(json::parse(json::dump(v)), v) << "round-trip broke: " << doc;
+    } catch (const ParseError&) {
+      // rejection is fine — crashing or accepting garbage is not
+    }
+  }
+  // Sanity: the mutator is gentle enough that some documents stay valid.
+  EXPECT_GT(accepted, 0);
+}
+
+}  // namespace

@@ -1,0 +1,202 @@
+// config/runner + the checked-in configs/goldens: run-spec parsing and
+// validation, sweep-axis expansion, and the golden-file regression — every
+// configs/<name>.json run through the declarative pipeline must reproduce
+// goldens/<name>.json byte-exact, and the JSON path must match the
+// compiled-in path (same cell builders the benches use) bit-for-bit.
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "config/presets.h"
+#include "config/runner.h"
+#include "config/serde.h"
+#include "core/experiment.h"
+#include "fleet/fleet.h"
+
+namespace {
+
+using namespace opus;
+using config::RunSpec;
+using config::SerdeError;
+using json::Value;
+
+RunSpec parse_spec(const std::string& text) {
+  return config::parse_run_spec(json::parse(text));
+}
+
+template <class Fn>
+std::string serde_error_path(Fn&& fn) {
+  try {
+    fn();
+  } catch (const SerdeError& e) {
+    return e.path();
+  }
+  return "<no error>";
+}
+
+// ---- run-spec parsing ------------------------------------------------------
+
+TEST(RunSpec, ParsesAllModes) {
+  EXPECT_EQ(parse_spec(R"({"mode": "experiment"})").mode,
+            RunSpec::Mode::kExperiment);
+  EXPECT_EQ(parse_spec(R"({"mode": "sweep"})").mode, RunSpec::Mode::kSweep);
+  EXPECT_EQ(parse_spec(R"({"mode": "fleet"})").mode, RunSpec::Mode::kFleet);
+}
+
+TEST(RunSpec, RejectsBadModeAndUnknownKeys) {
+  EXPECT_EQ(serde_error_path([] { parse_spec(R"({"preset": "x"})"); }),
+            "$.mode");
+  EXPECT_EQ(serde_error_path([] { parse_spec(R"({"mode": "banana"})"); }),
+            "$.mode");
+  EXPECT_EQ(serde_error_path([] {
+              parse_spec(R"({"mode": "experiment", "outptu": "x"})");
+            }),
+            "$.outptu");
+}
+
+TEST(RunSpec, RejectsKeysThatDoNotApplyToMode) {
+  EXPECT_EQ(serde_error_path([] {
+              parse_spec(R"({"mode": "fleet", "experiment": {}})");
+            }),
+            "$.experiment");
+  EXPECT_EQ(serde_error_path([] {
+              parse_spec(R"({"mode": "experiment", "fleet": {}})");
+            }),
+            "$.fleet");
+  EXPECT_EQ(serde_error_path([] {
+              parse_spec(R"({"mode": "experiment", "axes": {}})");
+            }),
+            "$.axes");
+  EXPECT_EQ(serde_error_path([] {
+              parse_spec(R"({"mode": "fleet", "sweep": {"threads": 2}})");
+            }),
+            "$.sweep");
+}
+
+TEST(RunSpec, RejectsMalformedAxes) {
+  EXPECT_EQ(serde_error_path([] {
+              parse_spec(R"({"mode": "sweep", "axes": {"mfu": []}})");
+            }),
+            "$.axes.mfu");
+  EXPECT_EQ(serde_error_path([] {
+              parse_spec(R"({"mode": "sweep", "axes": {"mfu": 3}})");
+            }),
+            "$.axes.mfu");
+  EXPECT_EQ(serde_error_path([] {
+              parse_spec(R"({"mode": "sweep", "axes": {"a..b": [1]}})");
+            }),
+            "$.axes.a..b");
+}
+
+TEST(RunSpec, UnknownPresetListsKnownNames) {
+  const RunSpec spec =
+      parse_spec(R"({"mode": "experiment", "preset": "nope"})");
+  try {
+    config::resolve_experiment(spec);
+    FAIL() << "expected SerdeError";
+  } catch (const SerdeError& e) {
+    EXPECT_EQ(e.path(), "$.preset");
+    EXPECT_NE(std::string(e.what()).find("table3_opus_8"), std::string::npos);
+  }
+}
+
+TEST(RunSpec, PresetPlusOverridesCompose) {
+  const RunSpec spec = parse_spec(
+      R"({"mode": "experiment", "preset": "table3_opus_8",
+          "experiment": {"iterations": 7, "fabric": "rotor"}})");
+  const core::ExperimentConfig cfg = config::resolve_experiment(spec);
+  core::ExperimentConfig expect = config::table3_cell(8);
+  expect.iterations = 7;
+  expect.fabric = net::FabricKind::kRotor;
+  EXPECT_EQ(cfg, expect);
+}
+
+// ---- sweep expansion -------------------------------------------------------
+
+TEST(SweepAxes, CartesianProductLastAxisFastest) {
+  const RunSpec spec = parse_spec(
+      R"({"mode": "sweep",
+          "axes": {"parallelism.dp": [2, 4], "fabric": ["opus", "rotor"]}})");
+  const std::vector<Value> combos = config::expand_axes(spec.axes);
+  ASSERT_EQ(combos.size(), 4u);
+  EXPECT_EQ(json::dump(combos[0], 0),
+            R"({"parallelism.dp":2,"fabric":"opus"})");
+  EXPECT_EQ(json::dump(combos[1], 0),
+            R"({"parallelism.dp":2,"fabric":"rotor"})");
+  EXPECT_EQ(json::dump(combos[3], 0),
+            R"({"parallelism.dp":4,"fabric":"rotor"})");
+
+  core::ExperimentConfig cfg = config::table3_cell(8);
+  config::apply_axis_overrides(combos[3], cfg, "$.axes");
+  EXPECT_EQ(cfg.parallelism.dp, 4);
+  EXPECT_EQ(cfg.fabric, net::FabricKind::kRotor);
+}
+
+TEST(SweepAxes, DottedPathErrorsCarryTheAxisPath) {
+  core::ExperimentConfig cfg;
+  Value flat = Value::object();
+  flat.set("parallelism.dq", Value(4));
+  EXPECT_EQ(serde_error_path([&] {
+              config::apply_axis_overrides(flat, cfg, "$.axes");
+            }),
+            "$.axes.parallelism.dq");
+}
+
+// ---- the declarative path vs the compiled-in path --------------------------
+
+TEST(OpusRun, JsonPipelineMatchesCompiledTable3Cell) {
+  const config::RunOutput out = config::run_file(
+      std::string(OPUS_SOURCE_DIR) + "/configs/table3_opus_8.json");
+  // The compiled-in path: the same cell builder the bench uses.
+  const core::ExperimentResult direct =
+      core::run_experiment(config::table3_cell(8));
+  ASSERT_TRUE(out.document.find("result") != nullptr);
+  EXPECT_EQ(json::dump(*out.document.find("result")),
+            json::dump(config::to_json(direct)));
+}
+
+TEST(OpusRun, JsonPipelineMatchesCompiledFleetChurnCell) {
+  const config::RunOutput out = config::run_file(
+      std::string(OPUS_SOURCE_DIR) + "/configs/fleet_churn_opus.json");
+  const fleet::FleetResult direct = fleet::run_fleet(config::fleet_churn_cell(
+      net::FabricKind::kOpusPhotonic, /*churn=*/true, /*smoke=*/true));
+  ASSERT_TRUE(out.document.find("result") != nullptr);
+  EXPECT_EQ(json::dump(*out.document.find("result")),
+            json::dump(config::to_json(direct)));
+}
+
+// ---- golden regression -----------------------------------------------------
+// Every checked-in spec reproduces its checked-in golden byte-exact. When a
+// deliberate behavior change lands, rerun scripts/update_goldens.sh and
+// commit the diff.
+TEST(OpusRun, GoldensReproduceByteExact) {
+  const std::string root(OPUS_SOURCE_DIR);
+  const std::vector<std::string> names = {
+      "table3_opus_8", "perlmutter_llama3_8b", "fabric_matrix_tiny",
+      "fleet_quickstart_opus", "fleet_churn_opus",
+  };
+  for (const std::string& name : names) {
+    const config::RunOutput out =
+        config::run_file(root + "/configs/" + name + ".json");
+    const std::string golden =
+        config::read_text_file(root + "/goldens/" + name + ".json");
+    EXPECT_EQ(json::dump(out.document) + "\n", golden) << name;
+  }
+}
+
+// The sweep fans through core::run_sweep: thread count must not change the
+// document.
+TEST(OpusRun, SweepDocumentThreadInvariant) {
+  const RunSpec spec = parse_spec(
+      R"({"mode": "sweep", "preset": "table3_opus_8",
+          "axes": {"fabric": ["electrical", "opus"]}})");
+  RunSpec one = spec;
+  one.sweep.threads = 1;
+  RunSpec four = spec;
+  four.sweep.threads = 4;
+  EXPECT_EQ(json::dump(config::run(one).document),
+            json::dump(config::run(four).document));
+}
+
+}  // namespace

@@ -1,0 +1,108 @@
+// opus_run: the declarative experiment driver. Loads a JSON run spec,
+// dispatches single-experiment / sweep / fleet mode, prints the human
+// table, and writes the deterministic JSON result document.
+//
+//   opus_run <spec.json> [-o <out.json>]   run a spec file
+//   opus_run --list-presets               show the preset registries
+//
+// The output path comes from -o, else the spec's "output" key, else only
+// stdout gets the document. Exit codes: 0 ok, 1 runtime failure, 2 bad
+// usage or a config error (parse/schema errors print file:line:col and the
+// JSON path).
+//
+// Golden regression: scripts/update_goldens.sh runs every configs/*.json
+// through this binary and diffs goldens/*.json byte-exact (CI's
+// golden-regression step; tests/test_opus_run.cpp pins the same property
+// in-process).
+#include <cstdio>
+#include <cstring>
+#include <exception>
+#include <string>
+
+#include "common/json.h"
+#include "config/presets.h"
+#include "config/runner.h"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <spec.json> [-o <out.json>]\n"
+               "       %s --list-presets\n",
+               argv0, argv0);
+  return 2;
+}
+
+void list_presets() {
+  std::printf("experiment presets (mode \"experiment\"/\"sweep\"):\n");
+  for (const auto& p : opus::config::experiment_presets()) {
+    std::printf("  %-22s %s\n", p.name.c_str(), p.description.c_str());
+  }
+  std::printf("\nfleet presets (mode \"fleet\"):\n");
+  for (const auto& p : opus::config::fleet_presets()) {
+    std::printf("  %-22s %s\n", p.name.c_str(), p.description.c_str());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace opus;
+
+  std::string spec_path;
+  std::string out_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--list-presets") == 0) {
+      list_presets();
+      return 0;
+    } else if (std::strcmp(argv[i], "-o") == 0) {
+      if (i + 1 >= argc) return usage(argv[0]);
+      out_path = argv[++i];
+    } else if (argv[i][0] == '-') {
+      return usage(argv[0]);
+    } else if (spec_path.empty()) {
+      spec_path = argv[i];
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (spec_path.empty()) return usage(argv[0]);
+
+  try {
+    const std::string text = config::read_text_file(spec_path);
+    config::RunSpec spec;
+    try {
+      spec = config::parse_run_spec(json::parse(text));
+    } catch (const json::ParseError& e) {
+      std::fprintf(stderr, "%s:%d:%d: %s\n", spec_path.c_str(), e.line(),
+                   e.col(), e.what());
+      return 2;
+    } catch (const config::SerdeError& e) {
+      std::fprintf(stderr, "%s: %s\n", spec_path.c_str(), e.what());
+      return 2;
+    }
+
+    const config::RunOutput out = [&] {
+      try {
+        return config::run(spec);
+      } catch (const config::SerdeError& e) {
+        std::fprintf(stderr, "%s: %s\n", spec_path.c_str(), e.what());
+        std::exit(2);
+      }
+    }();
+
+    std::printf("%s\n", out.table_text.c_str());
+    const std::string document = json::dump(out.document) + "\n";
+    const std::string target = !out_path.empty() ? out_path : spec.output;
+    if (!target.empty()) {
+      config::write_text_file(target, document);
+      std::fprintf(stderr, "wrote %s\n", target.c_str());
+    } else {
+      std::printf("%s", document.c_str());
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
