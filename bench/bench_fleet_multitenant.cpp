@@ -165,6 +165,43 @@ int main() {
         "widens around dead matchings, electrical rails just lose\n"
         "bandwidth). Byte conservation for untouched jobs is pinned by\n"
         "tests/test_faults.cpp.\n");
+
+    // Time-series view of the Opus churn cell: the same run with the
+    // telemetry probe on (in-memory metrics only, no file exports — the
+    // determinism suite pins that this changes no result field). Shows the
+    // fabric availability dip and dark-port churn over the fleet timeline.
+    std::printf("\n-- Opus churn cell over time (telemetry probe) --\n");
+    fleet::FleetConfig probe_cfg =
+        config::fleet_churn_cell(net::FabricKind::kOpusPhotonic,
+                                 /*churn=*/true, smoke);
+    probe_cfg.base.telemetry.metrics = true;
+    probe_cfg.base.telemetry.sample_interval = usecs(250);
+    const fleet::FleetResult probed = fleet::run_fleet(probe_cfg);
+    const obs::Series* series = probed.telemetry->series();
+    const std::vector<std::string>& cols = series->column_names();
+    auto col_index = [&cols](const std::string& name) {
+      for (std::size_t c = 0; c < cols.size(); ++c) {
+        if (cols[c] == name) return c;
+      }
+      return cols.size();
+    };
+    const std::size_t avail_col = col_index("fabric.availability");
+    const std::size_t dark_col = col_index("fabric.dark_ports");
+    const std::size_t queue_col = col_index("fleet.queue_depth");
+    TextTable series_table({"t", "Availability", "Dark ports", "Queue"});
+    // Subsample to ~12 rows so the table stays readable at any makespan.
+    const std::size_t rows = series->row_count();
+    const std::size_t stride = rows > 12 ? (rows + 11) / 12 : 1;
+    for (std::size_t r = 0; r < rows; r += stride) {
+      series_table.add_row({format_time(series->time(r)),
+                            fmt_double(series->value(r, avail_col), 3),
+                            fmt_double(series->value(r, dark_col), 0),
+                            fmt_double(series->value(r, queue_col), 0)});
+    }
+    std::printf("%s(%zu samples at %s cadence; availability = live ports /\n"
+                "total ports, dark ports = ports mid-reconfiguration)\n",
+                series_table.render().c_str(), rows,
+                format_time(probe_cfg.base.telemetry.sample_interval).c_str());
   }
 
   std::printf("\n== Fleet timelines (per-job, timeline-sharded) ==\n\n");

@@ -5,7 +5,10 @@
 
 #include <vector>
 
+#include "bench_common.h"
 #include "collective/planner.h"
+#include "core/experiment.h"
+#include "obs/metrics.h"
 #include "collective/transport.h"
 #include "collective/verifier.h"
 #include "net/cluster.h"
@@ -262,6 +265,64 @@ void BM_OcsReconfigure(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_OcsReconfigure);
+
+// Telemetry overhead guard: the multi-rail static-ring matrix cell with the
+// telemetry hub off (arg 0 — the default-config path every perf-sensitive
+// run takes) and on (arg 1: metrics registry + 1 ms probe, in-memory only,
+// no file exports). The ring is the instrumentation-hottest fabric — its
+// ~64-hop forwarding chains drive millions of max-min re-solves, each
+// bumping the always-on solver tallies that telemetry polls as pull-gauges
+// — so disabled-mode overhead would surface here first. Acceptance: arg-0
+// wall time within 2% of the pre-instrumentation history for this cell
+// (telemetry off compiles down to a handful of null-pointer branches); the
+// arg-0 -> arg-1 delta is the measured cost of turning metrics on.
+// OPUS_BENCH_SMOKE=1 shrinks 512 nodes -> 64 so the smoke pass stays fast;
+// the full-size cell matches the FiveHundredTwelveNodeStaticRing CI leg.
+void BM_MetricsOverhead(benchmark::State& state) {
+  const bool telemetry_on = state.range(0) != 0;
+  const int nodes = bench::smoke_mode() ? 64 : 512;
+  core::ExperimentConfig cfg;
+  cfg.model = workload::ModelConfig::test_tiny();
+  cfg.model.n_layers = 8;
+  cfg.gpus_per_node = 2;
+  cfg.parallelism.tp = 2;
+  cfg.parallelism.dp = nodes / 8;
+  cfg.parallelism.pp = 8;
+  cfg.parallelism.n_microbatches = 8;
+  cfg.parallelism.microbatch_size = 1;
+  cfg.fabric = net::FabricKind::kStaticRing;
+  cfg.iterations = 1;
+  cfg.iteration.simulate_tp_comm = false;
+  cfg.record_compute_trace = false;
+  if (telemetry_on) {
+    cfg.telemetry.metrics = true;
+    cfg.telemetry.sample_interval = msecs(1);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::run_experiment(cfg));
+  }
+  state.counters["nodes"] = nodes;
+  state.counters["telemetry"] = telemetry_on ? 1 : 0;
+}
+BENCHMARK(BM_MetricsOverhead)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+// Registry hot path in isolation: one Counter::inc is an add through a raw
+// int64 slot resolved at registration — no hashing, no lookup, no virtual
+// call — and an unregistered handle is a single null check. Both must stay
+// within a few ns/op or the "instrument freely" contract breaks.
+void BM_MetricsCounterIncrement(benchmark::State& state) {
+  obs::MetricsRegistry registry;
+  obs::Counter live = registry.add_counter("bench.live");
+  obs::Counter null_handle;  // default-constructed: the disabled path
+  const bool registered = state.range(0) != 0;
+  obs::Counter& c = registered ? live : null_handle;
+  for (auto _ : state) {
+    c.inc();
+    benchmark::DoNotOptimize(c);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MetricsCounterIncrement)->Arg(0)->Arg(1);
 
 void BM_PlanRingAllReduce(benchmark::State& state) {
   const auto n = static_cast<int>(state.range(0));

@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Structural validator for telemetry artifacts (stdlib only).
+
+    scripts/check_trace.py <chrome_trace.json> [<series.csv>]
+
+Chrome trace checks: the file is a `{"traceEvents": [...]}` object; every
+event is one of the phases this writer emits (M metadata, X complete,
+i instant) with the keys Perfetto requires (name/ph/pid/tid, ts on X/i,
+dur >= 0 on X, scoped instants); and the fabric/fleet content CI runs this
+on is actually present — circuit spans, dark intervals or fault instants,
+and fleet lifecycle instants.
+
+Series CSV checks: header starts with t_ns, every row has the header's
+column count, timestamps are strictly increasing from 0, and at least two
+samples landed. Used by the CI telemetry step against the artifacts the
+fleet-churn cell exports; exits non-zero with a message on any violation.
+"""
+
+import csv
+import json
+import sys
+
+
+def fail(msg: str) -> None:
+    print(f"check_trace: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_trace(path: str) -> None:
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        fail(f"{path}: expected an object with a traceEvents array")
+    events = doc["traceEvents"]
+    if not isinstance(events, list) or not events:
+        fail(f"{path}: traceEvents must be a non-empty array")
+
+    categories = set()
+    for i, ev in enumerate(events):
+        where = f"{path}: traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            fail(f"{where}: not an object")
+        for key in ("name", "ph", "pid", "tid"):
+            if key not in ev:
+                fail(f"{where}: missing required key {key!r}")
+        ph = ev["ph"]
+        if ph not in ("M", "X", "i"):
+            fail(f"{where}: unexpected phase {ph!r} (writer emits M/X/i)")
+        if ph in ("X", "i"):
+            if not isinstance(ev.get("ts"), (int, float)):
+                fail(f"{where}: {ph} event needs a numeric ts")
+            categories.add(ev.get("cat"))
+        if ph == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                fail(f"{where}: X event needs a numeric dur >= 0, got {dur!r}")
+        if ph == "i" and ev.get("s") != "g":
+            fail(f"{where}: instants must be global scope (s == 'g')")
+
+    for expected in ("circuit", "fleet"):
+        if expected not in categories:
+            fail(f"{path}: no '{expected}' events — the fleet-churn cell "
+                 f"must emit them (got categories: {sorted(map(str, categories))})")
+    if "dark" not in categories and "fault" not in categories:
+        fail(f"{path}: neither dark intervals nor fault instants present")
+    print(f"check_trace: {path} OK "
+          f"({len(events)} events, categories {sorted(map(str, categories))})")
+
+
+def check_series(path: str) -> None:
+    with open(path, newline="", encoding="utf-8") as f:
+        rows = list(csv.reader(f))
+    if not rows:
+        fail(f"{path}: empty file")
+    header = rows[0]
+    if not header or header[0] != "t_ns":
+        fail(f"{path}: first column must be t_ns, got {header[:1]!r}")
+    if len(header) < 2:
+        fail(f"{path}: no metric columns besides t_ns")
+    samples = rows[1:]
+    if len(samples) < 2:
+        fail(f"{path}: expected at least two samples, got {len(samples)}")
+    prev_t = -1
+    for i, row in enumerate(samples):
+        if len(row) != len(header):
+            fail(f"{path}: row {i + 1} has {len(row)} fields, "
+                 f"header has {len(header)}")
+        try:
+            t = int(row[0])
+            for v in row[1:]:
+                float(v)
+        except ValueError as e:
+            fail(f"{path}: row {i + 1}: non-numeric field ({e})")
+        if t <= prev_t:
+            fail(f"{path}: t_ns not strictly increasing at row {i + 1} "
+                 f"({prev_t} -> {t})")
+        prev_t = t
+    if int(samples[0][0]) != 0:
+        fail(f"{path}: first sample must be at t_ns=0, got {samples[0][0]}")
+    print(f"check_trace: {path} OK "
+          f"({len(samples)} samples x {len(header) - 1} metrics)")
+
+
+def main(argv: list[str]) -> None:
+    if len(argv) < 2 or len(argv) > 3:
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+    check_trace(argv[1])
+    if len(argv) == 3:
+        check_series(argv[2])
+
+
+if __name__ == "__main__":
+    main(sys.argv)

@@ -1,0 +1,54 @@
+// Wall-clock self-profiling hooks shared across layers.
+//
+// Low layers (sim, net) hold a raw `ProfileSink*`, null by default, so a
+// disabled profiler costs exactly one branch per instrumented scope. The
+// concrete sink (obs::SelfProfiler) lives in the obs layer; keeping the
+// interface here means sim/net never depend upward on obs. Wall-clock
+// readings only ever flow into the sink — never into simulation state or
+// result payloads, which stay deterministic.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace opus {
+
+/// Receiver for opt-in wall-clock phase timings.
+class ProfileSink {
+ public:
+  virtual ~ProfileSink() = default;
+
+  /// Resolves a phase name to a stable id, registering it on first use.
+  /// Call once at attach time, not on the hot path.
+  virtual int phase(const char* name) = 0;
+
+  /// Records one timed invocation of the phase (inclusive wall time).
+  virtual void record(int phase_id, std::int64_t wall_ns) = 0;
+};
+
+/// RAII scope: times its own lifetime and reports it to the sink on
+/// destruction. A null sink makes construction and destruction a single
+/// predictable branch each.
+class ProfileScope {
+ public:
+  ProfileScope(ProfileSink* sink, int phase_id) : sink_(sink), phase_(phase_id) {
+    if (sink_ != nullptr) start_ = std::chrono::steady_clock::now();
+  }
+  ~ProfileScope() {
+    if (sink_ != nullptr) {
+      const auto elapsed = std::chrono::steady_clock::now() - start_;
+      sink_->record(phase_, std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                elapsed)
+                                .count());
+    }
+  }
+  ProfileScope(const ProfileScope&) = delete;
+  ProfileScope& operator=(const ProfileScope&) = delete;
+
+ private:
+  ProfileSink* sink_;
+  int phase_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace opus

@@ -225,6 +225,25 @@ void apply_axis_overrides(const json::Value& flat, core::ExperimentConfig& cfg,
 
 namespace {
 
+// Telemetry exports: series CSV and chrome trace JSON go to their
+// configured paths; the wall-clock self-profile is appended to the human
+// table text ONLY (never into the JSON document, which must stay
+// deterministic).
+void export_telemetry(obs::Telemetry* tel, std::string& table_text) {
+  if (tel == nullptr) return;
+  const obs::TelemetryConfig& tc = tel->config();
+  if (!tc.series_path.empty() && tel->series() != nullptr) {
+    write_text_file(tc.series_path, tel->series()->to_csv());
+  }
+  if (!tc.chrome_trace_path.empty()) {
+    write_text_file(tc.chrome_trace_path, tel->trace().dump());
+  }
+  if (tel->profiler() != nullptr) {
+    table_text += "\nself-profile (wall clock)\n";
+    table_text += tel->profiler()->report().render();
+  }
+}
+
 RunOutput run_single(const RunSpec& spec) {
   const core::ExperimentConfig cfg = resolve_experiment(spec);
   const core::ExperimentResult result = core::run_experiment(cfg);
@@ -244,7 +263,9 @@ RunOutput run_single(const RunSpec& spec) {
   table.add_row({"Rail bytes", format_bytes(result.rail_bytes)});
   table.add_row({"Scale-up bytes", format_bytes(result.scale_up_bytes)});
   table.add_row({"Mgmt bytes", format_bytes(result.mgmt_bytes)});
-  return {std::move(doc), table.render()};
+  std::string text = table.render();
+  export_telemetry(result.telemetry.get(), text);
+  return {std::move(doc), std::move(text)};
 }
 
 RunOutput run_sweep_mode(const RunSpec& spec) {
@@ -332,7 +353,9 @@ RunOutput run_fleet_mode(const RunSpec& spec) {
        << fmt_double(100.0 * result.utilization, 1) << "% | mean slowdown "
        << fmt_double(slow.mean, 2) << "x | p99 " << fmt_double(slow.p99, 2)
        << "x | rejected " << result.rejected_jobs << "\n";
-  return {std::move(doc), text.str()};
+  std::string text_str = text.str();
+  export_telemetry(result.telemetry.get(), text_str);
+  return {std::move(doc), std::move(text_str)};
 }
 
 }  // namespace

@@ -558,6 +558,52 @@ void from_json(const json::Value& j, core::FaultConfig& v,
   r.finish();
 }
 
+// ---- TelemetryConfig -------------------------------------------------------
+// metrics, series_path, chrome_trace_path, sample_interval, self_profile.
+static_assert(field_count<obs::TelemetryConfig> == 5,
+              "TelemetryConfig changed: wire the new/removed field into "
+              "to_json/from_json below, then update this count");
+
+json::Value to_json(const obs::TelemetryConfig& v,
+                    const obs::TelemetryConfig& defaults) {
+  Value o = Value::object();
+  if (v.metrics != defaults.metrics) o.set("metrics", Value(v.metrics));
+  if (v.series_path != defaults.series_path) {
+    o.set("series_path", Value(v.series_path));
+  }
+  if (v.chrome_trace_path != defaults.chrome_trace_path) {
+    o.set("chrome_trace_path", Value(v.chrome_trace_path));
+  }
+  if (v.sample_interval != defaults.sample_interval) {
+    o.set("sample_interval_ns", Value(v.sample_interval));
+  }
+  if (v.self_profile != defaults.self_profile) {
+    o.set("self_profile", Value(v.self_profile));
+  }
+  return o;
+}
+
+void from_json(const json::Value& j, obs::TelemetryConfig& v,
+               const std::string& path) {
+  ObjReader r(j, path);
+  if (const Value* p = r.key("metrics")) {
+    v.metrics = read_bool(*p, r.sub("metrics"));
+  }
+  if (const Value* p = r.key("series_path")) {
+    v.series_path = read_string(*p, r.sub("series_path"));
+  }
+  if (const Value* p = r.key("chrome_trace_path")) {
+    v.chrome_trace_path = read_string(*p, r.sub("chrome_trace_path"));
+  }
+  if (const Value* p = r.key("sample_interval_ns")) {
+    v.sample_interval = read_time_ns(*p, r.sub("sample_interval_ns"), 1);
+  }
+  if (const Value* p = r.key("self_profile")) {
+    v.self_profile = read_bool(*p, r.sub("self_profile"));
+  }
+  r.finish();
+}
+
 // ---- SweepOptions ----------------------------------------------------------
 // threads, use_shard.
 static_assert(field_count<core::SweepOptions> == 2,
@@ -591,8 +637,8 @@ void from_json(const json::Value& j, core::SweepOptions& v,
 // rotor_port_spread, nic_ports, nic_total_bw, nvlink_bw, ocs_reconfig_delay,
 // mgmt_bw, gpu, mfu, activation_recompute, iteration, engine, provisioning,
 // mgmt_offload_threshold, iterations, record_compute_trace,
-// eager_fabric_wiring, faults.
-static_assert(field_count<core::ExperimentConfig> == 22,
+// eager_fabric_wiring, faults, telemetry.
+static_assert(field_count<core::ExperimentConfig> == 23,
               "ExperimentConfig changed: wire the new/removed field into "
               "to_json/from_json below, then update this count");
 
@@ -660,6 +706,9 @@ json::Value to_json(const core::ExperimentConfig& v,
   }
   if (!(v.faults == defaults.faults)) {
     o.set("faults", to_json(v.faults, defaults.faults));
+  }
+  if (!(v.telemetry == defaults.telemetry)) {
+    o.set("telemetry", to_json(v.telemetry, defaults.telemetry));
   }
   return o;
 }
@@ -733,6 +782,9 @@ void from_json(const json::Value& j, core::ExperimentConfig& v,
   }
   if (const Value* p = r.key("faults")) {
     from_json(*p, v.faults, r.sub("faults"));
+  }
+  if (const Value* p = r.key("telemetry")) {
+    from_json(*p, v.telemetry, r.sub("telemetry"));
   }
   r.finish();
 }
@@ -945,8 +997,10 @@ Value times_to_json(const std::vector<TimeNs>& times) {
 // shim_speculative_requests, shim_mispredictions, recorder (not serialized:
 // the trace is its own export format, trace/export), rail_bytes,
 // scale_up_bytes, pxn_bytes, mgmt_bytes, multihop_bytes, fault_stats,
-// fault_trace_size.
-static_assert(field_count<core::ExperimentResult> == 17,
+// fault_trace_size, telemetry (serialized as the finalized metrics snapshot
+// only when the hub exists AND asked for metrics — series/trace are file
+// exports, and a metrics-less hub must not perturb the result document).
+static_assert(field_count<core::ExperimentResult> == 18,
               "ExperimentResult changed: wire the new/removed field into "
               "to_json below, then update this count");
 
@@ -968,6 +1022,11 @@ json::Value to_json(const core::ExperimentResult& r) {
   o.set("multihop_bytes", Value(r.multihop_bytes));
   o.set("fault_stats", fault_stats_to_json(r.fault_stats));
   o.set("fault_trace_size", Value(r.fault_trace_size));
+  if (r.telemetry != nullptr && r.telemetry->config().metrics) {
+    Value t = Value::object();
+    t.set("metrics", json::Value(r.telemetry->final_metrics()));
+    o.set("telemetry", std::move(t));
+  }
   return o;
 }
 
@@ -1040,8 +1099,9 @@ static_assert(field_count<core::SweepShard> == 2,
 
 // config (not serialized here — the caller echoes the config it ran),
 // shard, jobs, makespan, utilization, peak_fragmentation,
-// peak_free_extents, rejected_jobs.
-static_assert(field_count<fleet::FleetResult> == 8,
+// peak_free_extents, rejected_jobs, telemetry (finalized metrics snapshot,
+// present only when the hub exists and asked for metrics).
+static_assert(field_count<fleet::FleetResult> == 9,
               "FleetResult changed: wire the new/removed field into to_json "
               "below, then update this count");
 
@@ -1061,6 +1121,11 @@ json::Value to_json(const fleet::FleetResult& r) {
   o.set("peak_fragmentation", Value(r.peak_fragmentation));
   o.set("peak_free_extents", Value(r.peak_free_extents));
   o.set("rejected_jobs", Value(r.rejected_jobs));
+  if (r.telemetry != nullptr && r.telemetry->config().metrics) {
+    Value t = Value::object();
+    t.set("metrics", json::Value(r.telemetry->final_metrics()));
+    o.set("telemetry", std::move(t));
+  }
   return o;
 }
 

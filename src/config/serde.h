@@ -122,6 +122,11 @@ json::Value to_json(const core::FaultConfig& v,
 void from_json(const json::Value& j, core::FaultConfig& v,
                const std::string& path = "$");
 
+json::Value to_json(const obs::TelemetryConfig& v,
+                    const obs::TelemetryConfig& defaults = {});
+void from_json(const json::Value& j, obs::TelemetryConfig& v,
+               const std::string& path = "$");
+
 json::Value to_json(const core::SweepOptions& v,
                     const core::SweepOptions& defaults = {});
 void from_json(const json::Value& j, core::SweepOptions& v,

@@ -140,6 +140,15 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   Tenant tenant =
       build_tenant(sim, cluster, config, net::NodeSpan{0, cluster.n_nodes()});
 
+  // Telemetry, when requested: fabric gauges + OCS observers attach before
+  // any traffic, the probe starts at t=0. Pure observation — the
+  // determinism suite pins that results are bit-identical either way.
+  std::shared_ptr<obs::Telemetry> telemetry;
+  if (config.telemetry.enabled()) {
+    telemetry = std::make_shared<obs::Telemetry>(config.telemetry);
+    telemetry->attach_fabric(sim, cluster);
+  }
+
   // Failure churn, when requested: schedule the seeded fault trace and let
   // the single tenant continue degraded (the fleet driver, not this path,
   // implements eviction/re-placement for disconnecting failures).
@@ -147,8 +156,13 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   if (config.faults.enabled) {
     faults = std::make_unique<FaultProcess>(sim, cluster, config.faults);
     cluster.set_fault_listener(
-        [&tenant](const net::NicFault& f) { tenant.react_to_fault(f); });
+        [&tenant, &sim, tel = telemetry.get()](const net::NicFault& f) {
+          if (tel != nullptr) tel->on_fault(f, sim.now());
+          tenant.react_to_fault(f);
+        });
   }
+
+  if (telemetry != nullptr) telemetry->start_probe(sim);
 
   ExperimentResult result;
   result.iteration_times =
@@ -197,6 +211,16 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   if (faults != nullptr) {
     result.fault_stats = faults->stats();
     result.fault_trace_size = faults->trace_size();
+  }
+  if (telemetry != nullptr) {
+    if (config.telemetry.tracing()) {
+      telemetry->trace().add_recorder(obs::Telemetry::kTenantPidBase, "tenant",
+                                      *tenant.recorder);
+    }
+    // Must happen while sim/cluster are alive: snapshots the gauges and
+    // closes open circuit spans at end-of-run.
+    telemetry->finalize(sim.now());
+    result.telemetry = telemetry;
   }
   result.rail_bytes = cluster.bytes_on_route(net::Cluster::Route::kRail);
   result.scale_up_bytes = cluster.bytes_on_route(net::Cluster::Route::kScaleUp);

@@ -18,6 +18,7 @@
 #include "core/faults.h"
 #include "core/opus_transport.h"
 #include "net/cluster.h"
+#include "obs/telemetry.h"
 #include "sim/simulator.h"
 #include "trace/recorder.h"
 #include "workload/compute_model.h"
@@ -77,6 +78,12 @@ struct ExperimentConfig {
   /// rotor drain poke; Opus re-plans per collective anyway).
   FaultConfig faults;
 
+  /// Observability: metrics registry + periodic probe + chrome-trace export
+  /// + self-profiling (src/obs). Disabled by default with strictly zero
+  /// overhead; enabling it never changes any simulation result field (the
+  /// determinism suite pins this).
+  obs::TelemetryConfig telemetry;
+
   /// Field-wise equality (config/serde skips fields equal to the default).
   friend bool operator==(const ExperimentConfig&,
                          const ExperimentConfig&) = default;
@@ -110,6 +117,9 @@ struct ExperimentResult {
   /// Failure churn (all zero unless config.faults.enabled).
   FaultProcess::Stats fault_stats;
   int fault_trace_size = 0;
+  /// Telemetry hub (null unless config.telemetry.enabled()): finalized
+  /// metrics snapshot, sampled series, chrome trace, self-profiler.
+  std::shared_ptr<obs::Telemetry> telemetry;
 };
 
 /// One training job instantiated on (a node sub-range of) a shared cluster:

@@ -25,6 +25,9 @@ core::ExperimentConfig job_experiment_config(const FleetConfig& cfg,
   // build, which ignores the field) are the fault-free yardstick: churn is a
   // property of the shared fleet, not of the job.
   c.faults = core::FaultConfig{};
+  // Telemetry belongs to the shared fleet run: baselines stay instrumentation
+  // -free (also keeps the single-threaded SelfProfiler off the sweep pool).
+  c.telemetry = obs::TelemetryConfig{};
   return c;
 }
 
@@ -47,13 +50,21 @@ struct Driver {
   /// must outlive the simulation even after the job re-placed into a fresh
   /// tenant object.
   std::vector<std::unique_ptr<core::Tenant>> graveyard = {};
+  /// Telemetry hub (null when disabled): lifecycle instants + fleet gauges.
+  obs::Telemetry* tel = nullptr;
+
+  void lifecycle(const char* kind, int job) const {
+    if (tel != nullptr) tel->on_fleet_event(kind, job, sim.now());
+  }
 
   void on_arrival(int i) {
     FleetJobResult& jr = result.jobs[static_cast<std::size_t>(i)];
     const int nodes = jr.spec.shape.n_nodes(cfg.base.gpus_per_node);
+    lifecycle("arrive", i);
     if (nodes > cfg.n_nodes) {
       jr.rejected = true;
       ++result.rejected_jobs;
+      lifecycle("reject", i);
       return;
     }
     // Strict FCFS: an arrival may not overtake already-queued jobs.
@@ -85,6 +96,7 @@ struct Driver {
         std::max(result.peak_free_extents, placement.free_extent_count());
 
     jr.placement = *span;
+    lifecycle(jr.replacements > 0 ? "re-place" : "place", i);
     // A re-placement after eviction keeps the original start: queueing
     // delay measures the first wait, availability absorbs the gaps.
     if (jr.start == 0 && jr.replacements == 0) jr.start = sim.now();
@@ -107,6 +119,7 @@ struct Driver {
     FleetJobResult& jr = result.jobs[static_cast<std::size_t>(i)];
     core::Tenant& tenant = *tenants[static_cast<std::size_t>(i)];
     jr.finish = sim.now();
+    lifecycle("finish", i);
     for (const TimeNs t : tenant.engine->iteration_times()) {
       jr.iteration_times.push_back(t);
     }
@@ -171,6 +184,7 @@ struct Driver {
     FleetJobResult& jr = result.jobs[static_cast<std::size_t>(i)];
     core::Tenant& tenant = *tenants[static_cast<std::size_t>(i)];
     ++jr.replacements;
+    lifecycle("evict", i);
     // Bank completed iterations (the checkpoint), then hard-stop the tenant:
     // engine callbacks become no-ops, the control plane stops, and every
     // flow touching the span is aborted so no orphaned completion fires.
@@ -222,7 +236,17 @@ FleetResult run_fleet(const FleetConfig& cfg) {
   // timeline sharding only the shard's own jobs get baselines — the shared
   // simulation below still runs in full (tenants interact), but this sweep
   // is the node-count-proportional part, so N shards split the heavy work.
+  // The telemetry hub exists before the baseline sweep so the sweep's wall
+  // time lands in the self-profile; it attaches to the shared fabric below.
+  std::shared_ptr<obs::Telemetry> telemetry;
+  if (cfg.base.telemetry.enabled()) {
+    telemetry = std::make_shared<obs::Telemetry>(cfg.base.telemetry);
+  }
+
   if (cfg.isolated_baselines) {
+    obs::SelfProfiler::Scope sweep_prof(
+        telemetry != nullptr ? telemetry->profiler() : nullptr,
+        "fleet.baseline_sweep");
     std::vector<core::ExperimentConfig> cells;
     std::vector<std::size_t> cell_jobs;
     for (const JobSpec& spec : specs) {
@@ -254,6 +278,28 @@ FleetResult run_fleet(const FleetConfig& cfg) {
 
   Driver driver{cfg,    sim,     cluster, placement,
                 result, tenants, {},      std::vector<TimeNs>(specs.size(), 0)};
+  if (telemetry != nullptr) {
+    driver.tel = telemetry.get();
+    telemetry->attach_fabric(sim, cluster);
+    if (telemetry->config().wants_metrics()) {
+      obs::MetricsRegistry& m = telemetry->metrics();
+      m.add_gauge("fleet.queue_depth", [&driver] {
+        return static_cast<double>(driver.queue.size());
+      });
+      m.add_gauge("fleet.running_jobs", [&driver, n = specs.size()] {
+        int running = 0;
+        for (std::size_t j = 0; j < n; ++j) {
+          if (driver.running(static_cast<int>(j))) ++running;
+        }
+        return static_cast<double>(running);
+      });
+      m.add_gauge("fleet.free_extents", [&placement] {
+        return static_cast<double>(placement.free_extent_count());
+      });
+      m.add_gauge("fleet.fragmentation",
+                  [&placement] { return placement.fragmentation(); });
+    }
+  }
   // Failure/repair churn: schedule the seeded fault trace against the
   // shared cluster and route every event through the driver's reaction
   // (degrade, evict + re-place, or pump the queue on repairs).
@@ -262,12 +308,16 @@ FleetResult run_fleet(const FleetConfig& cfg) {
     faults = std::make_unique<core::FaultProcess>(sim, cluster,
                                                   cfg.base.faults);
     cluster.set_fault_listener(
-        [&driver](const net::NicFault& f) { driver.on_fault(f); });
+        [&driver, &sim, tel = telemetry.get()](const net::NicFault& f) {
+          if (tel != nullptr) tel->on_fault(f, sim.now());
+          driver.on_fault(f);
+        });
   }
   for (const JobSpec& spec : specs) {
     sim.schedule_at(spec.arrival,
                     [&driver, i = spec.id] { driver.on_arrival(i); });
   }
+  if (telemetry != nullptr) telemetry->start_probe(sim);
   sim.run();
   ensure(driver.queue.empty(),
          "fleet: simulation drained with jobs still queued");
@@ -313,6 +363,27 @@ FleetResult run_fleet(const FleetConfig& cfg) {
         static_cast<double>(node_time) /
         (static_cast<double>(cfg.n_nodes) *
          static_cast<double>(result.makespan));
+  }
+  if (telemetry != nullptr) {
+    if (telemetry->config().tracing()) {
+      // One tenant process per job (pid 2 + id). An evicted-then-re-placed
+      // job's track shows its last placement's tenant; iterations banked
+      // before the eviction live only in jr.iteration_times.
+      for (std::size_t i = 0; i < tenants.size(); ++i) {
+        if (tenants[i] == nullptr || tenants[i]->recorder == nullptr) continue;
+        std::string name = "job";
+        name += std::to_string(result.jobs[i].spec.id);
+        name += " ";
+        name += result.jobs[i].spec.shape.name;
+        telemetry->trace().add_recorder(
+            obs::Telemetry::kTenantPidBase + result.jobs[i].spec.id, name,
+            *tenants[i]->recorder);
+      }
+    }
+    // Must happen while sim/cluster/placement are alive: snapshots the
+    // gauges and closes open circuit spans at end-of-run.
+    telemetry->finalize(sim.now());
+    result.telemetry = telemetry;
   }
   return result;
 }

@@ -127,6 +127,10 @@ struct FleetResult {
   double peak_fragmentation = 0.0;
   int peak_free_extents = 0;
   int rejected_jobs = 0;
+  /// Telemetry hub (null unless config.base.telemetry.enabled()): finalized
+  /// metrics snapshot, sampled fleet/fabric series, chrome trace with
+  /// lifecycle instants and per-job tenant tracks, self-profiler.
+  std::shared_ptr<obs::Telemetry> telemetry;
 };
 
 /// Runs the fleet to completion (deterministic: bit-identical across reruns

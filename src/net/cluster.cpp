@@ -651,6 +651,7 @@ void Cluster::rescue_flow(FlowId f) {
   const Bytes remaining = net_.flow_remaining(f);
   net_.abort_flow(f);
   rescuable_.erase(it);
+  ++rescued_flows_;
   resend_rescued(ctx.src, ctx.dst, remaining, ctx.done);
 }
 

@@ -333,6 +333,9 @@ class Cluster {
   /// Transfers parked by fault tolerance, fleet-wide / on one rail within
   /// `span` (the rotor's drain guard must not wait on parked traffic).
   int parked_transfer_count() const { return static_cast<int>(parked_.size()); }
+  /// Flows rescued off dying circuits so far (re-routed or parked, not
+  /// aborted). Telemetry gauge.
+  std::int64_t rescued_flow_count() const { return rescued_flows_; }
   int parked_rail_transfers(int rail, NodeSpan span) const;
   /// Active fluid flows on the span's OCS circuits of `rail` (photonic).
   int rail_span_active_flows(RailId rail, NodeSpan span) const;
@@ -469,6 +472,7 @@ class Cluster {
   std::vector<ParkedTransfer> parked_;
   /// FlowId.value() -> rescue context for fault-tolerant rail flows.
   std::unordered_map<std::uint64_t, RescuableFlow> rescuable_;
+  std::int64_t rescued_flows_ = 0;  ///< rescue_flow saves (telemetry)
   /// Electrical rails: (node * n_rails + rail) -> failed-lane bitmask.
   std::unordered_map<std::int64_t, std::uint32_t> electrical_failed_;
 };

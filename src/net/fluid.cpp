@@ -331,6 +331,7 @@ void FluidNetwork::solve_max_min() {
 
   std::size_t remaining = draining_.size();
   while (remaining > 0) {
+    ++solve_rounds_;
     double best_share = std::numeric_limits<double>::infinity();
     for (std::size_t li : touched_links_) {
       if (unfrozen_on_[li] <= 0) continue;
@@ -354,6 +355,7 @@ void FluidNetwork::solve_max_min() {
       if (unfrozen_on_[li] <= 0) continue;
       const double share = std::max(cap_left_[li], 0.0) / unfrozen_on_[li];
       if (share > best_share) continue;
+      ++frozen_bottleneck_links_;
       for (FlowId fid : link_state_[li].flows) {
         Flow& f = flows_[fid.slot()];
         if (f.frozen_epoch == epoch) continue;
@@ -417,8 +419,17 @@ void FluidNetwork::reschedule_completion_event() {
 }
 
 void FluidNetwork::recompute() {
+  ProfileScope prof(profile_sink_, profile_phase_recompute_);
+  ++solve_count_;
   solve_max_min();
   reschedule_completion_event();
+}
+
+void FluidNetwork::set_profile_sink(ProfileSink* sink) {
+  profile_sink_ = sink;
+  if (sink != nullptr) {
+    profile_phase_recompute_ = sink->phase("fluid.recompute");
+  }
 }
 
 void FluidNetwork::on_completion_event() {

@@ -40,6 +40,7 @@
 #include <vector>
 
 #include "common/ids.h"
+#include "common/profile.h"
 #include "common/units.h"
 #include "sim/simulator.h"
 
@@ -139,6 +140,20 @@ class FluidNetwork {
   /// Flows whose drain completed *and* whose completion was delivered
   /// (zero-byte flows count when their latency elapses, not at start_flow).
   std::uint64_t completed_flow_count() const { return completed_; }
+
+  /// Max-min re-solves performed (recompute calls). Telemetry gauge.
+  std::int64_t solve_count() const { return solve_count_; }
+  /// Progressive-filling rounds across all solves: each round freezes one
+  /// bottleneck set. Telemetry gauge.
+  std::int64_t solve_rounds() const { return solve_rounds_; }
+  /// Links frozen as bottleneck-set members across all solves.
+  std::int64_t frozen_bottleneck_links() const {
+    return frozen_bottleneck_links_;
+  }
+
+  /// Opt-in wall-clock sink timing each re-solve (obs self-profiling).
+  /// Null (the default) costs one branch per recompute.
+  void set_profile_sink(ProfileSink* sink);
 
  private:
   /// Sentinel projection for flows with no completion in sight (stalled on a
@@ -270,6 +285,16 @@ class FluidNetwork {
   std::vector<double> cap_left_;
   std::vector<int> unfrozen_on_;
   std::vector<std::size_t> touched_links_;
+
+  // Solver telemetry counters: one add per solve / per freezing round on
+  // already-cold bookkeeping, always on (cheaper than a guard).
+  std::int64_t solve_count_ = 0;
+  std::int64_t solve_rounds_ = 0;
+  std::int64_t frozen_bottleneck_links_ = 0;
+
+  // Opt-in wall-clock profiling of the re-solve (null = off).
+  ProfileSink* profile_sink_ = nullptr;
+  int profile_phase_recompute_ = -1;
 };
 
 }  // namespace opus::net

@@ -286,6 +286,7 @@ void OpticalCircuitSwitch::establish(PortId a, PortId b) {
   const bool a_is_lo = a.value() < b.value();
   port_tx_link_[static_cast<std::size_t>(a.value())] = a_is_lo ? fwd : rev;
   port_tx_link_[static_cast<std::size_t>(b.value())] = a_is_lo ? rev : fwd;
+  if (observer_ != nullptr) observer_->on_circuit_up(a, b, sim_.now());
 }
 
 void OpticalCircuitSwitch::tear_down(PortId p) {
@@ -295,6 +296,7 @@ void OpticalCircuitSwitch::tear_down(PortId p) {
   peer_[static_cast<std::size_t>(q)] = -1;
   port_tx_link_[static_cast<std::size_t>(p.value())] = LinkId{};
   port_tx_link_[static_cast<std::size_t>(q)] = LinkId{};
+  if (observer_ != nullptr) observer_->on_circuit_down(p, PortId{q}, sim_.now());
   const std::int32_t lo = std::min(p.value(), q);
   const std::int32_t hi = std::max(p.value(), q);
   const std::uint64_t key = pair_key(lo, hi);
@@ -420,6 +422,10 @@ void OpticalCircuitSwitch::reconfigure(
   for (PortId p : touched) {
     port_dark_ns_[static_cast<std::size_t>(p.value())] += delay;
   }
+  if (observer_ != nullptr) {
+    observer_->on_dark_interval(static_cast<int>(touched.size()), sim_.now(),
+                                delay);
+  }
 
   // Copy the request; the new circuits come up together after the delay.
   sim_.schedule_after(
@@ -513,8 +519,16 @@ int OpticalCircuitSwitch::dark_group_for(
   return g;
 }
 
+void OpticalCircuitSwitch::set_profile_sink(ProfileSink* sink) {
+  profile_sink_ = sink;
+  if (sink != nullptr) {
+    profile_phase_batch_ = sink->phase("ocs.reconfigure_batch");
+  }
+}
+
 void OpticalCircuitSwitch::reconfigure_batch(BatchId batch,
                                              std::function<void()> on_done) {
+  ProfileScope prof(profile_sink_, profile_phase_batch_);
   ensure(batch >= 0 && batch < static_cast<BatchId>(batches_.size()),
          "OCS reconfigure_batch: unknown batch");
   // References into batches_/dark_groups_ are not held across the fallback
@@ -534,6 +548,7 @@ void OpticalCircuitSwitch::reconfigure_batch(BatchId batch,
         for (const BatchCircuit& c : b.circuits) {
           requests.push_back({PortId{c.a}, PortId{c.b}});
         }
+        ++stats_.batch_fallbacks;
         reconfigure(requests, std::move(on_done));
         return;
       }
@@ -593,6 +608,7 @@ void OpticalCircuitSwitch::reconfigure_batch(BatchId batch,
         if (on_done) on_done();
         return;
       }
+      ++stats_.batch_fallbacks;
       reconfigure(survivors, std::move(on_done));
       return;
     }
@@ -615,7 +631,14 @@ void OpticalCircuitSwitch::reconfigure_batch(BatchId batch,
   // The transaction: tear down every batch port's circuit (peers are all
   // in-set, links are pinned — plain array writes, no retirement queue),
   // darken the whole group, charge the dark delta once, and schedule the
-  // single completion event.
+  // single completion event. The direct writes bypass tear_down, so the
+  // observer emit happens here (once per pair, via the p < q endpoint).
+  if (observer_ != nullptr) {
+    for (const std::int32_t p : b.ports) {
+      const auto q = peer_[static_cast<std::size_t>(p)];
+      if (q > p) observer_->on_circuit_down(PortId{p}, PortId{q}, sim_.now());
+    }
+  }
   for (const std::int32_t p : b.ports) {
     peer_[static_cast<std::size_t>(p)] = -1;
     port_tx_link_[static_cast<std::size_t>(p)] = LinkId{};
@@ -626,6 +649,10 @@ void OpticalCircuitSwitch::reconfigure_batch(BatchId batch,
   const TimeNs delay = reconfig_delay_;
   stats_.cumulative_port_dark_ns += delay * static_cast<TimeNs>(b.ports.size());
   g.accrued += delay;  // the O(1) per-rotation delta for every member port
+  if (observer_ != nullptr) {
+    observer_->on_dark_interval(static_cast<int>(b.ports.size()), sim_.now(),
+                                delay);
+  }
 
   sim_.schedule_after(delay, [this, batch, cb = std::move(on_done)]() mutable {
     Batch& bb = batches_[static_cast<std::size_t>(batch)];
@@ -640,6 +667,9 @@ void OpticalCircuitSwitch::reconfigure_batch(BatchId batch,
       peer_[static_cast<std::size_t>(c.b)] = c.a;
       port_tx_link_[static_cast<std::size_t>(c.a)] = c.ab;
       port_tx_link_[static_cast<std::size_t>(c.b)] = c.ba;
+      if (observer_ != nullptr) {
+        observer_->on_circuit_up(PortId{c.a}, PortId{c.b}, sim_.now());
+      }
     }
     if (cb) cb();
     if (topology_listener_) topology_listener_();

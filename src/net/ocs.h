@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "common/ids.h"
+#include "common/profile.h"
 #include "common/units.h"
 #include "net/fluid.h"
 #include "sim/simulator.h"
@@ -42,6 +43,23 @@ std::vector<std::pair<int, int>> round_robin_matching(int n, int round);
 /// The same matching expressed as OCS circuit requests (even `n_ports`).
 std::vector<CircuitRequest> round_robin_circuits(int n_ports, int round);
 
+/// Observer of circuit lifecycle and dark intervals (telemetry's
+/// chrome-trace tracks). Notifications are read-only and fire on the cold
+/// reconfiguration paths; a null observer costs one branch per event. Both
+/// the generic and the batched reconfiguration paths emit: circuit up/down
+/// once per unordered port pair, and one dark interval per reconfiguration
+/// with its full touched-port count.
+class OcsObserver {
+ public:
+  virtual ~OcsObserver() = default;
+  /// A circuit between `a` and `b` became live at `now`.
+  virtual void on_circuit_up(PortId a, PortId b, TimeNs now) = 0;
+  /// The circuit between `a` and `b` was torn down at `now`.
+  virtual void on_circuit_down(PortId a, PortId b, TimeNs now) = 0;
+  /// `ports` ports are dark for [start, start + duration).
+  virtual void on_dark_interval(int ports, TimeNs start, TimeNs duration) = 0;
+};
+
 /// MEMS/piezo/liquid-crystal-style optical circuit switch.
 class OpticalCircuitSwitch {
  public:
@@ -57,6 +75,9 @@ class OpticalCircuitSwitch {
     TimeNs cumulative_port_dark_ns = 0;
     /// Fluid links retired because their circuit stayed dead (churn cleanup).
     std::int64_t links_retired = 0;
+    /// reconfigure_batch calls that fell back to the generic path (an
+    /// out-of-set peer after a rewire, or batch ports lost to failure).
+    std::int64_t batch_fallbacks = 0;
   };
 
   /// `port_bw` is the per-direction bandwidth of a circuit (the NIC port
@@ -144,6 +165,23 @@ class OpticalCircuitSwitch {
   void repair_port(PortId p);
   bool failed(PortId p) const;
   int failed_port_count() const;
+
+  /// Ports currently dark (generic per-port flags plus the members of any
+  /// mid-transaction batch group) — the telemetry probe's dark-port gauge.
+  /// O(dark groups), which is O(registered batches), not O(ports).
+  int dark_port_count() const {
+    int n = dark_ports_;
+    for (const DarkGroup& g : dark_groups_) {
+      if (g.dark) n += g.members;
+    }
+    return n;
+  }
+
+  /// Telemetry observer (null = disabled, the default).
+  void set_observer(OcsObserver* observer) { observer_ = observer; }
+
+  /// Opt-in wall-clock sink timing each batch replay (obs self-profiling).
+  void set_profile_sink(ProfileSink* sink);
 
   /// Called whenever port-level connectivity changes outside a caller's own
   /// request — reconfiguration completions, force_circuits, repair_port —
@@ -312,6 +350,9 @@ class OpticalCircuitSwitch {
       undark_waiters_;
   std::function<void()> topology_listener_;
   std::function<void(FlowId)> flow_rescuer_;
+  OcsObserver* observer_ = nullptr;
+  ProfileSink* profile_sink_ = nullptr;
+  int profile_phase_batch_ = -1;
   // Unordered port pair -> (link low->high, link high->low). Hashed on the
   // packed pair: whole-rail reconfiguration (the rotor) performs ~1e8
   // lookups per large run, where an ordered map's log-factor dominated.

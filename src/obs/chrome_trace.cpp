@@ -1,0 +1,114 @@
+#include "obs/chrome_trace.h"
+
+#include <utility>
+
+namespace opus::obs {
+namespace {
+
+// trace_events timestamps are microseconds; an exact double division keeps
+// the JSON bytes deterministic for any sim-time input.
+double to_us(TimeNs t) { return static_cast<double>(t) / 1000.0; }
+
+}  // namespace
+
+void ChromeTraceWriter::set_process_name(int pid, const std::string& name) {
+  json::Value e = json::Value::object();
+  e.set("name", json::Value("process_name"));
+  e.set("ph", json::Value("M"));
+  e.set("pid", json::Value(pid));
+  e.set("tid", json::Value(0));
+  json::Value args = json::Value::object();
+  args.set("name", json::Value(name));
+  e.set("args", std::move(args));
+  metadata_.push_back(std::move(e));
+}
+
+void ChromeTraceWriter::set_thread_name(int pid, int tid,
+                                        const std::string& name) {
+  json::Value e = json::Value::object();
+  e.set("name", json::Value("thread_name"));
+  e.set("ph", json::Value("M"));
+  e.set("pid", json::Value(pid));
+  e.set("tid", json::Value(tid));
+  json::Value args = json::Value::object();
+  args.set("name", json::Value(name));
+  e.set("args", std::move(args));
+  metadata_.push_back(std::move(e));
+}
+
+json::Value ChromeTraceWriter::event(int pid, int tid, const std::string& name,
+                                     const std::string& category,
+                                     const char* ph, TimeNs t) const {
+  json::Value e = json::Value::object();
+  e.set("name", json::Value(name));
+  if (!category.empty()) e.set("cat", json::Value(category));
+  e.set("ph", json::Value(ph));
+  e.set("ts", json::Value(to_us(t)));
+  e.set("pid", json::Value(pid));
+  e.set("tid", json::Value(tid));
+  return e;
+}
+
+void ChromeTraceWriter::complete(int pid, int tid, const std::string& name,
+                                 const std::string& category, TimeNs start,
+                                 TimeNs duration) {
+  json::Value e = event(pid, tid, name, category, "X", start);
+  e.set("dur", json::Value(to_us(duration)));
+  events_.push_back(std::move(e));
+}
+
+void ChromeTraceWriter::instant(int pid, int tid, const std::string& name,
+                                const std::string& category, TimeNs t) {
+  json::Value e = event(pid, tid, name, category, "i", t);
+  e.set("s", json::Value("g"));
+  events_.push_back(std::move(e));
+}
+
+void ChromeTraceWriter::add_recorder(int pid, const std::string& process_name,
+                                     const trace::TraceRecorder& recorder) {
+  set_process_name(pid, process_name);
+  set_thread_name(pid, 0, "iterations");
+  set_thread_name(pid, 1, "comm");
+  for (const trace::IterationSpan& s : recorder.iterations()) {
+    complete(pid, 0, "iter " + std::to_string(s.index), "iteration", s.t_start,
+             s.duration());
+  }
+  for (const trace::CommRecord& c : recorder.comm_records()) {
+    const std::string name = std::string(collective::to_string(c.type)) + " " +
+                             collective::to_string(c.dim) +
+                             (c.group_name.empty() ? "" : " " + c.group_name);
+    const std::string cat =
+        c.rail.valid() ? "comm rail" + std::to_string(c.rail.value())
+                       : "comm scale-up";
+    complete(pid, 1, name, cat, c.t_issue, c.duration());
+  }
+  // One thread per GPU keeps overlapping per-GPU compute spans (pipeline
+  // stages, microbatches) on separate lines in the viewer.
+  int last_gpu_tid = -1;
+  for (const trace::ComputeRecord& c : recorder.compute_records()) {
+    const int tid = 2 + c.gpu.value();
+    if (tid > last_gpu_tid) last_gpu_tid = tid;
+    complete(pid, tid, c.label, "compute", c.t_start, c.t_end - c.t_start);
+  }
+  for (int tid = 2; tid <= last_gpu_tid; ++tid) {
+    set_thread_name(pid, tid, "gpu " + std::to_string(tid - 2));
+  }
+}
+
+json::Value ChromeTraceWriter::to_json() const {
+  json::Value events = json::Value::array();
+  for (const json::Value& m : metadata_) events.push_back(m);
+  for (const json::Value& e : events_) events.push_back(e);
+  json::Value out = json::Value::object();
+  out.set("traceEvents", std::move(events));
+  out.set("displayTimeUnit", json::Value("ms"));
+  return out;
+}
+
+std::string ChromeTraceWriter::dump() const {
+  // Compact form: traces are event-per-line-free bulk data for Perfetto,
+  // not for human diffing.
+  return json::dump(to_json(), 0);
+}
+
+}  // namespace opus::obs

@@ -1,0 +1,57 @@
+// Chrome trace_events export: builds a `traceEvents` JSON document loadable
+// by Perfetto / chrome://tracing. Tracks are (pid, tid) pairs; the
+// Telemetry hub assigns pid 0 to the fabric (per-rail circuit / dark /
+// fault tracks), pid 1 to fleet lifecycle instants, and pid 2+job to each
+// tenant's compute/comm phases (mirrored from the workload recorder).
+//
+// Timestamps are sim-time nanoseconds converted to the format's
+// microsecond unit as exact doubles (ns / 1000.0), so the emitted bytes
+// are deterministic — no wall-clock content ever enters a trace.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "common/units.h"
+#include "trace/recorder.h"
+
+namespace opus::obs {
+
+class ChromeTraceWriter {
+ public:
+  /// Process/thread metadata (track names); emitted ahead of events.
+  void set_process_name(int pid, const std::string& name);
+  void set_thread_name(int pid, int tid, const std::string& name);
+
+  /// Complete ("X") event: a span [start, start + duration].
+  void complete(int pid, int tid, const std::string& name,
+                const std::string& category, TimeNs start, TimeNs duration);
+
+  /// Instant ("i") event with global scope.
+  void instant(int pid, int tid, const std::string& name,
+               const std::string& category, TimeNs t);
+
+  /// Mirrors a workload recorder under `pid`: tid 0 iteration spans, tid 1
+  /// comm phases (collective type/dimension, rail in the category), tid
+  /// 2+gpu per-GPU compute phases.
+  void add_recorder(int pid, const std::string& process_name,
+                    const trace::TraceRecorder& recorder);
+
+  std::size_t event_count() const { return events_.size(); }
+
+  /// {"traceEvents": [...], "displayTimeUnit": "ms"}
+  json::Value to_json() const;
+  std::string dump() const;
+
+ private:
+  json::Value event(int pid, int tid, const std::string& name,
+                    const std::string& category, const char* ph,
+                    TimeNs t) const;
+
+  std::vector<json::Value> metadata_;
+  std::vector<json::Value> events_;
+};
+
+}  // namespace opus::obs

@@ -190,12 +190,14 @@ bool Simulator::fire_next() {
 }
 
 std::uint64_t Simulator::run() {
+  ProfileScope prof(profile_sink_, profile_phase_run_);
   std::uint64_t n = 0;
   while (fire_next()) ++n;
   return n;
 }
 
 std::uint64_t Simulator::run_until(TimeNs limit) {
+  ProfileScope prof(profile_sink_, profile_phase_run_);
   std::uint64_t n = 0;
   while (position() && drain_time_ <= limit) {
     fire_next();
@@ -203,6 +205,11 @@ std::uint64_t Simulator::run_until(TimeNs limit) {
   }
   if (now_ < limit) now_ = limit;
   return n;
+}
+
+void Simulator::set_profile_sink(ProfileSink* sink) {
+  profile_sink_ = sink;
+  if (sink != nullptr) profile_phase_run_ = sink->phase("sim.run");
 }
 
 std::uint64_t Simulator::run_steps(std::uint64_t max_events) {

@@ -30,6 +30,7 @@
 
 #include "common/error.h"
 #include "common/ids.h"
+#include "common/profile.h"
 #include "common/units.h"
 
 namespace opus::sim {
@@ -86,6 +87,10 @@ class Simulator {
   /// Total events fired since construction.
   std::uint64_t events_fired() const { return fired_; }
 
+  /// Opt-in wall-clock sink timing the run()/run_until drain loops (obs
+  /// self-profiling). Null (the default) costs one branch per drain.
+  void set_profile_sink(ProfileSink* sink);
+
  private:
   struct Entry {
     TimeNs time;
@@ -134,6 +139,8 @@ class Simulator {
   std::array<Wheel, kLevels> wheels_;
   std::vector<Entry> cascade_scratch_;
   std::unordered_map<EventId, Callback> callbacks_;
+  ProfileSink* profile_sink_ = nullptr;
+  int profile_phase_run_ = -1;
 };
 
 }  // namespace opus::sim

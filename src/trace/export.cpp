@@ -2,43 +2,58 @@
 
 #include <sstream>
 
+#include "common/table.h"
+
 namespace opus::trace {
+namespace {
+
+// Default ostream formatting (up to 6 significant digits) — byte-compatible
+// with the hand-rolled writer this file used before moving to common/table.
+std::string fmt_stream_double(double v) {
+  std::ostringstream os;
+  os << v;
+  return os.str();
+}
+
+}  // namespace
 
 std::string comms_to_csv(const std::vector<CommRecord>& comms) {
-  std::ostringstream os;
-  os << "iteration,rail,group,dim,type,payload_bytes,issue_ns,end_ns,"
-        "scale_out\n";
+  TextTable table({"iteration", "rail", "group", "dim", "type",
+                   "payload_bytes", "issue_ns", "end_ns", "scale_out"});
   for (const CommRecord& c : comms) {
-    os << c.iteration << ',' << (c.rail.valid() ? c.rail.value() : -1) << ','
-       << c.group.value() << ',' << collective::to_string(c.dim) << ','
-       << collective::to_string(c.type) << ',' << c.payload << ','
-       << c.t_issue << ',' << c.t_end << ',' << (c.scale_out ? 1 : 0) << '\n';
+    table.add_row({std::to_string(c.iteration),
+                   std::to_string(c.rail.valid() ? c.rail.value() : -1),
+                   std::to_string(c.group.value()),
+                   collective::to_string(c.dim),
+                   collective::to_string(c.type), std::to_string(c.payload),
+                   std::to_string(c.t_issue), std::to_string(c.t_end),
+                   c.scale_out ? "1" : "0"});
   }
-  return os.str();
+  return table.to_csv();
 }
 
 std::string windows_to_csv(const std::vector<Window>& windows) {
-  std::ostringstream os;
-  os << "iteration,size_ms,before_dim,after_dim,traffic_after_bytes\n";
+  TextTable table({"iteration", "size_ms", "before_dim", "after_dim",
+                   "traffic_after_bytes"});
   for (const Window& w : windows) {
-    os << w.iteration << ',' << to_ms(w.size) << ','
-       << collective::to_string(w.before_dim) << ','
-       << collective::to_string(w.after_dim) << ',' << w.traffic_after
-       << '\n';
+    table.add_row({std::to_string(w.iteration),
+                   fmt_stream_double(to_ms(w.size)),
+                   collective::to_string(w.before_dim),
+                   collective::to_string(w.after_dim),
+                   std::to_string(w.traffic_after)});
   }
-  return os.str();
+  return table.to_csv();
 }
 
 std::string cdf_to_csv(const Cdf& cdf) {
-  std::ostringstream os;
-  os << "value,fraction\n";
+  TextTable table({"value", "fraction"});
   const auto& samples = cdf.sorted_samples();
   for (std::size_t i = 0; i < samples.size(); ++i) {
-    os << samples[i] << ','
-       << static_cast<double>(i + 1) / static_cast<double>(samples.size())
-       << '\n';
+    table.add_row({fmt_stream_double(samples[i]),
+                   fmt_stream_double(static_cast<double>(i + 1) /
+                                     static_cast<double>(samples.size()))});
   }
-  return os.str();
+  return table.to_csv();
 }
 
 }  // namespace opus::trace

@@ -139,6 +139,41 @@ TEST(Determinism, LazyWiringMatchesEagerWiringOnEveryFabric) {
   }
 }
 
+TEST(Determinism, TelemetryOnMatchesTelemetryOff) {
+  // The obs subsystem's core contract: full telemetry (metrics gauges, the
+  // periodic probe, chrome tracing, self-profiling) is pure observation —
+  // it changes NO simulation result field on any fabric, and two
+  // telemetry-on runs emit byte-identical series and trace documents.
+  for (net::FabricKind kind : net::kAllFabrics) {
+    SCOPED_TRACE(net::fabric_name(kind));
+    const core::ExperimentConfig off = tiny_config(kind);
+    core::ExperimentConfig on = tiny_config(kind);
+    on.telemetry.metrics = true;
+    // run_experiment never writes files (the config runner does), so these
+    // paths act purely as sampling/tracing enable flags here.
+    on.telemetry.series_path = "unused.csv";
+    on.telemetry.chrome_trace_path = "unused.json";
+    on.telemetry.sample_interval = usecs(200);
+    on.telemetry.self_profile = true;
+
+    const auto a = core::run_experiment(off);
+    const auto b = core::run_experiment(on);
+    expect_bit_identical(a, b);
+    EXPECT_EQ(a.telemetry, nullptr);
+    ASSERT_NE(b.telemetry, nullptr);
+    ASSERT_NE(b.telemetry->series(), nullptr);
+    EXPECT_GT(b.telemetry->series()->row_count(), 1u);
+    EXPECT_GT(b.telemetry->trace().event_count(), 0u);
+
+    const auto c = core::run_experiment(on);
+    ASSERT_NE(c.telemetry, nullptr);
+    EXPECT_EQ(b.telemetry->series()->to_csv(), c.telemetry->series()->to_csv());
+    EXPECT_EQ(b.telemetry->trace().dump(), c.telemetry->trace().dump());
+    EXPECT_EQ(json::dump(b.telemetry->final_metrics()),
+              json::dump(c.telemetry->final_metrics()));
+  }
+}
+
 TEST(Determinism, SweepThreadCountDoesNotChangeAnyTrace) {
   // Each sweep cell owns its Simulator, so fanning cells across threads
   // must leave every per-cell trace bit-identical to a serial run — the

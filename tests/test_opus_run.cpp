@@ -174,7 +174,7 @@ TEST(OpusRun, GoldensReproduceByteExact) {
   const std::string root(OPUS_SOURCE_DIR);
   const std::vector<std::string> names = {
       "table3_opus_8", "perlmutter_llama3_8b", "fabric_matrix_tiny",
-      "fleet_quickstart_opus", "fleet_churn_opus",
+      "fleet_quickstart_opus", "fleet_churn_opus", "fleet_churn_telemetry",
   };
   for (const std::string& name : names) {
     const config::RunOutput out =

@@ -29,14 +29,15 @@ static_assert(field_count<workload::GpuSpec> == 3);
 static_assert(field_count<workload::IterationOptions> == 5);
 static_assert(field_count<workload::IterationEngine::Options> == 3);
 static_assert(field_count<core::FaultConfig> == 6);
+static_assert(field_count<obs::TelemetryConfig> == 5);
 static_assert(field_count<core::SweepOptions> == 2);
-static_assert(field_count<core::ExperimentConfig> == 22);
+static_assert(field_count<core::ExperimentConfig> == 23);
 static_assert(field_count<fleet::JobShape> == 4);
 static_assert(field_count<fleet::ArrivalConfig> == 5);
 static_assert(field_count<fleet::FleetConfig> == 7);
-static_assert(field_count<core::ExperimentResult> == 17);
+static_assert(field_count<core::ExperimentResult> == 18);
 static_assert(field_count<fleet::FleetJobResult> == 22);
-static_assert(field_count<fleet::FleetResult> == 8);
+static_assert(field_count<fleet::FleetResult> == 9);
 
 template <class T>
 T round_trip(const T& v) {
